@@ -1,0 +1,212 @@
+// Package prodsynth is an end-to-end implementation of the product
+// synthesis pipeline from "Synthesizing Products for Online Catalogs"
+// (Nguyen, Fuxman, Paparizos, Freire, Agrawal — PVLDB 4(7), 2011).
+//
+// Given a product catalog and merchant offers (terse feed rows plus landing
+// pages), the system learns attribute correspondences between merchant
+// vocabularies and the catalog schema from historical offer-to-product
+// matches — with an automatically constructed training set, no manual
+// labels — and then synthesizes new, structured product instances from
+// offers that match nothing in the catalog:
+//
+//	store := prodsynth.NewCatalog()
+//	// ... add categories and known products ...
+//	sys := prodsynth.New(store, prodsynth.Config{})
+//	if err := sys.Learn(historicalOffers, pages); err != nil { ... }
+//	result, err := sys.Synthesize(incomingOffers, pages)
+//	// result.Products now holds catalog-ready product instances.
+//
+// The subpackages under internal implement each component of the paper's
+// Figure 4 architecture plus every substrate the evaluation needs: an HTML
+// extractor, distributional similarity measures, logistic regression,
+// baseline matchers (DUMAS, LSD, COMA++-style), and a synthetic marketplace
+// generator standing in for the proprietary Bing Shopping corpus.
+package prodsynth
+
+import (
+	"strconv"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/core"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/fusion"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/synth"
+)
+
+// Re-exported data model. These aliases are the supported public surface;
+// their methods are documented on the internal definitions.
+type (
+	// Catalog is the product catalog store: categories, schemas,
+	// products, key indexes. Safe for concurrent use.
+	Catalog = catalog.Store
+	// Category is a taxonomy node with a schema.
+	Category = catalog.Category
+	// Schema is a category's attribute list.
+	Schema = catalog.Schema
+	// Attribute is one schema attribute.
+	Attribute = catalog.Attribute
+	// AttributeValue is one <name, value> pair.
+	AttributeValue = catalog.AttributeValue
+	// Spec is an attribute-value specification.
+	Spec = catalog.Spec
+	// Product is a catalog product instance.
+	Product = catalog.Product
+	// Offer is a merchant offer.
+	Offer = offer.Offer
+	// SchemaKey identifies a (merchant, category) pair.
+	SchemaKey = offer.SchemaKey
+	// Config controls the pipeline (extraction, matching, training,
+	// thresholds, fusion strategy, parallelism).
+	Config = core.Config
+	// PageFetcher retrieves landing pages by URL.
+	PageFetcher = core.PageFetcher
+	// MapFetcher serves pages from an in-memory map.
+	MapFetcher = core.MapFetcher
+	// Correspondence is a scored attribute correspondence
+	// <catalog attr, merchant attr, merchant, category>.
+	Correspondence = correspond.Scored
+	// Synthesized is a product instance produced by the pipeline.
+	Synthesized = fusion.Synthesized
+	// OfflineStats summarizes the offline learning phase (§5.1 numbers).
+	OfflineStats = core.OfflineStats
+	// Marketplace is a generated synthetic marketplace with ground truth.
+	Marketplace = synth.Dataset
+	// MarketplaceConfig sizes a generated marketplace.
+	MarketplaceConfig = synth.Config
+)
+
+// Attribute kinds, re-exported for schema construction.
+const (
+	KindCategorical = catalog.KindCategorical
+	KindNumeric     = catalog.KindNumeric
+	KindText        = catalog.KindText
+	KindIdentifier  = catalog.KindIdentifier
+)
+
+// Key attribute names used for clustering (§4).
+const (
+	AttrUPC = catalog.AttrUPC
+	AttrMPN = catalog.AttrMPN
+)
+
+// NewCatalog returns an empty catalog store.
+func NewCatalog() *Catalog { return catalog.NewStore() }
+
+// GenerateMarketplace builds a synthetic marketplace (catalog, merchants,
+// offers, landing pages, ground truth) standing in for a production offer
+// corpus. Deterministic given cfg.Seed.
+func GenerateMarketplace(cfg MarketplaceConfig) *Marketplace { return synth.Generate(cfg) }
+
+// DefaultMarketplaceConfig is the small test-scale marketplace.
+func DefaultMarketplaceConfig() MarketplaceConfig { return synth.DefaultConfig() }
+
+// ExperimentMarketplaceConfig is the laptop-scale marketplace used to
+// regenerate the paper's tables and figures.
+func ExperimentMarketplaceConfig() MarketplaceConfig { return synth.ExperimentConfig() }
+
+// System ties the offline learning phase and the runtime synthesis
+// pipeline together over one catalog.
+type System struct {
+	store   *Catalog
+	cfg     Config
+	offline *core.OfflineResult
+}
+
+// New creates a System over a catalog. The zero Config applies the paper's
+// defaults (table extraction, UPC+title matching, all six features,
+// class-weighted logistic regression, centroid fusion, threshold 0.5).
+func New(store *Catalog, cfg Config) *System {
+	return &System{store: store, cfg: cfg}
+}
+
+// Learn runs the offline learning phase (§3) over historical offers:
+// extraction, historical matching, feature computation, automatic training
+// set construction, classifier training, and correspondence selection.
+func (s *System) Learn(historical []Offer, pages PageFetcher) error {
+	off, err := core.RunOffline(s.store, historical, pages, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.offline = off
+	return nil
+}
+
+// Stats returns the offline learning statistics. Zero before Learn.
+func (s *System) Stats() OfflineStats {
+	if s.offline == nil {
+		return OfflineStats{}
+	}
+	return s.offline.Stats
+}
+
+// Correspondences returns every selected attribute correspondence.
+// Nil before Learn.
+func (s *System) Correspondences() []Correspondence {
+	if s.offline == nil {
+		return nil
+	}
+	return s.offline.Correspondences.All()
+}
+
+// ScoredCandidates returns every candidate correspondence with its
+// classifier score, best first. Nil before Learn.
+func (s *System) ScoredCandidates() []Correspondence {
+	if s.offline == nil {
+		return nil
+	}
+	return s.offline.Scored
+}
+
+// Result is the outcome of a Synthesize run.
+type Result struct {
+	// Products are the synthesized product instances.
+	Products []Synthesized
+	// PairsDropped counts extracted attribute-value pairs discarded for
+	// lack of a correspondence (the noise filter of §4).
+	PairsDropped int
+	// PairsMapped counts pairs translated into catalog vocabulary.
+	PairsMapped int
+	// OffersWithoutKey counts reconciled offers that could not be
+	// clustered because no key attribute survived reconciliation.
+	OffersWithoutKey int
+	// ExcludedMatched counts incoming offers dropped because they match
+	// an existing catalog product.
+	ExcludedMatched int
+}
+
+// Synthesize runs the runtime pipeline (§4) over incoming offers:
+// extraction, schema reconciliation, clustering, and value fusion.
+// Learn must have been called first.
+func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error) {
+	run, err := core.RunRuntime(s.store, s.offline, incoming, pages, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Products:         run.Products,
+		PairsDropped:     run.Reconcile.PairsDropped,
+		PairsMapped:      run.Reconcile.PairsMapped,
+		OffersWithoutKey: len(run.SkippedNoKey),
+		ExcludedMatched:  run.ExcludedMatched,
+	}, nil
+}
+
+// AddToCatalog inserts synthesized products into the catalog as new
+// product instances, assigning IDs with the given prefix. Products whose
+// spec violates the category schema are skipped and reported.
+func (s *System) AddToCatalog(products []Synthesized, idPrefix string) (added int, skipped []Synthesized) {
+	for i, p := range products {
+		id := idPrefix + "-" + p.Key
+		if p.Key == "" {
+			id = idPrefix + "-" + strconv.Itoa(i)
+		}
+		prod := Product{ID: id, CategoryID: p.CategoryID, Spec: p.Spec}
+		if err := s.store.AddProduct(prod); err != nil {
+			skipped = append(skipped, p)
+			continue
+		}
+		added++
+	}
+	return added, skipped
+}

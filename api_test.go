@@ -1,0 +1,111 @@
+package prodsynth
+
+import (
+	"testing"
+)
+
+func marketplace(t *testing.T) *Marketplace {
+	t.Helper()
+	return GenerateMarketplace(MarketplaceConfig{
+		Seed:                21,
+		CategoriesPerDomain: 2,
+		ProductsPerCategory: 20,
+		Merchants:           20,
+	})
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	ds := marketplace(t)
+	sys := New(ds.Catalog, Config{})
+
+	// Before Learn, accessors are inert and Synthesize fails.
+	if sys.Stats() != (OfflineStats{}) {
+		t.Error("Stats before Learn should be zero")
+	}
+	if sys.Correspondences() != nil || sys.ScoredCandidates() != nil {
+		t.Error("correspondences before Learn should be nil")
+	}
+	if _, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages)); err == nil {
+		t.Fatal("Synthesize before Learn should error")
+	}
+
+	if err := sys.Learn(ds.HistoricalOffers, MapFetcher(ds.Pages)); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.TrainingSize == 0 || st.Correspondences == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(sys.Correspondences()) != st.Correspondences {
+		t.Error("Correspondences length disagrees with stats")
+	}
+	if len(sys.ScoredCandidates()) != st.Candidates {
+		t.Error("ScoredCandidates length disagrees with stats")
+	}
+
+	res, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Products) == 0 {
+		t.Fatal("no products synthesized")
+	}
+	if res.PairsMapped == 0 || res.PairsDropped == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestAddToCatalog(t *testing.T) {
+	ds := marketplace(t)
+	sys := New(ds.Catalog, Config{})
+	if err := sys.Learn(ds.HistoricalOffers, MapFetcher(ds.Pages)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ds.Catalog.NumProducts()
+	added, skipped := sys.AddToCatalog(res.Products, "synth")
+	if added == 0 {
+		t.Fatalf("added = 0, skipped = %d", len(skipped))
+	}
+	if got := ds.Catalog.NumProducts(); got != before+added {
+		t.Errorf("catalog grew by %d, want %d", got-before, added)
+	}
+	// Adding the same products again collides on IDs: all skipped.
+	again, skippedAgain := sys.AddToCatalog(res.Products, "synth")
+	if again != 0 || len(skippedAgain) != len(res.Products) {
+		t.Errorf("re-add: added=%d skipped=%d", again, len(skippedAgain))
+	}
+}
+
+func TestBuildCatalogByHand(t *testing.T) {
+	store := NewCatalog()
+	err := store.AddCategory(Category{
+		ID: "hd", Name: "Hard Drives", TopLevel: "Computing",
+		Schema: Schema{Attributes: []Attribute{
+			{Name: "Brand", Kind: KindCategorical},
+			{Name: "Capacity", Kind: KindNumeric, Unit: "GB"},
+			{Name: AttrMPN, Kind: KindIdentifier},
+			{Name: AttrUPC, Kind: KindIdentifier},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = store.AddProduct(Product{
+		ID: "p1", CategoryID: "hd",
+		Spec: Spec{
+			{Name: "Brand", Value: "Seagate"},
+			{Name: "Capacity", Value: "500"},
+			{Name: AttrMPN, Value: "ST3500"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumProducts() != 1 || store.NumCategories() != 1 {
+		t.Error("counts wrong")
+	}
+}

@@ -1,0 +1,202 @@
+package prodsynth
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (§5) — one benchmark per artifact — plus the ablation sweeps
+// from DESIGN.md and end-to-end phase benchmarks. Quality numbers are
+// attached to each benchmark via b.ReportMetric, so a single
+//
+//	go test -bench=. -benchmem
+//
+// run prints both the cost (ns/op, allocs) and the reproduced metrics
+// (precision, coverage) side by side. EXPERIMENTS.md records a reference
+// run against the paper's reported values.
+
+import (
+	"sync"
+	"testing"
+
+	"prodsynth/internal/core"
+	"prodsynth/internal/experiments"
+	"prodsynth/internal/synth"
+)
+
+// benchGen is the marketplace used by the benchmarks: large enough for the
+// paper's effects to be visible, small enough for -bench runs to stay
+// interactive.
+var benchGen = synth.Config{
+	Seed:                1,
+	CategoriesPerDomain: 4,
+	ProductsPerCategory: 60,
+	Merchants:           60,
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+	benchEnvErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnvVal, benchEnvErr = experiments.Setup(benchGen, core.Config{})
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnvVal
+}
+
+// BenchmarkTable2EndToEnd reproduces Table 2: full pipeline quality.
+func BenchmarkTable2EndToEnd(b *testing.B) {
+	env := benchEnv(b)
+	var r experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2(env)
+	}
+	b.ReportMetric(r.AttributePrec, "attr-precision")
+	b.ReportMetric(r.ProductPrec, "product-precision")
+	b.ReportMetric(float64(r.Products), "products")
+	b.ReportMetric(float64(r.AttributePairs), "attribute-pairs")
+}
+
+// BenchmarkTable3PerCategory reproduces Table 3: per top-level category.
+func BenchmarkTable3PerCategory(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rs := experiments.Table3(env)
+		for _, r := range rs {
+			b.ReportMetric(r.AvgAttrsPerProduct(), shorten(r.TopLevel)+"-avg-attrs")
+			b.ReportMetric(r.ProductPrecision(), shorten(r.TopLevel)+"-product-prec")
+		}
+	}
+}
+
+// BenchmarkTable4Recall reproduces Table 4: recall by offer-set size.
+func BenchmarkTable4Recall(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		heavy, light := experiments.Table4(env)
+		b.ReportMetric(heavy.AttributeRecall, "recall-ge10")
+		b.ReportMetric(light.AttributeRecall, "recall-lt10")
+		b.ReportMetric(heavy.AttributePrecision, "precision-ge10")
+		b.ReportMetric(light.AttributePrecision, "precision-lt10")
+	}
+}
+
+// benchFigure runs one figure builder and reports each system's exact
+// coverage at precision 0.85.
+func benchFigure(b *testing.B, build func(*experiments.Env) (*experiments.Figure, error)) {
+	env := benchEnv(b)
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = build(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, name := range fig.Names {
+		b.ReportMetric(float64(fig.CoverageAt(name, 0.85)), "cov@0.85-"+shorten(name))
+	}
+}
+
+func shorten(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch r {
+		case ' ', '(', ')', '\t', '&', '§':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFigure6SingleFeature reproduces Figure 6.
+func BenchmarkFigure6SingleFeature(b *testing.B) { benchFigure(b, experiments.Figure6) }
+
+// BenchmarkFigure7NoHistory reproduces Figure 7.
+func BenchmarkFigure7NoHistory(b *testing.B) { benchFigure(b, experiments.Figure7) }
+
+// BenchmarkFigure8Baselines reproduces Figure 8.
+func BenchmarkFigure8Baselines(b *testing.B) { benchFigure(b, experiments.Figure8) }
+
+// BenchmarkFigure9ComaDelta reproduces Figure 9.
+func BenchmarkFigure9ComaDelta(b *testing.B) { benchFigure(b, experiments.Figure9) }
+
+// BenchmarkAblationDropFeature sweeps drop-one-feature retraining.
+func BenchmarkAblationDropFeature(b *testing.B) {
+	env := benchEnv(b)
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationDropFeature(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cov90), "cov@0.9-"+shorten(r.Name))
+	}
+}
+
+// BenchmarkAblationFusion compares fusion strategies.
+func BenchmarkAblationFusion(b *testing.B) {
+	env := benchEnv(b)
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationFusion(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Metric1, "attr-prec-"+shorten(r.Name))
+	}
+}
+
+// BenchmarkAblationClusterKeys compares clustering key sets.
+func BenchmarkAblationClusterKeys(b *testing.B) {
+	env := benchEnv(b)
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationClusterKeys(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Metric2, "products-"+shorten(r.Name))
+	}
+}
+
+// BenchmarkOfflineLearning measures the offline phase alone on a fresh
+// marketplace (generation excluded from the timed region).
+func BenchmarkOfflineLearning(b *testing.B) {
+	ds := synth.Generate(benchGen)
+	fetcher := core.MapFetcher(ds.Pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ds.HistoricalOffers))/float64(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+}
+
+// BenchmarkRuntimePipeline measures the runtime phase alone.
+func BenchmarkRuntimePipeline(b *testing.B) {
+	env := benchEnv(b)
+	fetcher := core.MapFetcher(env.Dataset.Pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunRuntime(env.Dataset.Catalog, env.Offline, env.Dataset.IncomingOffers, fetcher, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(env.Dataset.IncomingOffers))/float64(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+}

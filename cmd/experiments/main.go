@@ -1,0 +1,145 @@
+// Command experiments regenerates the paper's tables and figures on a
+// synthetic marketplace, plus the ablation sweeps described in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -all                     # everything, default scale
+//	experiments -table2 -fig6            # selected experiments
+//	experiments -all -scale large        # laptop-scale corpus (slower)
+//	experiments -all -seed 7 -out report.txt
+//
+// Output is text shaped like the paper's tables and figures (coverage /
+// precision series), suitable for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"prodsynth/internal/core"
+	"prodsynth/internal/experiments"
+	"prodsynth/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		table2 = flag.Bool("table2", false, "Table 2: end-to-end synthesis quality")
+		table3 = flag.Bool("table3", false, "Table 3: per top-level category")
+		table4 = flag.Bool("table4", false, "Table 4: recall by offer-set size")
+		fig6   = flag.Bool("fig6", false, "Figure 6: classifier vs single features")
+		fig7   = flag.Bool("fig7", false, "Figure 7: with vs without historical matches")
+		fig8   = flag.Bool("fig8", false, "Figure 8: baseline comparison")
+		fig9   = flag.Bool("fig9", false, "Figure 9: COMA++ delta settings")
+		ablate = flag.Bool("ablations", false, "ablation sweeps")
+		scale  = flag.String("scale", "medium", "corpus scale: small, medium, large")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "write report here (default stdout)")
+	)
+	flag.Parse()
+
+	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	gen := scaleConfig(*scale)
+	gen.Seed = *seed
+	start := time.Now()
+	fmt.Fprintf(w, "# prodsynth experiments — scale=%s seed=%d\n", *scale, *seed)
+	fmt.Fprintf(w, "# generating marketplace: %d categories/domain, %d products/category, %d merchants\n\n",
+		gen.CategoriesPerDomain, gen.ProductsPerCategory, gen.Merchants)
+
+	env, err := experiments.Setup(gen, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(w, "# setup done in %v: %d historical offers, %d incoming offers\n\n",
+		time.Since(start).Round(time.Millisecond),
+		len(env.Dataset.HistoricalOffers), len(env.Dataset.IncomingOffers))
+
+	if *all || *table2 {
+		experiments.RenderTable2(w, experiments.Table2(env))
+	}
+	if *all || *table3 {
+		experiments.RenderTable3(w, experiments.Table3(env))
+	}
+	if *all || *table4 {
+		heavy, light := experiments.Table4(env)
+		experiments.RenderTable4(w, heavy, light)
+	}
+	figures := []struct {
+		enabled bool
+		build   func(*experiments.Env) (*experiments.Figure, error)
+	}{
+		{*all || *fig6, experiments.Figure6},
+		{*all || *fig7, experiments.Figure7},
+		{*all || *fig8, experiments.Figure8},
+		{*all || *fig9, experiments.Figure9},
+	}
+	for _, f := range figures {
+		if !f.enabled {
+			continue
+		}
+		fig, err := f.build(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.RenderFigure(w, fig); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *all || *ablate {
+		runAblations(w, env)
+	}
+	fmt.Fprintf(w, "# total %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func scaleConfig(scale string) synth.Config {
+	switch scale {
+	case "small":
+		return synth.Config{CategoriesPerDomain: 2, ProductsPerCategory: 20, Merchants: 24}
+	case "large":
+		return synth.ExperimentConfig()
+	default:
+		return synth.Config{CategoriesPerDomain: 4, ProductsPerCategory: 60, Merchants: 60}
+	}
+}
+
+func runAblations(w io.Writer, env *experiments.Env) {
+	type ablation struct {
+		name    string
+		run     func(*experiments.Env) ([]experiments.AblationRow, error)
+		metrics []string
+	}
+	for _, a := range []ablation{
+		{"drop one feature", experiments.AblationDropFeature, nil},
+		{"name-similarity feature (§7 future work)", experiments.AblationNameFeature, nil},
+		{"value fusion strategy", experiments.AblationFusion, []string{"attr precision", "products"}},
+		{"clustering key attributes", experiments.AblationClusterKeys, []string{"attr precision", "products"}},
+		{"extraction coverage", experiments.AblationExtraction, []string{"attr precision", "products"}},
+	} {
+		rows, err := a.run(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderAblation(w, a.name, rows, a.metrics...)
+	}
+}

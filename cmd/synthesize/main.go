@@ -1,0 +1,163 @@
+// Command synthesize runs the end-to-end product synthesis pipeline over a
+// dataset directory produced by cmd/datagen (or hand-assembled in the same
+// layout): offline learning on the historical feed, then runtime synthesis
+// on the incoming feed. Synthesized products are written as JSON.
+//
+// Usage:
+//
+//	synthesize -data ./data [-out products.json] [-threshold 0.5]
+//	           [-correspondences corr.tsv] [-v]
+//
+// When the dataset carries ground truth, the run is graded and attribute /
+// product precision are printed (the paper's Table 2 metrics).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"prodsynth/internal/categorize"
+	"prodsynth/internal/core"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/dataset"
+	"prodsynth/internal/eval"
+	"prodsynth/internal/fusion"
+)
+
+type jsonProduct struct {
+	CategoryID string            `json:"category_id"`
+	Key        string            `json:"key"`
+	KeyAttr    string            `json:"key_attr"`
+	Spec       map[string]string `json:"spec"`
+	OfferIDs   []string          `json:"offer_ids"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synthesize: ")
+
+	var (
+		data      = flag.String("data", "", "dataset directory (required)")
+		out       = flag.String("out", "", "write synthesized products JSON here (default stdout)")
+		threshold = flag.Float64("threshold", 0.5, "correspondence score threshold")
+		corrOut   = flag.String("correspondences", "", "also write learned correspondences (TSV)")
+		corrIn    = flag.String("load", "", "load correspondences from TSV and skip offline learning")
+		verbose   = flag.Bool("v", false, "print pipeline statistics")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := dataset.Load(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{ScoreThreshold: *threshold}
+	fetcher := core.MapFetcher(ds.Pages)
+
+	var off *core.OfflineResult
+	if *corrIn != "" {
+		set, err := loadCorrespondences(*corrIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		classifier := categorize.New()
+		classifier.TrainFromCatalog(ds.Catalog)
+		off = core.OfflineFromCorrespondences(set, classifier)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "loaded %d correspondences from %s (offline learning skipped)\n",
+				set.Len(), *corrIn)
+		}
+	} else {
+		var err error
+		off, err = core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *verbose && *corrIn == "" {
+		st := off.Stats
+		fmt.Fprintf(os.Stderr, "offline: %d offers, %d matched, %d candidates, training %d (%d+), %d correspondences\n",
+			st.HistoricalOffers, st.MatchedOffers, st.Candidates, st.TrainingSize, st.TrainingPositives, st.Correspondences)
+	}
+	if *corrOut != "" {
+		if err := writeCorrespondences(*corrOut, off); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run, err := core.RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "runtime: %d products, %d pairs mapped, %d dropped, %d offers without key, %d matched existing\n",
+			len(run.Products), run.Reconcile.PairsMapped, run.Reconcile.PairsDropped,
+			len(run.SkippedNoKey), run.ExcludedMatched)
+	}
+
+	if err := writeProducts(*out, run.Products); err != nil {
+		log.Fatal(err)
+	}
+
+	if ds.Truth != nil {
+		rep := eval.GradeSynthesis(run.Products, ds.Truth, ds.Universe)
+		fmt.Fprintf(os.Stderr, "graded against ground truth: attribute precision %.3f, product precision %.3f (%d products, %d pairs)\n",
+			rep.AttributePrecision(), rep.ProductPrecision(), rep.Products, rep.AttributePairs)
+	}
+}
+
+func writeProducts(path string, products []fusion.Synthesized) error {
+	var w *os.File
+	if path == "" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	for _, p := range products {
+		jp := jsonProduct{
+			CategoryID: p.CategoryID, Key: p.Key, KeyAttr: p.KeyAttr,
+			Spec: make(map[string]string, len(p.Spec)), OfferIDs: p.OfferIDs,
+		}
+		for _, av := range p.Spec {
+			jp.Spec[av.Name] = av.Value
+		}
+		if err := enc.Encode(jp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadCorrespondences(path string) (*correspond.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return correspond.ReadSet(f)
+}
+
+func writeCorrespondences(path string, off *core.OfflineResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := correspond.WriteSet(f, off.Correspondences); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,101 @@
+package prodsynth_test
+
+import (
+	"fmt"
+	"log"
+
+	"prodsynth"
+)
+
+// Example_endToEnd walks the full public API: build a catalog, learn
+// attribute correspondences from a merchant whose historical offers use the
+// catalog's own attribute names plus a merchant that renames them, then
+// synthesize a product that is missing from the catalog.
+func Example_endToEnd() {
+	store := prodsynth.NewCatalog()
+	err := store.AddCategory(prodsynth.Category{
+		ID: "hd", Name: "Hard Drives", TopLevel: "Computing",
+		Schema: prodsynth.Schema{Attributes: []prodsynth.Attribute{
+			{Name: "Brand", Kind: prodsynth.KindCategorical},
+			{Name: "Speed", Kind: prodsynth.KindNumeric, Unit: "rpm"},
+			{Name: prodsynth.AttrMPN, Kind: prodsynth.KindIdentifier},
+			{Name: prodsynth.AttrUPC, Kind: prodsynth.KindIdentifier},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	speeds := []string{"5400", "7200", "10000", "5400", "7200"}
+	brands := []string{"Seagate", "Hitachi", "Seagate", "Samsung", "Hitachi"}
+	for i := 0; i < 5; i++ {
+		err := store.AddProduct(prodsynth.Product{
+			ID: fmt.Sprintf("p%d", i), CategoryID: "hd",
+			Spec: prodsynth.Spec{
+				{Name: "Brand", Value: brands[i]},
+				{Name: "Speed", Value: speeds[i]},
+				{Name: prodsynth.AttrMPN, Value: fmt.Sprintf("MPN%d", i)},
+				{Name: prodsynth.AttrUPC, Value: fmt.Sprintf("%03d", i)},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Historical offers: "alpha" uses catalog names (training signal),
+	// "beta" renames Speed to RPM and Brand to Make.
+	var historical []prodsynth.Offer
+	for i := 0; i < 5; i++ {
+		historical = append(historical,
+			prodsynth.Offer{
+				ID: fmt.Sprintf("a%d", i), Merchant: "alpha", CategoryID: "hd",
+				Spec: prodsynth.Spec{
+					{Name: prodsynth.AttrUPC, Value: fmt.Sprintf("%03d", i)},
+					{Name: "Brand", Value: brands[i]},
+					{Name: "Speed", Value: speeds[i]},
+					{Name: prodsynth.AttrMPN, Value: fmt.Sprintf("MPN%d", i)},
+				},
+			},
+			prodsynth.Offer{
+				ID: fmt.Sprintf("b%d", i), Merchant: "beta", CategoryID: "hd",
+				Spec: prodsynth.Spec{
+					{Name: prodsynth.AttrUPC, Value: fmt.Sprintf("%03d", i)},
+					{Name: "Make", Value: brands[i]},
+					{Name: "RPM", Value: speeds[i]},
+					{Name: "Part Number", Value: fmt.Sprintf("MPN%d", i)},
+				},
+			})
+	}
+
+	sys := prodsynth.New(store, prodsynth.Config{})
+	if err := sys.Learn(historical, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two offers for a drive the catalog does not have.
+	incoming := []prodsynth.Offer{
+		{ID: "n1", Merchant: "alpha", CategoryID: "hd", Spec: prodsynth.Spec{
+			{Name: "Brand", Value: "Toshiba"}, {Name: "Speed", Value: "7200"},
+			{Name: prodsynth.AttrMPN, Value: "TOSH99"},
+		}},
+		{ID: "n2", Merchant: "beta", CategoryID: "hd", Spec: prodsynth.Spec{
+			{Name: "Make", Value: "Toshiba"}, {Name: "RPM", Value: "7200"},
+			{Name: "Part Number", Value: "TOSH-99"},
+		}},
+	}
+	res, err := sys.Synthesize(incoming, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Products {
+		fmt.Printf("synthesized in %s from %d offers:\n", p.CategoryID, len(p.OfferIDs))
+		for _, av := range p.Spec {
+			fmt.Printf("  %s = %s\n", av.Name, av.Value)
+		}
+	}
+	// Output:
+	// synthesized in hd from 2 offers:
+	//   Brand = Toshiba
+	//   Model Part Number = TOSH-99
+	//   Speed = 7200
+}

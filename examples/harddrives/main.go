@@ -1,0 +1,171 @@
+// Harddrives walks through the paper's running example (Figures 1, 2 and
+// 5): a hard-drive catalog, merchants that rename attributes ("Speed" vs
+// "RPM", "Interface" vs "Int. Type", "Capacity" vs "Hard Disk Size"), and
+// offers whose specs live in HTML tables on landing pages.
+//
+// The example is built entirely by hand — no generator — so every moving
+// part of the pipeline is visible: which correspondences get learned, how
+// a noisy "Availability" attribute is filtered, and how offers from two
+// merchants fuse into one catalog-ready product.
+//
+//	go run ./examples/harddrives
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"prodsynth"
+)
+
+// page renders a minimal merchant landing page with a spec table.
+func page(title string, pairs [][2]string) string {
+	var b strings.Builder
+	b.WriteString("<html><body><h1>" + title + "</h1><table>")
+	for _, p := range pairs {
+		b.WriteString("<tr><td>" + p[0] + "</td><td>" + p[1] + "</td></tr>")
+	}
+	b.WriteString("</table></body></html>")
+	return b.String()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// --- The catalog: hard drives with structured specs (Figure 5a, left).
+	store := prodsynth.NewCatalog()
+	err := store.AddCategory(prodsynth.Category{
+		ID: "computing/hard-drives", Name: "Hard Drives", TopLevel: "Computing",
+		Schema: prodsynth.Schema{Attributes: []prodsynth.Attribute{
+			{Name: "Brand", Kind: prodsynth.KindCategorical},
+			{Name: "Model", Kind: prodsynth.KindText},
+			{Name: "Speed", Kind: prodsynth.KindNumeric, Unit: "rpm"},
+			{Name: "Interface", Kind: prodsynth.KindCategorical},
+			{Name: "Capacity", Kind: prodsynth.KindNumeric, Unit: "GB"},
+			{Name: prodsynth.AttrMPN, Kind: prodsynth.KindIdentifier},
+			{Name: prodsynth.AttrUPC, Kind: prodsynth.KindIdentifier},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type drive struct{ id, brand, model, speed, iface, capacity, mpn, upc string }
+	drives := []drive{
+		{"p1", "Seagate", "Barracuda", "5400", "ATA 100", "250", "ST3250", "001"},
+		{"p2", "Seagate", "Cheetah", "10000", "ATA 100", "146", "ST3146", "002"},
+		{"p3", "Western Digital", "Raptor", "7200", "IDE 133", "150", "WD1500", "003"},
+		{"p4", "Seagate", "Momentus", "5400", "IDE 133", "120", "ST9120", "004"},
+		{"p5", "Hitachi", "39T2525", "7200", "ATA 133", "300", "HT3925", "005"},
+		{"p6", "Hitachi", "38L2392", "10000", "SCSI", "73", "HT3823", "006"},
+	}
+	for _, d := range drives {
+		err := store.AddProduct(prodsynth.Product{
+			ID: d.id, CategoryID: "computing/hard-drives",
+			Spec: prodsynth.Spec{
+				{Name: "Brand", Value: d.brand}, {Name: "Model", Value: d.model},
+				{Name: "Speed", Value: d.speed}, {Name: "Interface", Value: d.iface},
+				{Name: "Capacity", Value: d.capacity},
+				{Name: prodsynth.AttrMPN, Value: d.mpn}, {Name: prodsynth.AttrUPC, Value: d.upc},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- Historical offers from two merchants (Figure 5a, right).
+	// "driveking" uses the catalog's own attribute names — those name
+	// identities become the automatic training set. "hdshop" renames
+	// everything; the classifier must recover its vocabulary from value
+	// distributions. Both list a marketing "Availability" row that the
+	// extractor will pick up and reconciliation must discard.
+	pages := prodsynth.MapFetcher{}
+	var historical []prodsynth.Offer
+	addOffer := func(id, merchant, title, upc string, pairs [][2]string) prodsynth.Offer {
+		url := "http://" + merchant + ".example/" + id
+		pages[url] = page(title, pairs)
+		o := prodsynth.Offer{
+			ID: id, Merchant: merchant, CategoryID: "computing/hard-drives",
+			Title: title, URL: url, PriceCents: 6700,
+			Spec: prodsynth.Spec{{Name: prodsynth.AttrUPC, Value: upc}},
+		}
+		return o
+	}
+	for i, d := range drives[:5] {
+		id := fmt.Sprintf("dk-%d", i)
+		historical = append(historical, addOffer(id, "driveking",
+			d.brand+" "+d.model+" hard drive", d.upc, [][2]string{
+				{"Brand", d.brand}, {"Model", d.model}, {"Speed", d.speed + " rpm"},
+				{"Interface", d.iface}, {"Capacity", d.capacity + " GB"},
+				{"Model Part Number", d.mpn}, {"Availability", "In Stock"},
+			}))
+	}
+	for i, d := range []drive{drives[0], drives[2], drives[3], drives[4]} {
+		id := fmt.Sprintf("hs-%d", i)
+		historical = append(historical, addOffer(id, "hdshop",
+			d.brand+" "+d.model+" HDD", d.upc, [][2]string{
+				{"Make", d.brand}, {"Product Line", d.model}, {"RPM", d.speed},
+				{"Int. Type", d.iface + " mb/s"}, {"Hard Disk Size", d.capacity},
+				{"Mfr. Part #", d.mpn}, {"Availability", "Ships Today"},
+			}))
+	}
+
+	// --- Offline learning.
+	sys := prodsynth.New(store, prodsynth.Config{})
+	if err := sys.Learn(historical, pages); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("learned attribute correspondences:")
+	corr := sys.Correspondences()
+	sort.Slice(corr, func(i, j int) bool {
+		if corr[i].Key.Merchant != corr[j].Key.Merchant {
+			return corr[i].Key.Merchant < corr[j].Key.Merchant
+		}
+		return corr[i].MerchantAttr < corr[j].MerchantAttr
+	})
+	for _, c := range corr {
+		marker := ""
+		if c.MerchantAttr == c.CatalogAttr {
+			marker = " (name identity)"
+		}
+		fmt.Printf("  %-10s %-18s -> %-18s score %.2f%s\n",
+			c.Key.Merchant, c.MerchantAttr, c.CatalogAttr, c.Score, marker)
+	}
+
+	// --- A new drive appears on both merchants but is missing from the
+	// catalog; synthesize it (Figure 2's fusion scenario).
+	incoming := []prodsynth.Offer{
+		addOffer("dk-new", "driveking", "Hitachi Deskstar T7K500 hard drive", "", [][2]string{
+			{"Brand", "Hitachi"}, {"Model", "Deskstar T7K500"}, {"Speed", "7200 rpm"},
+			{"Interface", "SATA 300"}, {"Capacity", "500 GB"},
+			{"Model Part Number", "HDT725050VLA360"}, {"Availability", "In Stock"},
+		}),
+		addOffer("hs-new", "hdshop", "Hitachi 500GB S/ATA2 7200rpm", "", [][2]string{
+			{"Make", "Hitachi"}, {"Product Line", "Deskstar T7K500"}, {"RPM", "7200"},
+			{"Int. Type", "SATA 300 mb/s"}, {"Hard Disk Size", "500"},
+			{"Mfr. Part #", "HDT 725050-VLA360"}, {"Availability", "Back Order"},
+		}),
+	}
+	// The feed rows for the new product carry no UPC, so identifier
+	// matching cannot pre-associate them with anything in the catalog.
+	incoming[0].Spec = nil
+	incoming[1].Spec = nil
+
+	res, err := sys.Synthesize(incoming, pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsynthesized %d product(s); %d noise pairs dropped by schema reconciliation\n",
+		len(res.Products), res.PairsDropped)
+	for _, p := range res.Products {
+		fmt.Printf("\nnew catalog product (category %s, key %s=%s, fused from %d offers):\n",
+			p.CategoryID, p.KeyAttr, p.Key, len(p.OfferIDs))
+		for _, av := range p.Spec {
+			fmt.Printf("  %-20s %s\n", av.Name, av.Value)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: generate a small synthetic marketplace, learn attribute
+// correspondences from the historical offers, synthesize products from the
+// incoming offers, and print what the pipeline produced.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prodsynth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A marketplace: a catalog with known products, merchants with their
+	// own attribute vocabularies, offer feeds, and landing pages. Half
+	// the product universe is withheld from the catalog — those are the
+	// products the pipeline must synthesize from offers alone.
+	market := prodsynth.GenerateMarketplace(prodsynth.MarketplaceConfig{
+		Seed:                42,
+		CategoriesPerDomain: 2,
+		ProductsPerCategory: 20,
+		Merchants:           24,
+	})
+	fmt.Printf("marketplace: %d categories, %d catalog products, %d historical + %d incoming offers\n\n",
+		market.Catalog.NumCategories(), market.Catalog.NumProducts(),
+		len(market.HistoricalOffers), len(market.IncomingOffers))
+
+	sys := prodsynth.New(market.Catalog, prodsynth.Config{})
+	pages := prodsynth.MapFetcher(market.Pages)
+
+	// Offline learning (paper §3): extract specs from landing pages,
+	// match historical offers to catalog products, compute distributional
+	// similarity features, auto-label a training set from name-identity
+	// candidates, train the classifier, select correspondences.
+	if err := sys.Learn(market.HistoricalOffers, pages); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("offline learning: %d/%d offers matched, %d candidate tuples,\n",
+		st.MatchedOffers, st.HistoricalOffers, st.Candidates)
+	fmt.Printf("  auto-labeled training set of %d (%d positive), %d correspondences selected\n\n",
+		st.TrainingSize, st.TrainingPositives, st.Correspondences)
+
+	// A few learned renamings (skipping trivial identities).
+	fmt.Println("sample learned correspondences (merchant attr -> catalog attr):")
+	shown := 0
+	for _, c := range sys.Correspondences() {
+		if c.MerchantAttr == c.CatalogAttr {
+			continue
+		}
+		fmt.Printf("  %-22s -> %-18s score %.2f  (%s)\n",
+			c.MerchantAttr, c.CatalogAttr, c.Score, c.Key)
+		if shown++; shown == 5 {
+			break
+		}
+	}
+
+	// Runtime pipeline (paper §4): extract, reconcile, cluster, fuse.
+	res, err := sys.Synthesize(market.IncomingOffers, pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsynthesized %d products (%d pairs mapped, %d noise pairs dropped)\n\n",
+		len(res.Products), res.PairsMapped, res.PairsDropped)
+
+	for i, p := range res.Products {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("product in %s (from %d offers, key %s=%s):\n",
+			p.CategoryID, len(p.OfferIDs), p.KeyAttr, p.Key)
+		for _, av := range p.Spec {
+			fmt.Printf("  %-22s %s\n", av.Name, av.Value)
+		}
+		fmt.Println()
+	}
+
+	// Finally, grow the catalog with the synthesized products.
+	added, skipped := sys.AddToCatalog(res.Products, "synth")
+	fmt.Printf("catalog grew to %d products (+%d, %d skipped)\n",
+		market.Catalog.NumProducts(), added, len(skipped))
+}

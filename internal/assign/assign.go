@@ -1,0 +1,158 @@
+// Package assign solves the maximum-weight bipartite matching (assignment)
+// problem. DUMAS (paper Appendix C) needs it to turn an averaged field-value
+// similarity matrix into a one-to-one attribute matching.
+//
+// MaxWeight implements the Hungarian algorithm (Kuhn–Munkres, O(n³)) for
+// rectangular weight matrices. Weights may be any finite float64; pairs may
+// be left unmatched only when the matrix is rectangular (the smaller side is
+// fully matched).
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxWeight returns, for an m×n weight matrix w (w[i][j] = weight of
+// matching row i to column j), an assignment slice a where a[i] = j means
+// row i is matched to column j, and a[i] = -1 means row i is unmatched
+// (possible only when m > n). The total weight of the returned assignment is
+// maximal. The matrix must be rectangular and contain only finite values.
+func MaxWeight(w [][]float64) ([]int, error) {
+	m := len(w)
+	if m == 0 {
+		return nil, nil
+	}
+	n := len(w[0])
+	for i, row := range w {
+		if len(row) != n {
+			return nil, fmt.Errorf("assign: ragged matrix: row %d has %d cols, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("assign: non-finite weight at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// The Hungarian algorithm below solves min-cost on a square matrix.
+	// Build a square cost matrix of size s×s: cost = maxW - weight, with
+	// padding cells at cost maxW (equivalent to weight 0 dummy matches).
+	s := m
+	if n > s {
+		s = n
+	}
+	var maxW float64
+	for _, row := range w {
+		for _, v := range row {
+			if v > maxW {
+				maxW = v
+			}
+		}
+	}
+	cost := make([][]float64, s)
+	for i := range cost {
+		cost[i] = make([]float64, s)
+		for j := range cost[i] {
+			if i < m && j < n {
+				cost[i][j] = maxW - w[i][j]
+			} else {
+				cost[i][j] = maxW
+			}
+		}
+	}
+
+	match := hungarianMin(cost)
+
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		j := match[i]
+		if j >= n {
+			out[i] = -1 // matched to a padding column
+		} else {
+			out[i] = j
+		}
+	}
+	return out, nil
+}
+
+// hungarianMin solves the square min-cost assignment problem and returns
+// row→col. Classic potentials-based O(n³) implementation.
+func hungarianMin(cost [][]float64) []int {
+	n := len(cost)
+	// 1-indexed potentials and matching arrays, per the standard algorithm.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	rowToCol := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	return rowToCol
+}
+
+// TotalWeight returns the weight of assignment a over matrix w, ignoring
+// unmatched rows.
+func TotalWeight(w [][]float64, a []int) float64 {
+	var sum float64
+	for i, j := range a {
+		if j >= 0 {
+			sum += w[i][j]
+		}
+	}
+	return sum
+}

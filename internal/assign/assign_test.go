@@ -1,0 +1,192 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxWeightSimple(t *testing.T) {
+	w := [][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+	}
+	a, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 || a[1] != 1 {
+		t.Errorf("assignment = %v", a)
+	}
+}
+
+func TestMaxWeightAntiDiagonal(t *testing.T) {
+	// Greedy row-by-row would pick (0,0)=0.6 then (1,1)=0.1 (total 0.7);
+	// optimal is (0,1)+(1,0) = 0.5+0.5 = 1.0.
+	w := [][]float64{
+		{0.6, 0.5},
+		{0.5, 0.1},
+	}
+	a, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalWeight(w, a); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("total = %g (assignment %v), want 1.0", got, a)
+	}
+}
+
+func TestMaxWeightRectangularWide(t *testing.T) {
+	// 2 rows, 3 cols: both rows matched, one column unused.
+	w := [][]float64{
+		{0.1, 0.9, 0.2},
+		{0.8, 0.95, 0.1},
+	}
+	a, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 || a[1] != 0 {
+		t.Errorf("assignment = %v (total %g)", a, TotalWeight(w, a))
+	}
+}
+
+func TestMaxWeightRectangularTall(t *testing.T) {
+	// 3 rows, 1 col: exactly one row is matched, the rest -1.
+	w := [][]float64{{0.3}, {0.9}, {0.5}}
+	a, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for i, j := range a {
+		if j == 0 {
+			matched++
+			if i != 1 {
+				t.Errorf("wrong row matched: %v", a)
+			}
+		} else if j != -1 {
+			t.Errorf("invalid column %d", j)
+		}
+	}
+	if matched != 1 {
+		t.Errorf("matched %d rows, want 1: %v", matched, a)
+	}
+}
+
+func TestMaxWeightEmptyAndErrors(t *testing.T) {
+	if a, err := MaxWeight(nil); err != nil || a != nil {
+		t.Errorf("nil matrix: %v, %v", a, err)
+	}
+	if _, err := MaxWeight([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if _, err := MaxWeight([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, err := MaxWeight([][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("Inf should error")
+	}
+}
+
+func TestMaxWeightIsOneToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(6), 1+rng.Intn(6)
+		w := make([][]float64, m)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = rng.Float64()
+			}
+		}
+		a, err := MaxWeight(w)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, j := range a {
+			if j == -1 {
+				continue
+			}
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxWeightOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4) // up to 5x5: brute force is 120 permutations
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = rng.Float64()
+			}
+		}
+		a, err := MaxWeight(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := TotalWeight(w, a)
+		best := bruteForce(w)
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: hungarian=%g brute=%g matrix=%v", trial, got, best, w)
+		}
+	}
+}
+
+func bruteForce(w [][]float64) float64 {
+	n := len(w)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(-1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var sum float64
+			for i, j := range perm {
+				sum += w[i][j]
+			}
+			if sum > best {
+				best = sum
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func BenchmarkMaxWeight20x20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([][]float64, 20)
+	for i := range w {
+		w[i] = make([]float64, 20)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxWeight(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package baseline defines the shared contract for the schema-matching
+// baselines the paper compares against in §5.2 (Figures 6-9): DUMAS, the
+// LSD-style instance Naive Bayes matcher, and the COMA++-style name and
+// instance matchers. Each baseline scores the same candidate universe —
+// every (catalog attribute, merchant attribute, merchant, category) tuple —
+// so precision-at-coverage curves are directly comparable with the paper's
+// classifier.
+package baseline
+
+import (
+	"sort"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+)
+
+// Matcher scores candidate attribute correspondences. Implementations must
+// return one Scored per candidate in the universe, sorted by descending
+// score.
+type Matcher interface {
+	// Name identifies the configuration for reports ("DUMAS",
+	// "Name-based COMA++", ...).
+	Name() string
+	// Score computes candidate scores. matches may be ignored by
+	// matchers that do not use instance-level associations.
+	Score(store *catalog.Store, offers *offer.Set, matches *match.MatchSet) []correspond.Scored
+}
+
+// Candidates enumerates the candidate universe in deterministic order: for
+// every (merchant, category) pair present in offers, the cross product of
+// the category schema and the merchant's observed attributes.
+func Candidates(store *catalog.Store, offers *offer.Set) []correspond.Candidate {
+	var out []correspond.Candidate
+	for _, key := range offers.SchemaKeys() {
+		cat, ok := store.Category(key.CategoryID)
+		if !ok {
+			continue
+		}
+		merchantAttrs := offers.MerchantAttributes(key)
+		if len(merchantAttrs) == 0 {
+			continue
+		}
+		catalogAttrs := cat.Schema.Names()
+		sort.Strings(catalogAttrs)
+		for _, ap := range catalogAttrs {
+			for _, ao := range merchantAttrs {
+				out = append(out, correspond.Candidate{
+					Key: key, CatalogAttr: ap, MerchantAttr: ao,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// SortScored orders scored candidates by descending score with
+// deterministic tie-breaking; shared by all matcher implementations.
+func SortScored(s []correspond.Scored) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		a, b := s[i].Candidate, s[j].Candidate
+		if a.Key != b.Key {
+			if a.Key.Merchant != b.Key.Merchant {
+				return a.Key.Merchant < b.Key.Merchant
+			}
+			return a.Key.CategoryID < b.Key.CategoryID
+		}
+		if a.CatalogAttr != b.CatalogAttr {
+			return a.CatalogAttr < b.CatalogAttr
+		}
+		return a.MerchantAttr < b.MerchantAttr
+	})
+}

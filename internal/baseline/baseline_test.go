@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/offer"
+)
+
+func fixture(t *testing.T) (*catalog.Store, *offer.Set) {
+	t.Helper()
+	st := catalog.NewStore()
+	err := st.AddCategory(catalog.Category{
+		ID: "hd",
+		Schema: catalog.Schema{Attributes: []catalog.Attribute{
+			{Name: "Speed"}, {Name: "Interface"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offers := offer.NewSet([]offer.Offer{
+		{ID: "o1", Merchant: "m1", CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "RPM", Value: "7200"}, {Name: "Conn", Value: "SATA"},
+		}},
+		{ID: "o2", Merchant: "m2", CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "Speed", Value: "5400"},
+		}},
+	})
+	return st, offers
+}
+
+func TestCandidatesUniverse(t *testing.T) {
+	st, offers := fixture(t)
+	cands := Candidates(st, offers)
+	// m1: 2 catalog x 2 merchant = 4; m2: 2 x 1 = 2.
+	if len(cands) != 6 {
+		t.Fatalf("candidates = %d, want 6", len(cands))
+	}
+	// Deterministic order: merchants sorted, catalog attrs sorted.
+	if cands[0].Key.Merchant != "m1" || cands[0].CatalogAttr != "Interface" {
+		t.Errorf("first candidate = %+v", cands[0])
+	}
+	again := Candidates(st, offers)
+	for i := range cands {
+		if cands[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestCandidatesSkipsUnknownCategory(t *testing.T) {
+	st, _ := fixture(t)
+	offers := offer.NewSet([]offer.Offer{
+		{ID: "o1", Merchant: "m", CategoryID: "nope", Spec: catalog.Spec{{Name: "A", Value: "v"}}},
+	})
+	if got := Candidates(st, offers); len(got) != 0 {
+		t.Errorf("candidates = %v", got)
+	}
+}
+
+func TestSortScored(t *testing.T) {
+	key := offer.SchemaKey{Merchant: "m", CategoryID: "c"}
+	s := []correspond.Scored{
+		{Candidate: correspond.Candidate{Key: key, CatalogAttr: "B", MerchantAttr: "x"}, Score: 0.5},
+		{Candidate: correspond.Candidate{Key: key, CatalogAttr: "A", MerchantAttr: "x"}, Score: 0.9},
+		{Candidate: correspond.Candidate{Key: key, CatalogAttr: "A", MerchantAttr: "a"}, Score: 0.5},
+	}
+	SortScored(s)
+	if s[0].Score != 0.9 {
+		t.Errorf("not sorted: %+v", s)
+	}
+	// Tie at 0.5: catalog attr A before B.
+	if s[1].CatalogAttr != "A" || s[2].CatalogAttr != "B" {
+		t.Errorf("tie-break wrong: %+v", s)
+	}
+}

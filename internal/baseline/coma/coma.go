@@ -1,0 +1,208 @@
+// Package coma reimplements the matcher classes of COMA++ (Do & Rahm, VLDB
+// 2002; Engmann & Maßmann, BTW 2007) that the paper compares against in
+// §5.2 and Appendices C-D:
+//
+//   - Name-based matching: linguistic similarity between attribute names,
+//     the average of normalized edit similarity and trigram (Dice)
+//     similarity.
+//   - Instance-based matching: TF-IDF cosine similarity between the
+//     concatenated value corpora of the two attributes (all catalog products
+//     of the category vs. all offers of the merchant in the category — no
+//     match knowledge, which is precisely what Figure 8 probes).
+//   - Combined: the average of name and instance scores.
+//
+// The δ (delta) candidate-selection knob of Appendix D is implemented in
+// ApplyDelta: per merchant attribute, only candidates within δ of the best
+// score survive; δ=∞ keeps every pair.
+package coma
+
+import (
+	"math"
+
+	"prodsynth/internal/baseline"
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/distsim"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/text"
+)
+
+// Mode selects the matcher configuration.
+type Mode int
+
+const (
+	// NameBased uses only attribute-name similarity.
+	NameBased Mode = iota
+	// InstanceBased uses only value-corpus similarity.
+	InstanceBased
+	// Combined averages the two.
+	Combined
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NameBased:
+		return "Name-based COMA++"
+	case InstanceBased:
+		return "Instance-based COMA++"
+	case Combined:
+		return "Combined COMA++"
+	default:
+		return "COMA++"
+	}
+}
+
+// Matcher is a COMA++-style matcher.
+type Matcher struct {
+	Mode Mode
+	// Delta is the candidate-pruning threshold (Appendix D). Candidates
+	// scoring below (best - Delta) for their merchant attribute are
+	// zeroed. Use math.Inf(1) to disable pruning; the COMA++ default in
+	// the paper's experiments is 0.01.
+	Delta float64
+}
+
+// Name implements baseline.Matcher.
+func (m Matcher) Name() string { return m.Mode.String() }
+
+// Score implements baseline.Matcher. The matches argument is ignored:
+// COMA++ has no notion of historical instance matches.
+func (m Matcher) Score(store *catalog.Store, offers *offer.Set, _ *match.MatchSet) []correspond.Scored {
+	universe := baseline.Candidates(store, offers)
+
+	// Instance vectors: per category, the catalog-side bag per attribute;
+	// per (merchant, category), the offer-side bag per attribute.
+	var catBags map[string]map[string]*text.Bag
+	var offBags map[offer.SchemaKey]map[string]*text.Bag
+	var corpora map[string]*distsim.Corpus
+	if m.Mode != NameBased {
+		catBags = make(map[string]map[string]*text.Bag)
+		offBags = make(map[offer.SchemaKey]map[string]*text.Bag)
+		corpora = make(map[string]*distsim.Corpus)
+		for _, categoryID := range offers.Categories() {
+			bags := make(map[string]*text.Bag)
+			corpus := distsim.NewCorpus()
+			for _, p := range store.ProductsInCategory(categoryID) {
+				for _, av := range p.Spec {
+					b := bags[av.Name]
+					if b == nil {
+						b = text.NewBag()
+						bags[av.Name] = b
+					}
+					b.AddValue(av.Value)
+					corpus.AddDocument(av.Value)
+				}
+			}
+			catBags[categoryID] = bags
+			corpora[categoryID] = corpus
+		}
+		for _, o := range offers.All() {
+			key := offer.SchemaKey{Merchant: o.Merchant, CategoryID: o.CategoryID}
+			bags := offBags[key]
+			if bags == nil {
+				bags = make(map[string]*text.Bag)
+				offBags[key] = bags
+			}
+			for _, av := range o.Spec {
+				b := bags[av.Name]
+				if b == nil {
+					b = text.NewBag()
+					bags[av.Name] = b
+				}
+				b.AddValue(av.Value)
+				if c := corpora[o.CategoryID]; c != nil {
+					c.AddDocument(av.Value)
+				}
+			}
+		}
+	}
+
+	// Vector cache: bag pointer -> normalized TF-IDF vector.
+	vecCache := make(map[*text.Bag]distsim.Vector)
+	vector := func(corpus *distsim.Corpus, b *text.Bag) distsim.Vector {
+		if b == nil {
+			return nil
+		}
+		if v, ok := vecCache[b]; ok {
+			return v
+		}
+		// Rebuild the raw text from the bag counts; TF weights preserved.
+		v := make(distsim.Vector)
+		var norm float64
+		for _, tok := range b.SortedTokens() {
+			w := float64(b.Count(tok)) * corpus.IDF(tok)
+			v[tok] = w
+			norm += w * w
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for t := range v {
+				v[t] /= norm
+			}
+		}
+		vecCache[b] = v
+		return v
+	}
+
+	out := make([]correspond.Scored, len(universe))
+	for i, c := range universe {
+		var nameScore, instScore float64
+		if m.Mode != InstanceBased {
+			a := text.NormalizeName(c.CatalogAttr)
+			b := text.NormalizeName(c.MerchantAttr)
+			nameScore = (distsim.EditSimilarity(a, b) + distsim.TrigramSimilarity(a, b)) / 2
+		}
+		if m.Mode != NameBased {
+			corpus := corpora[c.Key.CategoryID]
+			pv := vector(corpus, catBags[c.Key.CategoryID][c.CatalogAttr])
+			ov := vector(corpus, offBags[c.Key][c.MerchantAttr])
+			if pv != nil && ov != nil {
+				instScore = distsim.Cosine(pv, ov)
+			}
+		}
+		var score float64
+		switch m.Mode {
+		case NameBased:
+			score = nameScore
+		case InstanceBased:
+			score = instScore
+		default:
+			score = (nameScore + instScore) / 2
+		}
+		out[i] = correspond.Scored{Candidate: c, Score: score}
+	}
+
+	if !math.IsInf(m.Delta, 1) {
+		delta := m.Delta
+		if delta == 0 {
+			delta = 0.01
+		}
+		ApplyDelta(out, delta)
+	}
+	baseline.SortScored(out)
+	return out
+}
+
+// ApplyDelta zeroes candidates scoring below (best - delta) among the
+// candidates sharing the same (merchant, category, merchant attribute) —
+// COMA++'s per-element candidate selection (Appendix D).
+func ApplyDelta(scored []correspond.Scored, delta float64) {
+	best := make(map[string]float64)
+	keyOf := func(sc correspond.Scored) string {
+		return sc.Key.String() + "\x00" + sc.MerchantAttr
+	}
+	for _, sc := range scored {
+		k := keyOf(sc)
+		if sc.Score > best[k] {
+			best[k] = sc.Score
+		}
+	}
+	for i := range scored {
+		if scored[i].Score < best[keyOf(scored[i])]-delta {
+			scored[i].Score = 0
+		}
+	}
+}
+
+var _ baseline.Matcher = Matcher{}

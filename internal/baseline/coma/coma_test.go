@@ -1,0 +1,156 @@
+package coma
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+)
+
+func fixture(t *testing.T) (*catalog.Store, *offer.Set) {
+	t.Helper()
+	st := catalog.NewStore()
+	err := st.AddCategory(catalog.Category{
+		ID: "hd",
+		Schema: catalog.Schema{Attributes: []catalog.Attribute{
+			{Name: "Speed"}, {Name: "Interface"}, {Name: "Memory Technology"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := []string{"5400", "7200", "10000"}
+	ifaces := []string{"SATA", "IDE", "SCSI"}
+	for i := 0; i < 12; i++ {
+		err := st.AddProduct(catalog.Product{ID: fmt.Sprintf("p%d", i), CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "Speed", Value: speeds[i%3]},
+			{Name: "Interface", Value: ifaces[i%3]},
+			{Name: "Memory Technology", Value: "DDR2"},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var offs []offer.Offer
+	for i := 0; i < 8; i++ {
+		offs = append(offs, offer.Offer{ID: fmt.Sprintf("o%d", i), Merchant: "shop", CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "Interface Type", Value: ifaces[i%3]},
+			{Name: "RPM", Value: speeds[i%3]},
+			{Name: "Graphic Technology", Value: "GDDR3"},
+		}})
+	}
+	return st, offer.NewSet(offs)
+}
+
+func get(t *testing.T, scored []correspond.Scored, ap, ao string) float64 {
+	t.Helper()
+	for _, sc := range scored {
+		if sc.CatalogAttr == ap && sc.MerchantAttr == ao {
+			return sc.Score
+		}
+	}
+	t.Fatalf("candidate <%s,%s> missing", ap, ao)
+	return 0
+}
+
+func TestNameBasedMatcher(t *testing.T) {
+	st, offers := fixture(t)
+	scored := Matcher{Mode: NameBased, Delta: math.Inf(1)}.Score(st, offers, match.NewMatchSet(nil))
+	// "Interface" vs "Interface Type": high name similarity.
+	good := get(t, scored, "Interface", "Interface Type")
+	if good < 0.5 {
+		t.Errorf("Interface/Interface Type = %.3f, want high", good)
+	}
+	// The §5.2 false-positive: "Memory Technology" vs "Graphic Technology"
+	// scores well on names despite being a wrong match.
+	trap := get(t, scored, "Memory Technology", "Graphic Technology")
+	if trap < 0.4 {
+		t.Errorf("name trap = %.3f, expected mid-high (this is COMA's weakness)", trap)
+	}
+	// Name matcher is blind to value-aligned but renamed attributes.
+	renamed := get(t, scored, "Speed", "RPM")
+	if renamed > good {
+		t.Errorf("Speed/RPM name score %.3f should not beat Interface/Interface Type %.3f", renamed, good)
+	}
+}
+
+func TestInstanceBasedMatcher(t *testing.T) {
+	st, offers := fixture(t)
+	scored := Matcher{Mode: InstanceBased, Delta: math.Inf(1)}.Score(st, offers, match.NewMatchSet(nil))
+	// Value overlap finds Speed/RPM and Interface/Interface Type.
+	if get(t, scored, "Speed", "RPM") < 0.5 {
+		t.Errorf("Speed/RPM instance = %.3f", get(t, scored, "Speed", "RPM"))
+	}
+	if get(t, scored, "Interface", "Interface Type") < 0.5 {
+		t.Errorf("Interface/Interface Type instance = %.3f", get(t, scored, "Interface", "Interface Type"))
+	}
+	// Disjoint values: DDR2 vs GDDR3 tokens differ.
+	if got := get(t, scored, "Memory Technology", "Graphic Technology"); got > 0.3 {
+		t.Errorf("instance trap = %.3f, want low", got)
+	}
+}
+
+func TestCombinedMatcher(t *testing.T) {
+	st, offers := fixture(t)
+	name := Matcher{Mode: NameBased, Delta: math.Inf(1)}.Score(st, offers, match.NewMatchSet(nil))
+	inst := Matcher{Mode: InstanceBased, Delta: math.Inf(1)}.Score(st, offers, match.NewMatchSet(nil))
+	comb := Matcher{Mode: Combined, Delta: math.Inf(1)}.Score(st, offers, match.NewMatchSet(nil))
+	// Combined = average of the two for every candidate.
+	n := get(t, name, "Speed", "RPM")
+	i := get(t, inst, "Speed", "RPM")
+	c := get(t, comb, "Speed", "RPM")
+	if math.Abs(c-(n+i)/2) > 1e-9 {
+		t.Errorf("combined %.4f != avg(%.4f, %.4f)", c, n, i)
+	}
+}
+
+func TestApplyDelta(t *testing.T) {
+	key := offer.SchemaKey{Merchant: "m", CategoryID: "c"}
+	mk := func(ap string, score float64) correspond.Scored {
+		return correspond.Scored{
+			Candidate: correspond.Candidate{Key: key, CatalogAttr: ap, MerchantAttr: "x"},
+			Score:     score,
+		}
+	}
+	s := []correspond.Scored{mk("A", 0.9), mk("B", 0.895), mk("C", 0.5)}
+	ApplyDelta(s, 0.01)
+	if s[0].Score != 0.9 || s[1].Score != 0.895 {
+		t.Errorf("within-delta candidates pruned: %+v", s)
+	}
+	if s[2].Score != 0 {
+		t.Errorf("below-delta candidate kept: %+v", s[2])
+	}
+}
+
+func TestDeltaDefaultTightensSelection(t *testing.T) {
+	st, offers := fixture(t)
+	pruned := Matcher{Mode: Combined}.Score(st, offers, match.NewMatchSet(nil)) // delta = 0.01
+	open := Matcher{Mode: Combined, Delta: math.Inf(1)}.Score(st, offers, match.NewMatchSet(nil))
+	nPos := func(s []correspond.Scored) int {
+		n := 0
+		for _, sc := range s {
+			if sc.Score > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if nPos(pruned) >= nPos(open) {
+		t.Errorf("delta=0.01 positives %d should be < delta=inf positives %d", nPos(pruned), nPos(open))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if NameBased.String() != "Name-based COMA++" ||
+		InstanceBased.String() != "Instance-based COMA++" ||
+		Combined.String() != "Combined COMA++" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(99).String() != "COMA++" {
+		t.Error("unknown mode string")
+	}
+}

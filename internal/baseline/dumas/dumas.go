@@ -1,0 +1,172 @@
+// Package dumas reimplements the DUMAS schema matcher (Bilke & Naumann,
+// ICDE 2005) as described in the paper's Appendix C. DUMAS leverages
+// duplicate records — here, historical offer-to-product matches — to
+// discover attribute correspondences:
+//
+//  1. For every matched (product p, offer o) pair of merchant M in category
+//     C, build an m×n similarity matrix S_k where S_k[i][j] is the SoftTFIDF
+//     similarity of merchant field value b_i and catalog field value a_j.
+//  2. Average the matrices per (merchant, category): S_M = (1/T) Σ S_k.
+//  3. Solve the maximum-weight bipartite matching over S_M; every matched
+//     pair becomes a candidate correspondence scored by its cell value.
+//
+// Unmatched candidate pairs receive score 0, so coverage sweeps still see
+// the full candidate universe.
+package dumas
+
+import (
+	"prodsynth/internal/assign"
+	"prodsynth/internal/baseline"
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/distsim"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+)
+
+// Matcher is the DUMAS baseline. The zero value uses SoftTFIDF θ = 0.9.
+type Matcher struct {
+	// Theta is the SoftTFIDF secondary-similarity threshold.
+	Theta float64
+}
+
+// Name implements baseline.Matcher.
+func (Matcher) Name() string { return "DUMAS" }
+
+// Score implements baseline.Matcher.
+func (m Matcher) Score(store *catalog.Store, offers *offer.Set, matches *match.MatchSet) []correspond.Scored {
+	theta := m.Theta
+	if theta == 0 {
+		theta = 0.9
+	}
+
+	// Build one TF-IDF corpus per category over all field values, shared
+	// by product and offer vectors.
+	corpora := make(map[string]*distsim.Corpus)
+	corpus := func(categoryID string) *distsim.Corpus {
+		c := corpora[categoryID]
+		if c == nil {
+			c = distsim.NewCorpus()
+			for _, p := range store.ProductsInCategory(categoryID) {
+				for _, av := range p.Spec {
+					c.AddDocument(av.Value)
+				}
+			}
+			for _, o := range offers.ByCategory(categoryID) {
+				for _, av := range o.Spec {
+					c.AddDocument(av.Value)
+				}
+			}
+			corpora[categoryID] = c
+		}
+		return c
+	}
+
+	// Accumulate the averaged similarity matrix per (merchant, category).
+	// Attribute universes per key are fixed and sorted for determinism.
+	type acc struct {
+		merchantAttrs []string
+		catalogAttrs  []string
+		mIdx, cIdx    map[string]int
+		sum           [][]float64
+		count         int
+	}
+	accs := make(map[offer.SchemaKey]*acc)
+
+	for _, key := range offers.SchemaKeys() {
+		cat, ok := store.Category(key.CategoryID)
+		if !ok {
+			continue
+		}
+		mAttrs := offers.MerchantAttributes(key)
+		if len(mAttrs) == 0 {
+			continue
+		}
+		cAttrs := cat.Schema.Names()
+		a := &acc{
+			merchantAttrs: mAttrs,
+			catalogAttrs:  cAttrs,
+			mIdx:          make(map[string]int, len(mAttrs)),
+			cIdx:          make(map[string]int, len(cAttrs)),
+			sum:           make([][]float64, len(mAttrs)),
+		}
+		for i, n := range mAttrs {
+			a.mIdx[n] = i
+			a.sum[i] = make([]float64, len(cAttrs))
+		}
+		for j, n := range cAttrs {
+			a.cIdx[n] = j
+		}
+		accs[key] = a
+	}
+
+	for _, o := range offers.All() {
+		mt, ok := matches.ProductFor(o.ID)
+		if !ok {
+			continue
+		}
+		p, ok := store.Product(mt.ProductID)
+		if !ok {
+			continue
+		}
+		key := offer.SchemaKey{Merchant: o.Merchant, CategoryID: o.CategoryID}
+		a := accs[key]
+		if a == nil {
+			continue
+		}
+		soft := distsim.SoftTFIDF{Corpus: corpus(o.CategoryID), Theta: theta}
+		for _, bv := range o.Spec {
+			i, ok := a.mIdx[bv.Name]
+			if !ok {
+				continue
+			}
+			for _, av := range p.Spec {
+				j, ok := a.cIdx[av.Name]
+				if !ok {
+					continue
+				}
+				a.sum[i][j] += soft.Similarity(bv.Value, av.Value)
+			}
+		}
+		a.count++
+	}
+
+	// Bipartite matching per (merchant, category); matched cells carry
+	// their averaged similarity as the score.
+	scores := make(map[correspond.Candidate]float64)
+	for key, a := range accs {
+		if a.count == 0 {
+			continue
+		}
+		w := make([][]float64, len(a.merchantAttrs))
+		for i := range w {
+			w[i] = make([]float64, len(a.catalogAttrs))
+			for j := range w[i] {
+				w[i][j] = a.sum[i][j] / float64(a.count)
+			}
+		}
+		assignment, err := assign.MaxWeight(w)
+		if err != nil {
+			continue // cannot happen: weights are finite by construction
+		}
+		for i, j := range assignment {
+			if j < 0 || w[i][j] <= 0 {
+				continue
+			}
+			c := correspond.Candidate{
+				Key:          key,
+				CatalogAttr:  a.catalogAttrs[j],
+				MerchantAttr: a.merchantAttrs[i],
+			}
+			scores[c] = w[i][j]
+		}
+	}
+
+	universe := baseline.Candidates(store, offers)
+	out := make([]correspond.Scored, len(universe))
+	for i, c := range universe {
+		out[i] = correspond.Scored{Candidate: c, Score: scores[c]}
+	}
+	baseline.SortScored(out)
+	return out
+}

@@ -1,0 +1,121 @@
+package dumas
+
+import (
+	"fmt"
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+)
+
+// fixture builds matched product-offer duplicates where the merchant
+// renames Speed->RPM and Interface->Conn but values are near-identical —
+// the redundancy DUMAS exploits.
+func fixture(t *testing.T) (*catalog.Store, *offer.Set, *match.MatchSet) {
+	t.Helper()
+	st := catalog.NewStore()
+	err := st.AddCategory(catalog.Category{
+		ID: "hd",
+		Schema: catalog.Schema{Attributes: []catalog.Attribute{
+			{Name: "Brand"}, {Name: "Speed"}, {Name: "Interface"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brands := []string{"Seagate", "Hitachi", "Western Digital", "Samsung"}
+	speeds := []string{"5400", "7200", "10000", "15000"}
+	ifaces := []string{"SATA 300", "IDE 133", "SCSI", "ATA 100"}
+	var offs []offer.Offer
+	var ms []match.Match
+	for i := 0; i < 12; i++ {
+		pid := fmt.Sprintf("p%d", i)
+		err := st.AddProduct(catalog.Product{ID: pid, CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "Brand", Value: brands[i%4]},
+			{Name: "Speed", Value: speeds[i%4]},
+			{Name: "Interface", Value: ifaces[(i+1)%4]},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oid := fmt.Sprintf("o%d", i)
+		offs = append(offs, offer.Offer{ID: oid, Merchant: "shop", CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "Make", Value: brands[i%4]},
+			{Name: "RPM", Value: speeds[i%4]},
+			{Name: "Conn", Value: ifaces[(i+1)%4]},
+		}})
+		ms = append(ms, match.Match{OfferID: oid, ProductID: pid})
+	}
+	return st, offer.NewSet(offs), match.NewMatchSet(ms)
+}
+
+func TestDumasFindsRenamedCorrespondences(t *testing.T) {
+	st, offers, matches := fixture(t)
+	scored := Matcher{}.Score(st, offers, matches)
+
+	want := map[string]string{"RPM": "Speed", "Conn": "Interface", "Make": "Brand"}
+	top := make(map[string]correspond.Scored)
+	for _, sc := range scored {
+		cur, ok := top[sc.MerchantAttr]
+		if !ok || sc.Score > cur.Score {
+			top[sc.MerchantAttr] = sc
+		}
+	}
+	for mAttr, catAttr := range want {
+		got := top[mAttr]
+		if got.CatalogAttr != catAttr || got.Score <= 0 {
+			t.Errorf("top for %q = %+v, want %q", mAttr, got, catAttr)
+		}
+	}
+}
+
+func TestDumasOneToOneViaMatching(t *testing.T) {
+	st, offers, matches := fixture(t)
+	scored := Matcher{}.Score(st, offers, matches)
+	// The bipartite matching gives at most one positive score per
+	// merchant attribute and per catalog attribute within a key.
+	posByMerchant := make(map[string]int)
+	posByCatalog := make(map[string]int)
+	for _, sc := range scored {
+		if sc.Score > 0 {
+			posByMerchant[sc.MerchantAttr]++
+			posByCatalog[sc.CatalogAttr]++
+		}
+	}
+	for a, n := range posByMerchant {
+		if n > 1 {
+			t.Errorf("merchant attr %q has %d positive matches", a, n)
+		}
+	}
+	for a, n := range posByCatalog {
+		if n > 1 {
+			t.Errorf("catalog attr %q has %d positive matches", a, n)
+		}
+	}
+}
+
+func TestDumasNoMatchesNoSignal(t *testing.T) {
+	st, offers, _ := fixture(t)
+	scored := Matcher{}.Score(st, offers, match.NewMatchSet(nil))
+	for _, sc := range scored {
+		if sc.Score != 0 {
+			t.Fatalf("score without matches = %+v", sc)
+		}
+	}
+}
+
+func TestDumasCoversUniverse(t *testing.T) {
+	st, offers, matches := fixture(t)
+	scored := Matcher{}.Score(st, offers, matches)
+	// 3 catalog x 3 merchant attrs = 9 candidates.
+	if len(scored) != 9 {
+		t.Errorf("scored = %d, want 9", len(scored))
+	}
+	for i := 1; i < len(scored); i++ {
+		if scored[i].Score > scored[i-1].Score {
+			t.Fatal("not sorted")
+		}
+	}
+}

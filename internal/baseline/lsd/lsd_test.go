@@ -1,0 +1,101 @@
+package lsd
+
+import (
+	"fmt"
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+)
+
+func fixture(t *testing.T) (*catalog.Store, *offer.Set) {
+	t.Helper()
+	st := catalog.NewStore()
+	err := st.AddCategory(catalog.Category{
+		ID: "hd",
+		Schema: catalog.Schema{Attributes: []catalog.Attribute{
+			{Name: "Speed"}, {Name: "Interface"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := []string{"5400", "7200", "10000"}
+	ifaces := []string{"SATA", "IDE", "SCSI"}
+	for i := 0; i < 15; i++ {
+		err := st.AddProduct(catalog.Product{ID: fmt.Sprintf("p%d", i), CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "Speed", Value: speeds[i%3]},
+			{Name: "Interface", Value: ifaces[i%3]},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var offs []offer.Offer
+	for i := 0; i < 10; i++ {
+		offs = append(offs, offer.Offer{ID: fmt.Sprintf("o%d", i), Merchant: "shop", CategoryID: "hd", Spec: catalog.Spec{
+			{Name: "RPM", Value: speeds[i%3]},
+			{Name: "Conn", Value: ifaces[i%3]},
+		}})
+	}
+	return st, offer.NewSet(offs)
+}
+
+func TestLSDScoresValueAlignedAttributes(t *testing.T) {
+	st, offers := fixture(t)
+	scored := Matcher{}.Score(st, offers, match.NewMatchSet(nil))
+
+	get := func(ap, ao string) float64 {
+		for _, sc := range scored {
+			if sc.CatalogAttr == ap && sc.MerchantAttr == ao {
+				return sc.Score
+			}
+		}
+		t.Fatalf("candidate <%s,%s> missing", ap, ao)
+		return 0
+	}
+	if get("Speed", "RPM") <= get("Interface", "RPM") {
+		t.Errorf("Speed/RPM %.3f should beat Interface/RPM %.3f",
+			get("Speed", "RPM"), get("Interface", "RPM"))
+	}
+	if get("Interface", "Conn") <= get("Speed", "Conn") {
+		t.Errorf("Interface/Conn %.3f should beat Speed/Conn %.3f",
+			get("Interface", "Conn"), get("Speed", "Conn"))
+	}
+}
+
+func TestLSDArgmaxZeroing(t *testing.T) {
+	st, offers := fixture(t)
+	scored := Matcher{}.Score(st, offers, match.NewMatchSet(nil))
+	// Per merchant attribute, only the argmax catalog attribute keeps a
+	// positive score (Appendix C's hard selection).
+	positive := make(map[string]int)
+	for _, sc := range scored {
+		if sc.Score > 0 {
+			positive[sc.MerchantAttr]++
+		}
+	}
+	for attr, n := range positive {
+		if n != 1 {
+			t.Errorf("merchant attr %q has %d positive candidates, want 1", attr, n)
+		}
+	}
+}
+
+func TestLSDEmptyCatalogCategory(t *testing.T) {
+	st := catalog.NewStore()
+	if err := st.AddCategory(catalog.Category{ID: "empty",
+		Schema: catalog.Schema{Attributes: []catalog.Attribute{{Name: "A"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	offers := offer.NewSet([]offer.Offer{
+		{ID: "o1", Merchant: "m", CategoryID: "empty", Spec: catalog.Spec{{Name: "B", Value: "v"}}},
+	})
+	scored := Matcher{}.Score(st, offers, match.NewMatchSet(nil))
+	for _, sc := range scored {
+		if sc.Score != 0 {
+			t.Errorf("no-training-data score = %+v", sc)
+		}
+	}
+}

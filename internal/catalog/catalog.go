@@ -1,0 +1,335 @@
+// Package catalog models the Product Search Engine catalog of paper §2:
+// a product taxonomy whose categories each carry a schema (a set of
+// attribute names), and product instances p = (C, {<A1,v1>,...,<An,vn>})
+// whose attribute names belong to the schema of C.
+//
+// The Store is safe for concurrent readers and writers, and maintains the
+// indexes the synthesis pipeline needs: products by category, and products
+// by key attribute (UPC / Model Part Number) for offer matching and for
+// deciding which offers describe products missing from the catalog.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Well-known key attribute names (catalog-side vocabulary). The clustering
+// component (paper §4) extracts these to group offers into products.
+const (
+	AttrUPC = "UPC"
+	AttrMPN = "Model Part Number"
+)
+
+// AttributeKind describes the value domain of a schema attribute; the
+// synthetic generator uses it to draw realistic values, and value fusion
+// uses it to decide tokenization granularity.
+type AttributeKind int
+
+const (
+	// KindCategorical draws from a small closed vocabulary (e.g. Brand).
+	KindCategorical AttributeKind = iota
+	// KindNumeric is a number, possibly with a unit suffix (e.g. Capacity).
+	KindNumeric
+	// KindText is short free text of several tokens (e.g. Description).
+	KindText
+	// KindIdentifier is a near-unique code (e.g. UPC, MPN).
+	KindIdentifier
+)
+
+func (k AttributeKind) String() string {
+	switch k {
+	case KindCategorical:
+		return "categorical"
+	case KindNumeric:
+		return "numeric"
+	case KindText:
+		return "text"
+	case KindIdentifier:
+		return "identifier"
+	default:
+		return fmt.Sprintf("AttributeKind(%d)", int(k))
+	}
+}
+
+// Attribute is one column of a category schema.
+type Attribute struct {
+	Name string
+	Kind AttributeKind
+	// Unit is an optional unit suffix merchants may or may not attach
+	// ("GB", "rpm"). Empty for unitless attributes.
+	Unit string
+}
+
+// Schema is the ordered attribute list of one category.
+type Schema struct {
+	Attributes []Attribute
+}
+
+// Has reports whether the schema contains an attribute with the given name.
+func (s Schema) Has(name string) bool {
+	for _, a := range s.Attributes {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Attribute returns the attribute with the given name.
+func (s Schema) Attribute(name string) (Attribute, bool) {
+	for _, a := range s.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// Names returns the attribute names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Attributes))
+	for i, a := range s.Attributes {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Category is a node in the product taxonomy. Only leaf categories carry
+// products; TopLevel is the root ancestor used for Table 3 style rollups.
+type Category struct {
+	ID       string
+	Name     string
+	TopLevel string
+	Schema   Schema
+}
+
+// AttributeValue is one <A, v> pair of a product or offer specification.
+type AttributeValue struct {
+	Name  string
+	Value string
+}
+
+// Spec is an attribute-value specification. Order is not significant but is
+// preserved for deterministic output.
+type Spec []AttributeValue
+
+// Get returns the value for the named attribute.
+func (s Spec) Get(name string) (string, bool) {
+	for _, av := range s {
+		if av.Name == name {
+			return av.Value, true
+		}
+	}
+	return "", false
+}
+
+// Set replaces the value for name, or appends it if absent.
+func (s Spec) Set(name, value string) Spec {
+	for i, av := range s {
+		if av.Name == name {
+			s[i].Value = value
+			return s
+		}
+	}
+	return append(s, AttributeValue{Name: name, Value: value})
+}
+
+// Names returns the attribute names in spec order.
+func (s Spec) Names() []string {
+	out := make([]string, len(s))
+	for i, av := range s {
+		out[i] = av.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s Spec) Clone() Spec {
+	out := make(Spec, len(s))
+	copy(out, s)
+	return out
+}
+
+// Sorted returns a copy sorted by attribute name, for deterministic output.
+func (s Spec) Sorted() Spec {
+	out := s.Clone()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the spec as "A=v; B=w" for logs and error messages.
+func (s Spec) String() string {
+	parts := make([]string, len(s))
+	for i, av := range s {
+		parts[i] = av.Name + "=" + av.Value
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Product is a catalog product instance.
+type Product struct {
+	ID         string
+	CategoryID string
+	Spec       Spec
+}
+
+// Key returns the product's clustering key: UPC if present, else MPN.
+func (p *Product) Key() (string, bool) {
+	if v, ok := p.Spec.Get(AttrUPC); ok && v != "" {
+		return v, true
+	}
+	if v, ok := p.Spec.Get(AttrMPN); ok && v != "" {
+		return v, true
+	}
+	return "", false
+}
+
+// Errors returned by Store operations.
+var (
+	ErrUnknownCategory   = errors.New("catalog: unknown category")
+	ErrDuplicateCategory = errors.New("catalog: duplicate category")
+	ErrDuplicateProduct  = errors.New("catalog: duplicate product")
+	ErrSchemaViolation   = errors.New("catalog: attribute not in category schema")
+)
+
+// Store is the in-memory catalog: categories plus products, with indexes by
+// category and by key attribute. All methods are safe for concurrent use.
+type Store struct {
+	mu         sync.RWMutex
+	categories map[string]*Category
+	products   map[string]*Product
+	byCategory map[string][]string // category ID -> product IDs (insertion order)
+	byKey      map[string]string   // key value -> product ID
+}
+
+// NewStore returns an empty catalog store.
+func NewStore() *Store {
+	return &Store{
+		categories: make(map[string]*Category),
+		products:   make(map[string]*Product),
+		byCategory: make(map[string][]string),
+		byKey:      make(map[string]string),
+	}
+}
+
+// AddCategory registers a category. The category is copied; later mutation
+// of the argument does not affect the store.
+func (st *Store) AddCategory(c Category) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.categories[c.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateCategory, c.ID)
+	}
+	cp := c
+	cp.Schema.Attributes = append([]Attribute(nil), c.Schema.Attributes...)
+	st.categories[c.ID] = &cp
+	return nil
+}
+
+// Category returns the category with the given ID.
+func (st *Store) Category(id string) (Category, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	c, ok := st.categories[id]
+	if !ok {
+		return Category{}, false
+	}
+	return *c, true
+}
+
+// Categories returns all categories sorted by ID.
+func (st *Store) Categories() []Category {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]Category, 0, len(st.categories))
+	for _, c := range st.categories {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumCategories returns the number of categories.
+func (st *Store) NumCategories() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.categories)
+}
+
+// AddProduct inserts a product. The product's category must exist and every
+// spec attribute must belong to the category schema; this enforces the §2
+// invariant that product specs conform to their category.
+func (st *Store) AddProduct(p Product) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cat, ok := st.categories[p.CategoryID]
+	if !ok {
+		return fmt.Errorf("%w: %s (product %s)", ErrUnknownCategory, p.CategoryID, p.ID)
+	}
+	if _, dup := st.products[p.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateProduct, p.ID)
+	}
+	for _, av := range p.Spec {
+		if !cat.Schema.Has(av.Name) {
+			return fmt.Errorf("%w: %q not in schema of %s", ErrSchemaViolation, av.Name, p.CategoryID)
+		}
+	}
+	cp := p
+	cp.Spec = p.Spec.Clone()
+	st.products[p.ID] = &cp
+	st.byCategory[p.CategoryID] = append(st.byCategory[p.CategoryID], p.ID)
+	if key, ok := cp.Key(); ok {
+		st.byKey[key] = p.ID
+	}
+	return nil
+}
+
+// Product returns the product with the given ID.
+func (st *Store) Product(id string) (Product, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	p, ok := st.products[id]
+	if !ok {
+		return Product{}, false
+	}
+	cp := *p
+	cp.Spec = p.Spec.Clone()
+	return cp, true
+}
+
+// ProductByKey returns the product whose UPC or MPN equals key.
+func (st *Store) ProductByKey(key string) (Product, bool) {
+	st.mu.RLock()
+	id, ok := st.byKey[key]
+	st.mu.RUnlock()
+	if !ok {
+		return Product{}, false
+	}
+	return st.Product(id)
+}
+
+// ProductsInCategory returns the products of one category in insertion order.
+func (st *Store) ProductsInCategory(categoryID string) []Product {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ids := st.byCategory[categoryID]
+	out := make([]Product, 0, len(ids))
+	for _, id := range ids {
+		p := st.products[id]
+		cp := *p
+		cp.Spec = p.Spec.Clone()
+		out = append(out, cp)
+	}
+	return out
+}
+
+// NumProducts returns the number of products in the store.
+func (st *Store) NumProducts() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.products)
+}

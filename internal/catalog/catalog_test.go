@@ -1,0 +1,234 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func hardDriveCategory() Category {
+	return Category{
+		ID:       "computing/hard-drives",
+		Name:     "Hard Drives",
+		TopLevel: "Computing",
+		Schema: Schema{Attributes: []Attribute{
+			{Name: "Brand", Kind: KindCategorical},
+			{Name: "Capacity", Kind: KindNumeric, Unit: "GB"},
+			{Name: "Speed", Kind: KindNumeric, Unit: "rpm"},
+			{Name: "Interface", Kind: KindCategorical},
+			{Name: AttrMPN, Kind: KindIdentifier},
+			{Name: AttrUPC, Kind: KindIdentifier},
+		}},
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := hardDriveCategory().Schema
+	if !s.Has("Brand") || s.Has("Missing") {
+		t.Error("Has wrong")
+	}
+	a, ok := s.Attribute("Capacity")
+	if !ok || a.Unit != "GB" || a.Kind != KindNumeric {
+		t.Errorf("Attribute(Capacity) = %+v, %v", a, ok)
+	}
+	if len(s.Names()) != 6 || s.Names()[0] != "Brand" {
+		t.Errorf("Names = %v", s.Names())
+	}
+}
+
+func TestSpecOperations(t *testing.T) {
+	s := Spec{{Name: "Brand", Value: "Seagate"}}
+	s = s.Set("Capacity", "500")
+	s = s.Set("Brand", "Hitachi")
+	if v, _ := s.Get("Brand"); v != "Hitachi" {
+		t.Errorf("Get(Brand) = %q", v)
+	}
+	if v, _ := s.Get("Capacity"); v != "500" {
+		t.Errorf("Get(Capacity) = %q", v)
+	}
+	if _, ok := s.Get("Missing"); ok {
+		t.Error("Get(Missing) should be false")
+	}
+	if len(s) != 2 {
+		t.Errorf("len = %d", len(s))
+	}
+
+	c := s.Clone()
+	c.Set("Brand", "WD")
+	if v, _ := s.Get("Brand"); v != "Hitachi" {
+		t.Error("Clone did not isolate")
+	}
+
+	sorted := Spec{{Name: "Z", Value: "1"}, {Name: "A", Value: "2"}}.Sorted()
+	if sorted[0].Name != "A" {
+		t.Errorf("Sorted = %v", sorted)
+	}
+	if got := s.String(); got != "Brand=Hitachi; Capacity=500" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestProductKey(t *testing.T) {
+	p := Product{Spec: Spec{{Name: AttrMPN, Value: "HDT725"}}}
+	if k, ok := p.Key(); !ok || k != "HDT725" {
+		t.Errorf("Key = %q, %v", k, ok)
+	}
+	p2 := Product{Spec: Spec{{Name: AttrUPC, Value: "505174"}, {Name: AttrMPN, Value: "HDT725"}}}
+	if k, _ := p2.Key(); k != "505174" {
+		t.Errorf("UPC should win, got %q", k)
+	}
+	p3 := Product{Spec: Spec{{Name: "Brand", Value: "x"}}}
+	if _, ok := p3.Key(); ok {
+		t.Error("no key expected")
+	}
+}
+
+func TestStoreCategoryLifecycle(t *testing.T) {
+	st := NewStore()
+	cat := hardDriveCategory()
+	if err := st.AddCategory(cat); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddCategory(cat); !errors.Is(err, ErrDuplicateCategory) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	got, ok := st.Category(cat.ID)
+	if !ok || got.Name != "Hard Drives" {
+		t.Errorf("Category = %+v, %v", got, ok)
+	}
+	if st.NumCategories() != 1 {
+		t.Errorf("NumCategories = %d", st.NumCategories())
+	}
+	if len(st.Categories()) != 1 {
+		t.Errorf("Categories = %v", st.Categories())
+	}
+}
+
+func TestStoreCategoryIsolation(t *testing.T) {
+	st := NewStore()
+	cat := hardDriveCategory()
+	if err := st.AddCategory(cat); err != nil {
+		t.Fatal(err)
+	}
+	cat.Schema.Attributes[0].Name = "MUTATED"
+	got, _ := st.Category(cat.ID)
+	if got.Schema.Attributes[0].Name != "Brand" {
+		t.Error("store schema aliased caller slice")
+	}
+}
+
+func TestStoreProducts(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	p := Product{
+		ID:         "p1",
+		CategoryID: "computing/hard-drives",
+		Spec: Spec{
+			{Name: "Brand", Value: "Seagate"},
+			{Name: AttrMPN, Value: "ST3500"},
+		},
+	}
+	if err := st.AddProduct(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddProduct(p); !errors.Is(err, ErrDuplicateProduct) {
+		t.Errorf("duplicate product err = %v", err)
+	}
+	if err := st.AddProduct(Product{ID: "p2", CategoryID: "nope"}); !errors.Is(err, ErrUnknownCategory) {
+		t.Errorf("unknown category err = %v", err)
+	}
+	bad := Product{ID: "p3", CategoryID: "computing/hard-drives",
+		Spec: Spec{{Name: "NotInSchema", Value: "x"}}}
+	if err := st.AddProduct(bad); !errors.Is(err, ErrSchemaViolation) {
+		t.Errorf("schema violation err = %v", err)
+	}
+
+	got, ok := st.Product("p1")
+	if !ok {
+		t.Fatal("Product(p1) missing")
+	}
+	if v, _ := got.Spec.Get("Brand"); v != "Seagate" {
+		t.Errorf("Brand = %q", v)
+	}
+	byKey, ok := st.ProductByKey("ST3500")
+	if !ok || byKey.ID != "p1" {
+		t.Errorf("ProductByKey = %+v, %v", byKey, ok)
+	}
+	if _, ok := st.ProductByKey("nope"); ok {
+		t.Error("ProductByKey(nope) should miss")
+	}
+	inCat := st.ProductsInCategory("computing/hard-drives")
+	if len(inCat) != 1 || inCat[0].ID != "p1" {
+		t.Errorf("ProductsInCategory = %v", inCat)
+	}
+	if st.NumProducts() != 1 {
+		t.Errorf("NumProducts = %d", st.NumProducts())
+	}
+}
+
+func TestStoreProductIsolation(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{{Name: "Brand", Value: "Seagate"}}
+	if err := st.AddProduct(Product{ID: "p1", CategoryID: "computing/hard-drives", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	spec[0].Value = "MUTATED"
+	got, _ := st.Product("p1")
+	if v, _ := got.Spec.Get("Brand"); v != "Seagate" {
+		t.Error("store spec aliased caller slice")
+	}
+	// Mutating the returned product must not affect the store either.
+	got.Spec.Set("Brand", "ALSO MUTATED")
+	again, _ := st.Product("p1")
+	if v, _ := again.Spec.Get("Brand"); v != "Seagate" {
+		t.Error("returned spec aliased store")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("p-%d-%d", w, i)
+				err := st.AddProduct(Product{
+					ID:         id,
+					CategoryID: "computing/hard-drives",
+					Spec:       Spec{{Name: AttrMPN, Value: id}},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				st.ProductsInCategory("computing/hard-drives")
+				st.ProductByKey(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.NumProducts() != 800 {
+		t.Errorf("NumProducts = %d, want 800", st.NumProducts())
+	}
+}
+
+func TestAttributeKindString(t *testing.T) {
+	if KindNumeric.String() != "numeric" || KindCategorical.String() != "categorical" ||
+		KindText.String() != "text" || KindIdentifier.String() != "identifier" {
+		t.Error("kind strings wrong")
+	}
+	if AttributeKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,79 @@
+// Package categorize implements the title-based category classifier the
+// paper mentions in §2: "To determine the category for a given offer, we use
+// a simple classifier, which given the title of the offer, returns its
+// category C under the catalog taxonomy."
+//
+// The classifier is multinomial Naive Bayes over title tokens, trained from
+// catalog products (attribute values are representative of the vocabulary
+// merchants use in titles) and optionally from offers with known categories.
+package categorize
+
+import (
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/ml"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/text"
+)
+
+// Classifier assigns catalog categories to offer titles.
+type Classifier struct {
+	nb *ml.NaiveBayes
+}
+
+// New returns an untrained classifier.
+func New() *Classifier {
+	return &Classifier{nb: ml.NewNaiveBayes(1)}
+}
+
+// TrainFromCatalog adds every product's attribute values as a training
+// document for its category.
+func (c *Classifier) TrainFromCatalog(store *catalog.Store) {
+	for _, cat := range store.Categories() {
+		for _, p := range store.ProductsInCategory(cat.ID) {
+			var toks []string
+			for _, av := range p.Spec {
+				toks = append(toks, text.DefaultTokenizer.Tokenize(av.Value)...)
+			}
+			if len(toks) > 0 {
+				c.nb.Train(cat.ID, toks)
+			}
+		}
+	}
+}
+
+// TrainFromOffers adds offers that already carry a category (e.g. the
+// historical feed) as training documents.
+func (c *Classifier) TrainFromOffers(offers []offer.Offer) {
+	for _, o := range offers {
+		if o.CategoryID == "" {
+			continue
+		}
+		toks := text.DefaultTokenizer.Tokenize(o.Title)
+		if len(toks) > 0 {
+			c.nb.Train(o.CategoryID, toks)
+		}
+	}
+}
+
+// Classify returns the predicted category for a title and the posterior
+// confidence. An empty string means the classifier has no training data.
+func (c *Classifier) Classify(title string) (string, float64) {
+	return c.nb.Classify(text.DefaultTokenizer.Tokenize(title))
+}
+
+// Assign fills in CategoryID for every offer that lacks one, returning the
+// number of offers (re)assigned. Offers that already have a category are
+// left untouched — the pipeline trusts feed categories when present.
+func (c *Classifier) Assign(offers []offer.Offer) int {
+	n := 0
+	for i := range offers {
+		if offers[i].CategoryID != "" {
+			continue
+		}
+		if cat, _ := c.Classify(offers[i].Title); cat != "" {
+			offers[i].CategoryID = cat
+			n++
+		}
+	}
+	return n
+}

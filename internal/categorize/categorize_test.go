@@ -1,0 +1,92 @@
+package categorize
+
+import (
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/offer"
+)
+
+func trainedClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	st := catalog.NewStore()
+	mk := func(id string, attrs ...string) catalog.Category {
+		var as []catalog.Attribute
+		for _, a := range attrs {
+			as = append(as, catalog.Attribute{Name: a})
+		}
+		return catalog.Category{ID: id, Schema: catalog.Schema{Attributes: as}}
+	}
+	if err := st.AddCategory(mk("hd", "Brand", "Model", "Interface")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddCategory(mk("cam", "Brand", "Model", "Lens")); err != nil {
+		t.Fatal(err)
+	}
+	add := func(id, cat string, spec catalog.Spec) {
+		t.Helper()
+		if err := st.AddProduct(catalog.Product{ID: id, CategoryID: cat, Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("p1", "hd", catalog.Spec{{Name: "Brand", Value: "Seagate"}, {Name: "Model", Value: "Barracuda hard drive"}, {Name: "Interface", Value: "SATA"}})
+	add("p2", "hd", catalog.Spec{{Name: "Brand", Value: "Hitachi"}, {Name: "Model", Value: "Deskstar hard drive"}, {Name: "Interface", Value: "IDE"}})
+	add("p3", "cam", catalog.Spec{{Name: "Brand", Value: "Canon"}, {Name: "Model", Value: "EOS digital camera"}, {Name: "Lens", Value: "zoom lens"}})
+	add("p4", "cam", catalog.Spec{{Name: "Brand", Value: "Nikon"}, {Name: "Model", Value: "Coolpix digital camera"}, {Name: "Lens", Value: "wide lens"}})
+
+	c := New()
+	c.TrainFromCatalog(st)
+	return c
+}
+
+func TestClassifyFromCatalog(t *testing.T) {
+	c := trainedClassifier(t)
+	if cat, _ := c.Classify("Seagate Barracuda SATA hard drive"); cat != "hd" {
+		t.Errorf("classified as %q", cat)
+	}
+	if cat, _ := c.Classify("Canon EOS digital camera with zoom lens"); cat != "cam" {
+		t.Errorf("classified as %q", cat)
+	}
+}
+
+func TestTrainFromOffers(t *testing.T) {
+	c := New()
+	c.TrainFromOffers([]offer.Offer{
+		{CategoryID: "kitchen", Title: "stainless steel dishwasher energy star"},
+		{CategoryID: "kitchen", Title: "steel blender 500 watt"},
+		{CategoryID: "furnishing", Title: "queen bedspread cotton"},
+		{CategoryID: "", Title: "ignored, no category"},
+	})
+	if cat, _ := c.Classify("steel dishwasher"); cat != "kitchen" {
+		t.Errorf("classified as %q", cat)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	c := trainedClassifier(t)
+	offers := []offer.Offer{
+		{ID: "o1", Title: "Hitachi Deskstar IDE hard drive"},
+		{ID: "o2", Title: "Nikon Coolpix camera", CategoryID: "preset"},
+		{ID: "o3", Title: "Canon digital camera zoom"},
+	}
+	n := c.Assign(offers)
+	if n != 2 {
+		t.Errorf("assigned %d, want 2", n)
+	}
+	if offers[0].CategoryID != "hd" {
+		t.Errorf("o1 = %q", offers[0].CategoryID)
+	}
+	if offers[1].CategoryID != "preset" {
+		t.Errorf("o2 overwritten: %q", offers[1].CategoryID)
+	}
+	if offers[2].CategoryID != "cam" {
+		t.Errorf("o3 = %q", offers[2].CategoryID)
+	}
+}
+
+func TestClassifyUntrained(t *testing.T) {
+	c := New()
+	if cat, p := c.Classify("anything"); cat != "" || p != 0 {
+		t.Errorf("untrained = %q, %g", cat, p)
+	}
+}

@@ -1,0 +1,219 @@
+// Package cluster implements the Clustering component of the runtime
+// pipeline (§4): reconciled offers are grouped by key attribute — UPC if
+// present, else Model Part Number — so that each cluster corresponds to
+// exactly one product instance.
+//
+// Because Schema Reconciliation has already translated merchant names like
+// "MPN" and "Mfr. Part #" into the catalog's key attribute names, clustering
+// reduces to grouping by the key value.
+package cluster
+
+import (
+	"sort"
+	"strings"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/offer"
+)
+
+// Cluster is one group of offers believed to describe a single product.
+type Cluster struct {
+	// Key is the normalized key attribute value shared by the offers.
+	Key string
+	// KeyAttr is the catalog attribute the key came from (UPC or MPN).
+	KeyAttr string
+	// CategoryID is the catalog category of the offers.
+	CategoryID string
+	// Offers are the member offers (reconciled specs).
+	Offers []offer.Offer
+}
+
+// Options configures clustering.
+type Options struct {
+	// KeyAttrs are the catalog attributes used as clustering keys, in
+	// priority order. Defaults to [UPC, Model Part Number] per §4.
+	KeyAttrs []string
+	// WithinCategory restricts clusters to a single category. By default
+	// clusters form on key values alone and the cluster category is the
+	// majority vote of its members — this absorbs category-classifier
+	// errors on individual offers (the resilience §2 claims), since key
+	// values like UPCs identify the product regardless of category.
+	WithinCategory bool
+}
+
+// normalizeKey canonicalizes key values: trim, uppercase, drop spaces and
+// dashes so "HDT 725050-VLA360" and "hdt725050vla360" cluster together.
+func normalizeKey(v string) string {
+	var b strings.Builder
+	for _, r := range strings.ToUpper(strings.TrimSpace(v)) {
+		switch r {
+		case ' ', '-', '_', '.':
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Group clusters reconciled offers by key attributes. Offers sharing ANY
+// key value (same attribute) end up in the same cluster — a union-find over
+// keys, so that a product whose offers variously expose UPC, MPN, or both
+// still forms a single cluster. Offers without any key attribute are
+// returned in skipped. The cluster category is the majority vote of its
+// member offers (unless WithinCategory keys clusters by category too).
+func Group(offers []offer.Offer, opts Options) (clusters []Cluster, skipped []offer.Offer) {
+	keyAttrs := opts.KeyAttrs
+	if len(keyAttrs) == 0 {
+		keyAttrs = []string{catalog.AttrUPC, catalog.AttrMPN}
+	}
+
+	// Namespaced key: attr \x00 normalized value (plus the category when
+	// WithinCategory), so UPC and MPN values never collide.
+	uf := newUnionFind()
+	offerKeys := make([][]string, len(offers))
+	for i, o := range offers {
+		var keys []string
+		for _, ka := range keyAttrs {
+			if v, ok := o.Spec.Get(ka); ok {
+				if norm := normalizeKey(v); norm != "" {
+					k := ka + "\x00" + norm
+					if opts.WithinCategory {
+						k = o.CategoryID + "\x00" + k
+					}
+					keys = append(keys, k)
+				}
+			}
+		}
+		offerKeys[i] = keys
+		for j := 1; j < len(keys); j++ {
+			uf.union(keys[0], keys[j])
+		}
+	}
+
+	byRoot := make(map[string]*Cluster)
+	var order []string
+	for i, o := range offers {
+		if len(offerKeys[i]) == 0 {
+			skipped = append(skipped, o)
+			continue
+		}
+		root := uf.find(offerKeys[i][0])
+		cl := byRoot[root]
+		if cl == nil {
+			cl = &Cluster{}
+			byRoot[root] = cl
+			order = append(order, root)
+		}
+		cl.Offers = append(cl.Offers, o)
+	}
+
+	clusters = make([]Cluster, len(order))
+	for i, root := range order {
+		cl := byRoot[root]
+		cl.Key, cl.KeyAttr = clusterIdentity(cl.Offers, keyAttrs)
+		cl.CategoryID = majorityCategory(cl.Offers)
+		clusters[i] = *cl
+	}
+	return clusters, skipped
+}
+
+// majorityCategory returns the most common CategoryID among offers, ties
+// broken toward the lexicographically smallest for determinism.
+func majorityCategory(offers []offer.Offer) string {
+	counts := make(map[string]int)
+	for _, o := range offers {
+		counts[o.CategoryID]++
+	}
+	best, bestN := "", -1
+	for cat, n := range counts {
+		if n > bestN || (n == bestN && cat < best) {
+			best, bestN = cat, n
+		}
+	}
+	return best
+}
+
+// clusterIdentity picks the cluster's representative key: the
+// lexicographically smallest normalized value of the highest-priority key
+// attribute present in any member offer.
+func clusterIdentity(offers []offer.Offer, keyAttrs []string) (key, keyAttr string) {
+	for _, ka := range keyAttrs {
+		best := ""
+		for _, o := range offers {
+			if v, ok := o.Spec.Get(ka); ok {
+				if norm := normalizeKey(v); norm != "" && (best == "" || norm < best) {
+					best = norm
+				}
+			}
+		}
+		if best != "" {
+			return best, ka
+		}
+	}
+	return "", ""
+}
+
+// unionFind is a string-keyed disjoint-set with path compression.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[string]string)}
+}
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// Stats summarizes a clustering result.
+type Stats struct {
+	Clusters      int
+	Offers        int
+	Skipped       int
+	LargestSize   int
+	SingletonSize int // number of single-offer clusters
+}
+
+// Summarize computes statistics over a clustering result.
+func Summarize(clusters []Cluster, skipped []offer.Offer) Stats {
+	st := Stats{Clusters: len(clusters), Skipped: len(skipped)}
+	for _, c := range clusters {
+		st.Offers += len(c.Offers)
+		if len(c.Offers) > st.LargestSize {
+			st.LargestSize = len(c.Offers)
+		}
+		if len(c.Offers) == 1 {
+			st.SingletonSize++
+		}
+	}
+	return st
+}
+
+// SortBySize orders clusters by descending member count (stable; ties by
+// key) — convenient for reporting.
+func SortBySize(clusters []Cluster) {
+	sort.SliceStable(clusters, func(i, j int) bool {
+		if len(clusters[i].Offers) != len(clusters[j].Offers) {
+			return len(clusters[i].Offers) > len(clusters[j].Offers)
+		}
+		return clusters[i].Key < clusters[j].Key
+	})
+}

@@ -1,0 +1,287 @@
+// Package core orchestrates the end-to-end product synthesis pipeline of
+// Figure 4 in the paper:
+//
+//	Offline Learning:
+//	  historical offers → web-page attribute extraction → historical
+//	  offer-to-product matching → distributional feature computation →
+//	  automatic training-set construction → correspondence classifier →
+//	  attribute correspondences
+//
+//	Run-Time Offer Processing:
+//	  incoming offers → category classification (if missing) → web-page
+//	  attribute extraction → schema reconciliation → clustering by key
+//	  attribute → value fusion → new products
+//
+// The package wires the substrate packages together, parallelizes the
+// per-offer stages, and reports the statistics the paper's §5.1 quotes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/categorize"
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/extract"
+	"prodsynth/internal/fusion"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/reconcile"
+)
+
+// PageFetcher retrieves landing pages by URL. Production systems would
+// back this with a crawler cache; tests and experiments use MapFetcher.
+type PageFetcher interface {
+	Fetch(url string) (html string, err error)
+}
+
+// MapFetcher serves pages from an in-memory map.
+type MapFetcher map[string]string
+
+// ErrPageNotFound is returned by MapFetcher for unknown URLs.
+var ErrPageNotFound = errors.New("core: page not found")
+
+// Fetch implements PageFetcher.
+func (m MapFetcher) Fetch(url string) (string, error) {
+	page, ok := m[url]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrPageNotFound, url)
+	}
+	return page, nil
+}
+
+// Config controls the pipeline.
+type Config struct {
+	// Extraction configures the web-page attribute extractor.
+	Extraction extract.Options
+	// Matcher configures historical offer-to-product matching.
+	Matcher match.Matcher
+	// Features configures distributional feature computation.
+	Features correspond.FeatureOptions
+	// Train configures classifier training.
+	Train correspond.TrainOptions
+	// ScoreThreshold is the classifier probability above which a
+	// candidate becomes a correspondence (default 0.5).
+	ScoreThreshold float64
+	// ClusterKeys overrides the clustering key attributes (§4 default:
+	// UPC then Model Part Number).
+	ClusterKeys []string
+	// Fusion selects the value fusion strategy (default Centroid).
+	Fusion fusion.Strategy
+	// Workers is the per-offer parallelism (default 4).
+	Workers int
+	// KeepMatchedIncoming disables the runtime filter that excludes
+	// incoming offers matching existing catalog products (§1: synthesis
+	// targets offers that cannot be matched).
+	KeepMatchedIncoming bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Extraction == (extract.Options{}) {
+		c.Extraction = extract.DefaultOptions
+	}
+	if c.ScoreThreshold == 0 {
+		c.ScoreThreshold = 0.5
+	}
+	if c.Fusion == nil {
+		c.Fusion = fusion.Centroid{}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	c.Features.UseMatches = true
+	return c
+}
+
+// OfflineResult is the output of the offline learning phase.
+type OfflineResult struct {
+	// Offers are the historical offers with extracted specs attached.
+	Offers *offer.Set
+	// Matches are the historical offer-to-product matches.
+	Matches *match.MatchSet
+	// Features is the candidate feature table.
+	Features *correspond.FeatureTable
+	// Model is the trained correspondence classifier.
+	Model *correspond.Model
+	// Scored is every candidate with its classifier score (descending).
+	Scored []correspond.Scored
+	// Correspondences is the selected correspondence set used by
+	// schema reconciliation.
+	Correspondences *correspond.Set
+	// Classifier is the title→category classifier, reused at runtime.
+	Classifier *categorize.Classifier
+	// Stats are the §5.1-style statistics.
+	Stats OfflineStats
+}
+
+// OfflineStats mirrors the statistics reported in the paper's §5.1.
+type OfflineStats struct {
+	HistoricalOffers  int
+	MatchedOffers     int
+	Candidates        int
+	TrainingSize      int
+	TrainingPositives int
+	Correspondences   int
+}
+
+// RunOffline executes the offline learning phase.
+func RunOffline(store *catalog.Store, historical []offer.Offer, pages PageFetcher, cfg Config) (*OfflineResult, error) {
+	cfg = cfg.withDefaults()
+
+	classifier := categorize.New()
+	classifier.TrainFromCatalog(store)
+	withCat := make([]offer.Offer, len(historical))
+	copy(withCat, historical)
+	classifier.Assign(withCat)
+
+	enriched := extractSpecs(withCat, pages, cfg)
+	set := offer.NewSet(enriched)
+
+	matches := cfg.Matcher.Run(store, set)
+	if matches.Len() == 0 {
+		return nil, errors.New("core: no historical offer-to-product matches; offline learning has no signal")
+	}
+
+	ft := correspond.ComputeFeatures(store, set, matches, cfg.Features)
+	model, err := correspond.Train(ft, cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("core: offline training: %w", err)
+	}
+	scored := model.ScoreAll(ft)
+	selected := correspond.Select(scored, cfg.ScoreThreshold)
+
+	return &OfflineResult{
+		Offers:          set,
+		Matches:         matches,
+		Features:        ft,
+		Model:           model,
+		Scored:          scored,
+		Correspondences: selected,
+		Classifier:      classifier,
+		Stats: OfflineStats{
+			HistoricalOffers:  len(historical),
+			MatchedOffers:     matches.Len(),
+			Candidates:        ft.Len(),
+			TrainingSize:      model.TrainingSize,
+			TrainingPositives: model.TrainingPositives,
+			Correspondences:   selected.Len(),
+		},
+	}, nil
+}
+
+// OfflineFromCorrespondences wraps a previously learned correspondence set
+// (e.g. loaded via correspond.ReadSet) so the runtime pipeline can run
+// without repeating the offline phase. The classifier may be nil when every
+// incoming offer carries a category.
+func OfflineFromCorrespondences(set *correspond.Set, classifier *categorize.Classifier) *OfflineResult {
+	return &OfflineResult{
+		Correspondences: set,
+		Classifier:      classifier,
+		Stats:           OfflineStats{Correspondences: set.Len()},
+	}
+}
+
+// RuntimeResult is the output of the runtime offer processing pipeline.
+type RuntimeResult struct {
+	// Products are the synthesized product instances.
+	Products []fusion.Synthesized
+	// Reconcile counts pair translation outcomes.
+	Reconcile reconcile.Stats
+	// Clusters summarizes the clustering step.
+	Clusters cluster.Stats
+	// SkippedNoKey are reconciled offers with no key attribute.
+	SkippedNoKey []offer.Offer
+	// ExcludedMatched counts incoming offers dropped because they match
+	// an existing catalog product.
+	ExcludedMatched int
+}
+
+// RunRuntime executes the runtime pipeline over incoming offers using the
+// artifacts of an offline learning run.
+func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*RuntimeResult, error) {
+	cfg = cfg.withDefaults()
+	if offline == nil || offline.Correspondences == nil {
+		return nil, errors.New("core: offline result required")
+	}
+
+	withCat := make([]offer.Offer, len(incoming))
+	copy(withCat, incoming)
+	if offline.Classifier != nil {
+		offline.Classifier.Assign(withCat)
+	}
+
+	enriched := extractSpecs(withCat, pages, cfg)
+
+	res := &RuntimeResult{}
+	if !cfg.KeepMatchedIncoming {
+		// Offers matching existing products are associated with them
+		// rather than synthesized (§1); exclude them here.
+		set := offer.NewSet(enriched)
+		matches := cfg.Matcher.Run(store, set)
+		var kept []offer.Offer
+		for _, o := range enriched {
+			if _, ok := matches.ProductFor(o.ID); ok {
+				res.ExcludedMatched++
+				continue
+			}
+			kept = append(kept, o)
+		}
+		enriched = kept
+	}
+
+	reconciled, rstats := reconcile.Offers(enriched, offline.Correspondences)
+	res.Reconcile = rstats
+
+	clusters, skipped := cluster.Group(reconciled, cluster.Options{KeyAttrs: cfg.ClusterKeys})
+	res.SkippedNoKey = skipped
+	res.Clusters = cluster.Summarize(clusters, skipped)
+
+	res.Products = fusion.SynthesizeAll(clusters, cfg.Fusion)
+	return res, nil
+}
+
+// extractSpecs fetches each offer's landing page and merges extracted
+// attribute-value pairs into the offer spec (feed pairs win on name
+// conflict). Offers whose page cannot be fetched keep their feed spec —
+// the pipeline tolerates crawl gaps.
+func extractSpecs(offers []offer.Offer, pages PageFetcher, cfg Config) []offer.Offer {
+	out := make([]offer.Offer, len(offers))
+	var wg sync.WaitGroup
+	chunk := (len(offers) + cfg.Workers - 1) / cfg.Workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for start := 0; start < len(offers); start += chunk {
+		end := start + chunk
+		if end > len(offers) {
+			end = len(offers)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				o := offers[i].Clone()
+				if pages != nil {
+					if page, err := pages.Fetch(o.URL); err == nil {
+						extracted := extract.WithOptions(page, cfg.Extraction)
+						have := make(map[string]bool, len(o.Spec))
+						for _, av := range o.Spec {
+							have[av.Name] = true
+						}
+						for _, av := range extracted {
+							if !have[av.Name] {
+								o.Spec = append(o.Spec, av)
+							}
+						}
+					}
+				}
+				out[i] = o
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/synth"
+)
+
+func dataset(t *testing.T) *synth.Dataset {
+	t.Helper()
+	return synth.Generate(synth.Config{
+		Seed:                11,
+		CategoriesPerDomain: 2,
+		ProductsPerCategory: 25,
+		Merchants:           24,
+	})
+}
+
+func TestMapFetcher(t *testing.T) {
+	f := MapFetcher{"u": "page"}
+	if got, err := f.Fetch("u"); err != nil || got != "page" {
+		t.Errorf("Fetch = %q, %v", got, err)
+	}
+	if _, err := f.Fetch("missing"); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOfflinePhase(t *testing.T) {
+	ds := dataset(t)
+	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, MapFetcher(ds.Pages), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := off.Stats
+	if st.HistoricalOffers != len(ds.HistoricalOffers) {
+		t.Errorf("HistoricalOffers = %d", st.HistoricalOffers)
+	}
+	if st.MatchedOffers == 0 || st.MatchedOffers > st.HistoricalOffers {
+		t.Errorf("MatchedOffers = %d of %d", st.MatchedOffers, st.HistoricalOffers)
+	}
+	if st.Candidates == 0 || st.TrainingSize == 0 || st.TrainingPositives == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TrainingPositives >= st.TrainingSize {
+		t.Errorf("positives %d should be < training size %d", st.TrainingPositives, st.TrainingSize)
+	}
+	if st.Correspondences == 0 {
+		t.Error("no correspondences selected")
+	}
+
+	// Quality gate: selected non-identity correspondences should be
+	// mostly correct against ground truth.
+	correct, wrong := 0, 0
+	for _, sc := range off.Correspondences.All() {
+		if sc.NameIdentity() {
+			continue
+		}
+		if ds.Truth.IsCorrespondence(sc.Key, sc.CatalogAttr, sc.MerchantAttr) {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	if correct == 0 {
+		t.Fatal("no correct renamed correspondences found")
+	}
+	prec := float64(correct) / float64(correct+wrong)
+	if prec < 0.7 {
+		t.Errorf("non-identity correspondence precision = %.3f (%d/%d)", prec, correct, correct+wrong)
+	}
+}
+
+func TestOfflineNoMatchesError(t *testing.T) {
+	ds := dataset(t)
+	cfg := Config{Matcher: match.Matcher{DisableTitleMatching: true}}
+	// Strip the UPC pairs so identifier matching fails too.
+	stripped := make([]offer.Offer, len(ds.HistoricalOffers))
+	for i, o := range ds.HistoricalOffers {
+		c := o.Clone()
+		c.Spec = nil
+		stripped[i] = c
+	}
+	// Without pages there are no specs at all -> no matches.
+	_, err := RunOffline(ds.Catalog, stripped, nil, cfg)
+	if err == nil {
+		t.Fatal("expected error with no matches")
+	}
+}
+
+func TestEndToEndSynthesis(t *testing.T) {
+	ds := dataset(t)
+	fetcher := MapFetcher(ds.Pages)
+	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Products) == 0 {
+		t.Fatal("no products synthesized")
+	}
+	// Clusters should correspond ~1:1 to missing products (§4). A small
+	// amount of fragmentation is inherent to key-based clustering: when
+	// one merchant's offers expose only the MPN and another's only the
+	// UPC, no shared offer bridges the two keys.
+	seen := make(map[string]bool)
+	resolved, fragmented := 0, 0
+	for _, p := range run.Products {
+		pid := ds.Truth.ProductByKey[p.Key]
+		if pid == "" {
+			continue
+		}
+		resolved++
+		if seen[pid] {
+			fragmented++
+		}
+		seen[pid] = true
+		if !ds.Truth.Missing[pid] {
+			t.Errorf("synthesized product %s already in catalog", pid)
+		}
+	}
+	if fragmented > len(seen)/10 {
+		t.Errorf("fragmentation too high: %d duplicate clusters over %d products", fragmented, len(seen))
+	}
+	if resolved < len(run.Products)*9/10 {
+		t.Errorf("only %d/%d products resolve to universe keys", resolved, len(run.Products))
+	}
+	// Spot-check quality: most attribute pairs should match truth.
+	pairs, correctPairs := 0, 0
+	for _, p := range run.Products {
+		pid := ds.Truth.ProductByKey[p.Key]
+		if pid == "" {
+			continue
+		}
+		trueProd := ds.Universe[pid]
+		for _, av := range p.Spec {
+			pairs++
+			if tv, ok := trueProd.Spec.Get(av.Name); ok && tokensOverlap(av.Value, tv) {
+				correctPairs++
+			}
+		}
+	}
+	if pairs == 0 || float64(correctPairs)/float64(pairs) < 0.8 {
+		t.Errorf("attribute agreement = %d/%d", correctPairs, pairs)
+	}
+	if run.Reconcile.PairsDropped == 0 {
+		t.Error("expected noise pairs to be dropped by reconciliation")
+	}
+}
+
+func tokensOverlap(a, b string) bool {
+	am := make(map[string]bool)
+	for _, t := range tokenize(a) {
+		am[t] = true
+	}
+	for _, t := range tokenize(b) {
+		if am[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func tokenize(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			cur += string(r)
+		} else if cur != "" {
+			out = append(out, cur)
+			cur = ""
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestRuntimeExcludesMatchedIncoming(t *testing.T) {
+	ds := dataset(t)
+	fetcher := MapFetcher(ds.Pages)
+	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed historical offers (which match catalog products) through the
+	// runtime: they should be excluded.
+	run, err := RunRuntime(ds.Catalog, off, ds.HistoricalOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ExcludedMatched == 0 {
+		t.Error("no incoming offers excluded despite matching catalog products")
+	}
+	// With the filter disabled they flow through.
+	run2, err := RunRuntime(ds.Catalog, off, ds.HistoricalOffers, fetcher, Config{KeepMatchedIncoming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.ExcludedMatched != 0 {
+		t.Errorf("ExcludedMatched = %d with filter disabled", run2.ExcludedMatched)
+	}
+	if len(run2.Products) <= len(run.Products) {
+		t.Errorf("unfiltered run should synthesize more clusters: %d vs %d",
+			len(run2.Products), len(run.Products))
+	}
+}
+
+func TestRuntimeRequiresOffline(t *testing.T) {
+	ds := dataset(t)
+	if _, err := RunRuntime(ds.Catalog, nil, ds.IncomingOffers, nil, Config{}); err == nil {
+		t.Fatal("expected error without offline result")
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	ds := dataset(t)
+	fetcher := MapFetcher(ds.Pages)
+	run := func() ([]string, int) {
+		off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(rt.Products))
+		for i, p := range rt.Products {
+			keys[i] = p.CategoryID + "/" + p.Key
+		}
+		return keys, rt.Reconcile.PairsMapped
+	}
+	k1, m1 := run()
+	k2, m2 := run()
+	if m1 != m2 || len(k1) != len(k2) {
+		t.Fatalf("runs differ: %d/%d products, %d/%d mapped", len(k1), len(k2), m1, m2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("product order differs at %d: %s vs %s", i, k1[i], k2[i])
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package correspond
+
+import (
+	"sort"
+	"sync"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/distsim"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/text"
+)
+
+// FeatureTable holds the candidate tuples and their feature vectors.
+type FeatureTable struct {
+	candidates []Candidate
+	features   [][]float64
+	index      map[Candidate]int
+	names      []string
+}
+
+// Candidates returns the candidate tuples in deterministic order.
+func (ft *FeatureTable) Candidates() []Candidate { return ft.candidates }
+
+// Features returns the feature vector of candidate i (order: Names).
+func (ft *FeatureTable) Features(i int) []float64 { return ft.features[i] }
+
+// Len returns the number of candidates.
+func (ft *FeatureTable) Len() int { return len(ft.candidates) }
+
+// Names returns the feature names in vector order.
+func (ft *FeatureTable) Names() []string { return ft.names }
+
+// Lookup returns the index of a candidate.
+func (ft *FeatureTable) Lookup(c Candidate) (int, bool) {
+	i, ok := ft.index[c]
+	return i, ok
+}
+
+// Feature returns one named feature of candidate i.
+func (ft *FeatureTable) Feature(i int, name string) float64 {
+	for j, n := range ft.names {
+		if n == name {
+			return ft.features[i][j]
+		}
+	}
+	return 0
+}
+
+// DropFeature returns a copy of the table with the named feature zeroed —
+// the substrate for drop-one-feature ablations. The underlying candidate
+// slice is shared; feature vectors are copied.
+func (ft *FeatureTable) DropFeature(name string) *FeatureTable {
+	col := -1
+	for j, n := range ft.names {
+		if n == name {
+			col = j
+			break
+		}
+	}
+	out := &FeatureTable{candidates: ft.candidates, index: ft.index, names: ft.names}
+	out.features = make([][]float64, len(ft.features))
+	for i, v := range ft.features {
+		cp := make([]float64, len(v))
+		copy(cp, v)
+		if col >= 0 {
+			cp[col] = 0
+		}
+		out.features[i] = cp
+	}
+	return out
+}
+
+// NameFeature is the optional 7th feature: lexical similarity between the
+// attribute names themselves (the paper's §7 future work, "integrate other
+// matchers, notably name matchers"). See FeatureOptions.IncludeNameFeature
+// for why it is off by default.
+const NameFeature = "NameSim"
+
+// FeatureOptions configures feature computation.
+type FeatureOptions struct {
+	// UseMatches restricts value distributions to historical
+	// offer-to-product matches (the paper's approach). When false, the
+	// Figure 7 baseline is computed instead: distributions over ALL
+	// products of the category and ALL offers, ignoring match knowledge.
+	UseMatches bool
+	// IncludeNameFeature adds a lexical name-similarity feature (average
+	// of normalized edit similarity and trigram similarity). CAUTION:
+	// under the automatic training-set construction of §3.2 the positive
+	// examples are exactly the name-identity candidates, so this feature
+	// equals 1 on every positive — it is perfectly correlated with the
+	// auto-label and the classifier degenerates into a name matcher.
+	// Exposed for the ablation experiment that demonstrates this.
+	IncludeNameFeature bool
+	// Workers is the parallelism for feature computation (default 4).
+	Workers int
+}
+
+// attrBags accumulates one bag of words per attribute name.
+type attrBags map[string]*text.Bag
+
+func (ab attrBags) bag(name string) *text.Bag {
+	b := ab[name]
+	if b == nil {
+		b = text.NewBag()
+		ab[name] = b
+	}
+	return b
+}
+
+func (ab attrBags) addSpec(spec catalog.Spec) {
+	for _, av := range spec {
+		ab.bag(av.Name).AddValue(av.Value)
+	}
+}
+
+// groupBags holds offer-side and product-side bags for one group.
+type groupBags struct {
+	offers   attrBags
+	products attrBags
+	seenProd map[string]bool // product IDs already added (products are sets)
+}
+
+func newGroupBags() *groupBags {
+	return &groupBags{
+		offers:   make(attrBags),
+		products: make(attrBags),
+		seenProd: make(map[string]bool),
+	}
+}
+
+func (g *groupBags) addOffer(spec catalog.Spec) { g.offers.addSpec(spec) }
+
+func (g *groupBags) addProduct(p catalog.Product) {
+	if g.seenProd[p.ID] {
+		return
+	}
+	g.seenProd[p.ID] = true
+	g.products.addSpec(p.Spec)
+}
+
+// ComputeFeatures builds the candidate set and its feature vectors from
+// historical offers (with extracted specs), the catalog, and the historical
+// matches. Candidates pair every catalog schema attribute of category C
+// with every attribute observed in offers of merchant M in C (§3.1).
+func ComputeFeatures(store *catalog.Store, offers *offer.Set, matches *match.MatchSet, opts FeatureOptions) *FeatureTable {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+
+	// Pass 1: accumulate bags per grouping.
+	mcBags := make(map[offer.SchemaKey]*groupBags)
+	cBags := make(map[string]*groupBags)
+	mBags := make(map[string]*groupBags)
+
+	group := func(key offer.SchemaKey) (*groupBags, *groupBags, *groupBags) {
+		mc := mcBags[key]
+		if mc == nil {
+			mc = newGroupBags()
+			mcBags[key] = mc
+		}
+		c := cBags[key.CategoryID]
+		if c == nil {
+			c = newGroupBags()
+			cBags[key.CategoryID] = c
+		}
+		m := mBags[key.Merchant]
+		if m == nil {
+			m = newGroupBags()
+			mBags[key.Merchant] = m
+		}
+		return mc, c, m
+	}
+
+	for _, o := range offers.All() {
+		key := offer.SchemaKey{Merchant: o.Merchant, CategoryID: o.CategoryID}
+		if opts.UseMatches {
+			mt, ok := matches.ProductFor(o.ID)
+			if !ok {
+				continue // unmatched offers contribute nothing (§3.1)
+			}
+			p, ok := store.Product(mt.ProductID)
+			if !ok {
+				continue
+			}
+			mc, c, m := group(key)
+			mc.addOffer(o.Spec)
+			c.addOffer(o.Spec)
+			m.addOffer(o.Spec)
+			mc.addProduct(p)
+			c.addProduct(p)
+			m.addProduct(p)
+		} else {
+			mc, c, m := group(key)
+			mc.addOffer(o.Spec)
+			c.addOffer(o.Spec)
+			m.addOffer(o.Spec)
+		}
+	}
+	if !opts.UseMatches {
+		// Figure 7 baseline: product side = every product of the
+		// category, attributed to each group touching that category.
+		for cat, g := range cBags {
+			for _, p := range store.ProductsInCategory(cat) {
+				g.addProduct(p)
+			}
+		}
+		for key, g := range mcBags {
+			for _, p := range store.ProductsInCategory(key.CategoryID) {
+				g.addProduct(p)
+			}
+		}
+		// Merchant-level product bags span the merchant's categories.
+		for merchantName, g := range mBags {
+			seen := make(map[string]bool)
+			for _, o := range offers.ByMerchant(merchantName) {
+				if seen[o.CategoryID] {
+					continue
+				}
+				seen[o.CategoryID] = true
+				for _, p := range store.ProductsInCategory(o.CategoryID) {
+					g.addProduct(p)
+				}
+			}
+		}
+	}
+
+	// Pass 2: enumerate candidates in deterministic order.
+	names := append([]string(nil), FeatureNames...)
+	if opts.IncludeNameFeature {
+		names = append(names, NameFeature)
+	}
+	ft := &FeatureTable{index: make(map[Candidate]int), names: names}
+	keys := offers.SchemaKeys()
+	for _, key := range keys {
+		cat, ok := store.Category(key.CategoryID)
+		if !ok {
+			continue
+		}
+		merchantAttrs := offers.MerchantAttributes(key)
+		if len(merchantAttrs) == 0 {
+			continue
+		}
+		catalogAttrs := cat.Schema.Names()
+		sort.Strings(catalogAttrs)
+		for _, ap := range catalogAttrs {
+			for _, ao := range merchantAttrs {
+				c := Candidate{Key: key, CatalogAttr: ap, MerchantAttr: ao}
+				ft.index[c] = len(ft.candidates)
+				ft.candidates = append(ft.candidates, c)
+			}
+		}
+	}
+
+	// Pass 3: compute features, sharded across workers. Distributions are
+	// cached per (group, attribute) to avoid recomputation.
+	ft.features = make([][]float64, len(ft.candidates))
+	distCache := newDistributionCache()
+	var wg sync.WaitGroup
+	chunk := (len(ft.candidates) + opts.Workers - 1) / opts.Workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for start := 0; start < len(ft.candidates); start += chunk {
+		end := start + chunk
+		if end > len(ft.candidates) {
+			end = len(ft.candidates)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c := ft.candidates[i]
+				v := make([]float64, len(names))
+				mc := mcBags[c.Key]
+				cb := cBags[c.Key.CategoryID]
+				mb := mBags[c.Key.Merchant]
+				v[0] = jsFeature(distCache, mc, c)
+				v[1] = jsFeature(distCache, cb, c)
+				v[2] = jsFeature(distCache, mb, c)
+				v[3] = jaccardFeature(mc, c)
+				v[4] = jaccardFeature(cb, c)
+				v[5] = jaccardFeature(mb, c)
+				if opts.IncludeNameFeature {
+					a := text.NormalizeName(c.CatalogAttr)
+					b := text.NormalizeName(c.MerchantAttr)
+					v[6] = (distsim.EditSimilarity(a, b) + distsim.TrigramSimilarity(a, b)) / 2
+				}
+				ft.features[i] = v
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return ft
+}
+
+// distributionCache memoizes bag→distribution conversion; bags are frozen
+// by the time features are computed, so caching is safe. Keyed by bag
+// pointer identity.
+type distributionCache struct {
+	mu sync.Mutex
+	m  map[*text.Bag]text.Distribution
+}
+
+func newDistributionCache() *distributionCache {
+	return &distributionCache{m: make(map[*text.Bag]text.Distribution)}
+}
+
+func (dc *distributionCache) distribution(b *text.Bag) text.Distribution {
+	if b == nil {
+		return text.Distribution{}
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if d, ok := dc.m[b]; ok {
+		return d
+	}
+	d := b.Distribution()
+	dc.m[b] = d
+	return d
+}
+
+func jsFeature(dc *distributionCache, g *groupBags, c Candidate) float64 {
+	if g == nil {
+		return 0
+	}
+	p := dc.distribution(g.products[c.CatalogAttr])
+	o := dc.distribution(g.offers[c.MerchantAttr])
+	return distsim.JSSimilarity(p, o)
+}
+
+func jaccardFeature(g *groupBags, c Candidate) float64 {
+	if g == nil {
+		return 0
+	}
+	return g.products[c.CatalogAttr].Jaccard(g.offers[c.MerchantAttr])
+}

@@ -1,0 +1,97 @@
+package correspond
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"prodsynth/internal/offer"
+)
+
+func sampleSet() *Set {
+	key1 := offer.SchemaKey{Merchant: "hdshop", CategoryID: "computing/hard-drives"}
+	key2 := offer.SchemaKey{Merchant: "acme", CategoryID: "cameras/digital-cameras"}
+	s := NewSet()
+	s.Add(Scored{Candidate: Candidate{Key: key1, CatalogAttr: "Speed", MerchantAttr: "RPM"}, Score: 0.93})
+	s.Add(Scored{Candidate: Candidate{Key: key1, CatalogAttr: "Interface", MerchantAttr: "Int. Type"}, Score: 0.88})
+	s.Add(Scored{Candidate: Candidate{Key: key2, CatalogAttr: "Resolution", MerchantAttr: "Megapixels"}, Score: 0.97})
+	return s
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	s := sampleSet()
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), s.Len())
+	}
+	for _, sc := range s.All() {
+		ap, ok := got.Lookup(sc.Key, sc.MerchantAttr)
+		if !ok || ap != sc.CatalogAttr {
+			t.Errorf("lookup %v/%s = %q, %v", sc.Key, sc.MerchantAttr, ap, ok)
+		}
+	}
+}
+
+func TestWriteSetDeterministic(t *testing.T) {
+	s := sampleSet()
+	var a, b bytes.Buffer
+	if err := WriteSet(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSet(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("serialization not deterministic")
+	}
+	// Sorted: acme rows before hdshop rows.
+	lines := strings.Split(a.String(), "\n")
+	if !strings.HasPrefix(lines[1], "acme\t") {
+		t.Errorf("order wrong: %q", lines[1])
+	}
+}
+
+func TestReadSetErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "nope\n"},
+		{"short row", ioHeader + "\nm\tc\n"},
+		{"bad score", ioHeader + "\nm\tc\ta\tb\tNaNope\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadSet(strings.NewReader(c.in)); !errors.Is(err, ErrBadCorrespondenceFile) {
+			t.Errorf("%s: err = %v", c.name, err)
+		}
+	}
+}
+
+func TestReadSetSkipsBlankLines(t *testing.T) {
+	in := ioHeader + "\n\nm\tc\ta\tb\t0.5\n"
+	got, err := ReadSet(strings.NewReader(in))
+	if err != nil || got.Len() != 1 {
+		t.Errorf("got %v, err %v", got, err)
+	}
+}
+
+func TestWriteSetSanitizes(t *testing.T) {
+	s := NewSet()
+	s.Add(Scored{Candidate: Candidate{
+		Key:          offer.SchemaKey{Merchant: "m\tx", CategoryID: "c"},
+		MerchantAttr: "a\nb", CatalogAttr: "B",
+	}, Score: 0.5})
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSet(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("sanitized output unreadable: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+package correspond
+
+import (
+	"prodsynth/internal/ml"
+)
+
+// TrainingSet is the automatically labeled training data of §3.2.
+type TrainingSet struct {
+	Examples []ml.Example
+	// Indices maps each example back to its candidate index in the
+	// feature table (for diagnostics).
+	Indices []int
+	// Positives counts label-1 examples.
+	Positives int
+}
+
+// BuildTrainingSet constructs the training set from name-identity candidate
+// tuples, with no manual labeling (§3.2):
+//
+//   - every name-identity candidate <A, A, M, C> is a positive example;
+//   - every candidate <A, B, M, C> with A ≠ B for which the name identity
+//     <A, A, M, C> also exists is a negative example (a merchant uses
+//     exactly one name for a catalog attribute);
+//   - all other candidates are unlabeled and excluded.
+func BuildTrainingSet(ft *FeatureTable) *TrainingSet {
+	// First collect, per (key, catalog attribute), whether a name
+	// identity candidate exists.
+	hasIdentity := make(map[string]bool)
+	idKey := func(c Candidate) string {
+		return c.Key.Merchant + "\x00" + c.Key.CategoryID + "\x00" + c.CatalogAttr
+	}
+	for _, c := range ft.Candidates() {
+		if c.NameIdentity() {
+			hasIdentity[idKey(c)] = true
+		}
+	}
+
+	ts := &TrainingSet{}
+	for i, c := range ft.Candidates() {
+		switch {
+		case c.NameIdentity():
+			ts.Examples = append(ts.Examples, ml.Example{Features: ft.Features(i), Label: 1})
+			ts.Indices = append(ts.Indices, i)
+			ts.Positives++
+		case hasIdentity[idKey(c)]:
+			ts.Examples = append(ts.Examples, ml.Example{Features: ft.Features(i), Label: 0})
+			ts.Indices = append(ts.Indices, i)
+		}
+	}
+	return ts
+}

@@ -1,0 +1,372 @@
+// Package dataset persists a marketplace to disk and loads it back, so the
+// command-line tools can separate data generation (cmd/datagen) from
+// pipeline execution (cmd/synthesize). The on-disk layout is:
+//
+//	<dir>/catalog.json        categories + catalog products
+//	<dir>/historical.tsv      historical offer feed (offer.WriteFeed format)
+//	<dir>/incoming.tsv        incoming offer feed
+//	<dir>/pages.jsonl         one {"url":..., "html":...} per line
+//	<dir>/truth.json          generator ground truth (optional; evaluation)
+//
+// All files are plain text so datasets can be inspected, diffed, and
+// hand-edited.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/synth"
+)
+
+// File names within a dataset directory.
+const (
+	CatalogFile    = "catalog.json"
+	HistoricalFile = "historical.tsv"
+	IncomingFile   = "incoming.tsv"
+	PagesFile      = "pages.jsonl"
+	TruthFile      = "truth.json"
+)
+
+// jsonCatalog is the serialized catalog.
+type jsonCatalog struct {
+	Categories []jsonCategory `json:"categories"`
+	Products   []jsonProduct  `json:"products"`
+}
+
+type jsonCategory struct {
+	ID       string          `json:"id"`
+	Name     string          `json:"name"`
+	TopLevel string          `json:"top_level"`
+	Schema   []jsonAttribute `json:"schema"`
+}
+
+type jsonAttribute struct {
+	Name string `json:"name"`
+	Kind int    `json:"kind"`
+	Unit string `json:"unit,omitempty"`
+}
+
+type jsonProduct struct {
+	ID         string     `json:"id"`
+	CategoryID string     `json:"category_id"`
+	Spec       []jsonPair `json:"spec"`
+}
+
+type jsonPair struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+type jsonPage struct {
+	URL  string `json:"url"`
+	HTML string `json:"html"`
+}
+
+// jsonTruth is the serialized ground truth.
+type jsonTruth struct {
+	Correspondences []jsonCorrespondence  `json:"correspondences"`
+	OfferProduct    map[string]string     `json:"offer_product"`
+	Missing         []string              `json:"missing"`
+	PageAttrs       map[string][]string   `json:"page_attrs"`
+	ProductByKey    map[string]string     `json:"product_by_key"`
+	Universe        map[string][]jsonPair `json:"universe"`
+	UniverseCats    map[string]string     `json:"universe_categories"`
+}
+
+type jsonCorrespondence struct {
+	Merchant     string `json:"merchant"`
+	CategoryID   string `json:"category_id"`
+	MerchantAttr string `json:"merchant_attr"`
+	CatalogAttr  string `json:"catalog_attr"`
+}
+
+// Save writes the marketplace to dir, creating it if needed. When
+// includeTruth is false the ground truth is omitted (the shape a production
+// dataset would have).
+func Save(ds *synth.Dataset, dir string, includeTruth bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := saveCatalog(ds, filepath.Join(dir, CatalogFile)); err != nil {
+		return err
+	}
+	if err := saveFeed(ds.HistoricalOffers, filepath.Join(dir, HistoricalFile)); err != nil {
+		return err
+	}
+	if err := saveFeed(ds.IncomingOffers, filepath.Join(dir, IncomingFile)); err != nil {
+		return err
+	}
+	if err := savePages(ds.Pages, filepath.Join(dir, PagesFile)); err != nil {
+		return err
+	}
+	if includeTruth {
+		if err := saveTruth(ds, filepath.Join(dir, TruthFile)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveCatalog(ds *synth.Dataset, path string) error {
+	var jc jsonCatalog
+	for _, cat := range ds.Catalog.Categories() {
+		c := jsonCategory{ID: cat.ID, Name: cat.Name, TopLevel: cat.TopLevel}
+		for _, a := range cat.Schema.Attributes {
+			c.Schema = append(c.Schema, jsonAttribute{Name: a.Name, Kind: int(a.Kind), Unit: a.Unit})
+		}
+		jc.Categories = append(jc.Categories, c)
+		for _, p := range ds.Catalog.ProductsInCategory(cat.ID) {
+			jc.Products = append(jc.Products, jsonProduct{
+				ID: p.ID, CategoryID: p.CategoryID, Spec: toPairs(p.Spec),
+			})
+		}
+	}
+	return writeJSON(path, jc)
+}
+
+func toPairs(spec catalog.Spec) []jsonPair {
+	out := make([]jsonPair, len(spec))
+	for i, av := range spec {
+		out[i] = jsonPair{Name: av.Name, Value: av.Value}
+	}
+	return out
+}
+
+func fromPairs(pairs []jsonPair) catalog.Spec {
+	out := make(catalog.Spec, len(pairs))
+	for i, p := range pairs {
+		out[i] = catalog.AttributeValue{Name: p.Name, Value: p.Value}
+	}
+	return out
+}
+
+func saveFeed(offers []offer.Offer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := offer.WriteFeed(f, offers); err != nil {
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func savePages(pages map[string]string, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	urls := make([]string, 0, len(pages))
+	for url := range pages {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	for _, url := range urls {
+		if err := enc.Encode(jsonPage{URL: url, HTML: pages[url]}); err != nil {
+			return fmt.Errorf("dataset: writing pages: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func saveTruth(ds *synth.Dataset, path string) error {
+	jt := jsonTruth{
+		OfferProduct: ds.Truth.OfferProduct,
+		PageAttrs:    ds.Truth.PageAttrs,
+		ProductByKey: ds.Truth.ProductByKey,
+		Universe:     make(map[string][]jsonPair, len(ds.Universe)),
+		UniverseCats: make(map[string]string, len(ds.Universe)),
+	}
+	for key, corr := range ds.Truth.Correspondences {
+		for mAttr, cAttr := range corr {
+			jt.Correspondences = append(jt.Correspondences, jsonCorrespondence{
+				Merchant: key.Merchant, CategoryID: key.CategoryID,
+				MerchantAttr: mAttr, CatalogAttr: cAttr,
+			})
+		}
+	}
+	sort.Slice(jt.Correspondences, func(i, j int) bool {
+		a, b := jt.Correspondences[i], jt.Correspondences[j]
+		if a.Merchant != b.Merchant {
+			return a.Merchant < b.Merchant
+		}
+		if a.CategoryID != b.CategoryID {
+			return a.CategoryID < b.CategoryID
+		}
+		return a.MerchantAttr < b.MerchantAttr
+	})
+	for pid := range ds.Truth.Missing {
+		jt.Missing = append(jt.Missing, pid)
+	}
+	sort.Strings(jt.Missing)
+	for pid, p := range ds.Universe {
+		jt.Universe[pid] = toPairs(p.Spec)
+		jt.UniverseCats[pid] = p.CategoryID
+	}
+	return writeJSON(path, jt)
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("dataset: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a dataset directory back into memory. The ground truth is
+// loaded when present; ds.Truth is nil otherwise.
+func Load(dir string) (*synth.Dataset, error) {
+	ds := &synth.Dataset{
+		Catalog:  catalog.NewStore(),
+		Universe: make(map[string]catalog.Product),
+		Pages:    make(map[string]string),
+	}
+	if err := loadCatalog(ds, filepath.Join(dir, CatalogFile)); err != nil {
+		return nil, err
+	}
+	var err error
+	if ds.HistoricalOffers, err = loadFeed(filepath.Join(dir, HistoricalFile)); err != nil {
+		return nil, err
+	}
+	if ds.IncomingOffers, err = loadFeed(filepath.Join(dir, IncomingFile)); err != nil {
+		return nil, err
+	}
+	if err := loadPages(ds, filepath.Join(dir, PagesFile)); err != nil {
+		return nil, err
+	}
+	if err := loadTruth(ds, filepath.Join(dir, TruthFile)); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func loadCatalog(ds *synth.Dataset, path string) error {
+	var jc jsonCatalog
+	if err := readJSON(path, &jc); err != nil {
+		return err
+	}
+	for _, c := range jc.Categories {
+		cat := catalog.Category{ID: c.ID, Name: c.Name, TopLevel: c.TopLevel}
+		for _, a := range c.Schema {
+			cat.Schema.Attributes = append(cat.Schema.Attributes, catalog.Attribute{
+				Name: a.Name, Kind: catalog.AttributeKind(a.Kind), Unit: a.Unit,
+			})
+		}
+		if err := ds.Catalog.AddCategory(cat); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		ds.Categories = append(ds.Categories, cat)
+	}
+	for _, p := range jc.Products {
+		prod := catalog.Product{ID: p.ID, CategoryID: p.CategoryID, Spec: fromPairs(p.Spec)}
+		if err := ds.Catalog.AddProduct(prod); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	return nil
+}
+
+func loadFeed(path string) ([]offer.Offer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	offers, err := offer.ReadFeed(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading %s: %w", path, err)
+	}
+	return offers, nil
+}
+
+func loadPages(ds *synth.Dataset, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var p jsonPage
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			return fmt.Errorf("dataset: %s line %d: %w", path, line, err)
+		}
+		ds.Pages[p.URL] = p.HTML
+	}
+	return sc.Err()
+}
+
+func loadTruth(ds *synth.Dataset, path string) error {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil
+	}
+	var jt jsonTruth
+	if err := readJSON(path, &jt); err != nil {
+		return err
+	}
+	truth := &synth.Truth{
+		Correspondences: make(map[offer.SchemaKey]map[string]string),
+		OfferProduct:    jt.OfferProduct,
+		Missing:         make(map[string]bool, len(jt.Missing)),
+		PageAttrs:       jt.PageAttrs,
+		ProductByKey:    jt.ProductByKey,
+	}
+	for _, c := range jt.Correspondences {
+		key := offer.SchemaKey{Merchant: c.Merchant, CategoryID: c.CategoryID}
+		m := truth.Correspondences[key]
+		if m == nil {
+			m = make(map[string]string)
+			truth.Correspondences[key] = m
+		}
+		m[c.MerchantAttr] = c.CatalogAttr
+	}
+	for _, pid := range jt.Missing {
+		truth.Missing[pid] = true
+	}
+	for pid, pairs := range jt.Universe {
+		ds.Universe[pid] = catalog.Product{
+			ID: pid, CategoryID: jt.UniverseCats[pid], Spec: fromPairs(pairs),
+		}
+	}
+	ds.Truth = truth
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	return nil
+}

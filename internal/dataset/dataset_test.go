@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"prodsynth/internal/core"
+	"prodsynth/internal/synth"
+)
+
+func smallDataset() *synth.Dataset {
+	return synth.Generate(synth.Config{
+		Seed:                17,
+		CategoriesPerDomain: 1,
+		ProductsPerCategory: 8,
+		Merchants:           10,
+	})
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := smallDataset()
+	dir := t.TempDir()
+	if err := Save(ds, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	// All expected files exist.
+	for _, name := range []string{CatalogFile, HistoricalFile, IncomingFile, PagesFile, TruthFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Catalog.NumCategories() != ds.Catalog.NumCategories() {
+		t.Errorf("categories: %d vs %d", got.Catalog.NumCategories(), ds.Catalog.NumCategories())
+	}
+	if got.Catalog.NumProducts() != ds.Catalog.NumProducts() {
+		t.Errorf("products: %d vs %d", got.Catalog.NumProducts(), ds.Catalog.NumProducts())
+	}
+	if !reflect.DeepEqual(got.HistoricalOffers, ds.HistoricalOffers) {
+		t.Error("historical offers differ after round trip")
+	}
+	if !reflect.DeepEqual(got.IncomingOffers, ds.IncomingOffers) {
+		t.Error("incoming offers differ after round trip")
+	}
+	if len(got.Pages) != len(ds.Pages) {
+		t.Fatalf("pages: %d vs %d", len(got.Pages), len(ds.Pages))
+	}
+	for url, html := range ds.Pages {
+		if got.Pages[url] != html {
+			t.Fatalf("page %s differs", url)
+		}
+	}
+	// Truth round trip.
+	if got.Truth == nil {
+		t.Fatal("truth not loaded")
+	}
+	if !reflect.DeepEqual(got.Truth.OfferProduct, ds.Truth.OfferProduct) {
+		t.Error("OfferProduct differs")
+	}
+	if !reflect.DeepEqual(got.Truth.Missing, ds.Truth.Missing) {
+		t.Error("Missing differs")
+	}
+	if !reflect.DeepEqual(got.Truth.Correspondences, ds.Truth.Correspondences) {
+		t.Error("Correspondences differ")
+	}
+	if len(got.Universe) != len(ds.Universe) {
+		t.Errorf("universe: %d vs %d", len(got.Universe), len(ds.Universe))
+	}
+	for pid, p := range ds.Universe {
+		gp := got.Universe[pid]
+		if gp.CategoryID != p.CategoryID || !reflect.DeepEqual(gp.Spec, p.Spec) {
+			t.Fatalf("universe product %s differs", pid)
+		}
+	}
+}
+
+func TestSaveWithoutTruth(t *testing.T) {
+	ds := smallDataset()
+	dir := t.TempDir()
+	if err := Save(ds, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, TruthFile)); !os.IsNotExist(err) {
+		t.Error("truth file should not exist")
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Truth != nil {
+		t.Error("truth should be nil")
+	}
+	if len(got.HistoricalOffers) != len(ds.HistoricalOffers) {
+		t.Error("offers lost")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadCorruptPages(t *testing.T) {
+	ds := smallDataset()
+	dir := t.TempDir()
+	if err := Save(ds, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, PagesFile), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected error for corrupt pages file")
+	}
+}
+
+// TestPipelineEquivalenceAfterRoundTrip runs the full pipeline on the
+// in-memory dataset and on its save/load round trip; both must synthesize
+// identical products — persistence must be lossless for everything the
+// pipeline consumes.
+func TestPipelineEquivalenceAfterRoundTrip(t *testing.T) {
+	orig := synth.Generate(synth.Config{
+		Seed:                23,
+		CategoriesPerDomain: 2,
+		ProductsPerCategory: 12,
+		Merchants:           12,
+	})
+	dir := t.TempDir()
+	if err := Save(orig, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(ds *synth.Dataset) []string {
+		fetcher := core.MapFetcher(ds.Pages)
+		off, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := core.RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(rt.Products))
+		for i, p := range rt.Products {
+			out[i] = p.CategoryID + "|" + p.Key + "|" + p.Spec.String()
+		}
+		return out
+	}
+	a := run(orig)
+	b := run(loaded)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("pipeline output differs after round trip:\n%d vs %d products", len(a), len(b))
+	}
+}

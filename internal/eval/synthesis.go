@@ -1,0 +1,286 @@
+package eval
+
+import (
+	"sort"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/fusion"
+	"prodsynth/internal/synth"
+	"prodsynth/internal/text"
+)
+
+// ValueCorrect grades a synthesized value against the true value the way
+// the paper's labelers graded against manufacturer pages: formatting
+// differences are forgiven. Two values are considered equivalent when the
+// normalized token set of one contains the other's (merchants append units
+// and brand prefixes; fusion may keep either form) and the intersection is
+// non-empty.
+func ValueCorrect(synthesized, truth string) bool {
+	a := tokenSet(synthesized)
+	b := tokenSet(truth)
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) == len(b)
+	}
+	return subset(a, b) || subset(b, a)
+}
+
+func tokenSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, t := range text.DefaultTokenizer.Tokenize(s) {
+		out[t] = true
+	}
+	return out
+}
+
+func subset(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for t := range a {
+		if !b[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// ProductGrade is the grading of one synthesized product.
+type ProductGrade struct {
+	// ProductID is the resolved universe product ("" if unresolvable —
+	// the paper's "entire specification invalid" case).
+	ProductID string
+	// CategoryID is the product's category.
+	CategoryID string
+	// Attributes is the number of synthesized attribute-value pairs.
+	Attributes int
+	// CorrectAttributes is how many pairs grade correct.
+	CorrectAttributes int
+}
+
+// AllCorrect reports whether every synthesized pair was correct — the
+// paper's strict product-precision criterion.
+func (g ProductGrade) AllCorrect() bool {
+	return g.Attributes > 0 && g.CorrectAttributes == g.Attributes
+}
+
+// SynthesisReport aggregates grading over a synthesis run (Table 2).
+type SynthesisReport struct {
+	Products           int
+	AttributePairs     int
+	CorrectPairs       int
+	CorrectProducts    int
+	UnresolvedProducts int
+	Grades             []ProductGrade
+}
+
+// AttributePrecision is correct pairs / all pairs (Table 2 row 4).
+func (r SynthesisReport) AttributePrecision() float64 {
+	if r.AttributePairs == 0 {
+		return 0
+	}
+	return float64(r.CorrectPairs) / float64(r.AttributePairs)
+}
+
+// ProductPrecision is fully-correct products / all products (Table 2 row 5).
+func (r SynthesisReport) ProductPrecision() float64 {
+	if r.Products == 0 {
+		return 0
+	}
+	return float64(r.CorrectProducts) / float64(r.Products)
+}
+
+// AvgAttrsPerProduct is the Table 3 "Avg Attrs / Product" statistic.
+func (r SynthesisReport) AvgAttrsPerProduct() float64 {
+	if r.Products == 0 {
+		return 0
+	}
+	return float64(r.AttributePairs) / float64(r.Products)
+}
+
+// GradeSynthesis grades synthesized products against the generator's
+// ground truth. A product resolves to its true universe product through
+// the cluster key; unresolvable products count with all pairs incorrect,
+// mirroring the paper's treatment of specifications that could not be
+// located on any manufacturer site.
+func GradeSynthesis(products []fusion.Synthesized, truth *synth.Truth, universe map[string]catalog.Product) SynthesisReport {
+	rep := SynthesisReport{}
+	for _, sp := range products {
+		g := ProductGrade{CategoryID: sp.CategoryID, Attributes: len(sp.Spec)}
+		pid := truth.ProductByKey[sp.Key]
+		if pid == "" {
+			// Keys are normalized during clustering; retry raw lookup
+			// against normalized truth keys.
+			pid = resolveNormalized(truth, sp.Key)
+		}
+		if pid != "" {
+			g.ProductID = pid
+			trueProd := universe[pid]
+			for _, av := range sp.Spec {
+				tv, ok := trueProd.Spec.Get(av.Name)
+				if ok && ValueCorrect(av.Value, tv) {
+					g.CorrectAttributes++
+				}
+			}
+		} else {
+			rep.UnresolvedProducts++
+		}
+		rep.Products++
+		rep.AttributePairs += g.Attributes
+		rep.CorrectPairs += g.CorrectAttributes
+		if g.AllCorrect() {
+			rep.CorrectProducts++
+		}
+		rep.Grades = append(rep.Grades, g)
+	}
+	return rep
+}
+
+// resolveNormalized matches a normalized cluster key against the truth's
+// key index, normalizing truth keys the same way clustering does.
+func resolveNormalized(truth *synth.Truth, key string) string {
+	// The truth index holds raw keys; normalize lazily and cache? Keys in
+	// the generator are already alphanumeric-upper, so a direct scan is a
+	// rare fallback and linear cost is acceptable.
+	for raw, pid := range truth.ProductByKey {
+		if normalizeKey(raw) == key {
+			return pid
+		}
+	}
+	return ""
+}
+
+// normalizeKey mirrors cluster.normalizeKey for resolution purposes.
+func normalizeKey(v string) string {
+	out := make([]rune, 0, len(v))
+	for _, r := range v {
+		switch r {
+		case ' ', '-', '_', '.':
+			continue
+		}
+		if r >= 'a' && r <= 'z' {
+			r -= 32
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// CategoryReport is the per-top-level breakdown of Table 3.
+type CategoryReport struct {
+	TopLevel string
+	SynthesisReport
+}
+
+// GradeByTopLevel groups grading by top-level category (Table 3). The
+// store maps category IDs to their top level.
+func GradeByTopLevel(products []fusion.Synthesized, truth *synth.Truth, universe map[string]catalog.Product, store *catalog.Store) []CategoryReport {
+	byTop := make(map[string][]fusion.Synthesized)
+	for _, sp := range products {
+		top := sp.CategoryID
+		if cat, ok := store.Category(sp.CategoryID); ok {
+			top = cat.TopLevel
+		}
+		byTop[top] = append(byTop[top], sp)
+	}
+	tops := make([]string, 0, len(byTop))
+	for top := range byTop {
+		tops = append(tops, top)
+	}
+	sort.Strings(tops)
+	out := make([]CategoryReport, 0, len(tops))
+	for _, top := range tops {
+		out = append(out, CategoryReport{
+			TopLevel:        top,
+			SynthesisReport: GradeSynthesis(byTop[top], truth, universe),
+		})
+	}
+	return out
+}
+
+// RecallReport is one row of Table 4.
+type RecallReport struct {
+	// Bucket names the offer-count split ("products with >= 10 offers").
+	Bucket string
+	// Products is the number of synthesized products in the bucket.
+	Products int
+	// AttributeRecall is |synthesized ∩ page attributes| / |page
+	// attributes| aggregated over the bucket.
+	AttributeRecall float64
+	// AttributePrecision is the bucket's attribute precision.
+	AttributePrecision float64
+	// AvgPoolSize is the average number of attribute-value pairs
+	// available across the offers of each product (§5.1's 84.6 vs 9).
+	AvgPoolSize float64
+	// AvgSynthesized is the average number of synthesized attributes.
+	AvgSynthesized float64
+}
+
+// GradeRecall computes the Table 4 split: products with >= minOffers offers
+// versus fewer. Page attributes come from the generator's ground truth.
+func GradeRecall(products []fusion.Synthesized, truth *synth.Truth, universe map[string]catalog.Product, minOffers int) (heavy, light RecallReport) {
+	heavy.Bucket = "products with >= 10 offers"
+	light.Bucket = "products with < 10 offers"
+	type agg struct {
+		rep                   *RecallReport
+		recallNum, recallDen  int
+		pairs, correct, pool  int
+		products, synthesized int
+	}
+	ha := agg{rep: &heavy}
+	la := agg{rep: &light}
+	for _, sp := range products {
+		a := &la
+		if len(sp.OfferIDs) >= minOffers {
+			a = &ha
+		}
+		// Ground truth attribute pool: union of page attributes over the
+		// product's offers, in catalog vocabulary.
+		pageUnion := make(map[string]bool)
+		for _, oid := range sp.OfferIDs {
+			for _, attr := range truth.PageAttrs[oid] {
+				pageUnion[attr] = true
+			}
+			a.pool += len(truth.PageAttrs[oid])
+		}
+		synth := make(map[string]bool)
+		for _, av := range sp.Spec {
+			synth[av.Name] = true
+		}
+		for attr := range pageUnion {
+			a.recallDen++
+			if synth[attr] {
+				a.recallNum++
+			}
+		}
+		// Precision within the bucket.
+		pid := truth.ProductByKey[sp.Key]
+		if pid == "" {
+			pid = resolveNormalized(truth, sp.Key)
+		}
+		trueProd := universe[pid]
+		for _, av := range sp.Spec {
+			a.pairs++
+			if tv, ok := trueProd.Spec.Get(av.Name); ok && ValueCorrect(av.Value, tv) {
+				a.correct++
+			}
+		}
+		a.products++
+		a.synthesized += len(sp.Spec)
+	}
+	finish := func(a *agg) {
+		a.rep.Products = a.products
+		if a.recallDen > 0 {
+			a.rep.AttributeRecall = float64(a.recallNum) / float64(a.recallDen)
+		}
+		if a.pairs > 0 {
+			a.rep.AttributePrecision = float64(a.correct) / float64(a.pairs)
+		}
+		if a.products > 0 {
+			a.rep.AvgPoolSize = float64(a.pool) / float64(a.products)
+			a.rep.AvgSynthesized = float64(a.synthesized) / float64(a.products)
+		}
+	}
+	finish(&ha)
+	finish(&la)
+	return heavy, light
+}

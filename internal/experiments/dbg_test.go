@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDebugCurves prints the figure curves; kept for interactive debugging,
+// runs only with -run TestDebugCurves.
+func TestDebugCurves(t *testing.T) {
+	if os.Getenv("DEBUG_CURVES") == "" {
+		t.Skip("set DEBUG_CURVES=1 to print curves")
+	}
+	e := env(t)
+	for _, build := range []func(*Env) (*Figure, error){Figure6, Figure7, Figure8, Figure9} {
+		f, err := build(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderFigure(os.Stdout, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

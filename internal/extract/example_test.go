@@ -1,0 +1,32 @@
+package extract_test
+
+import (
+	"fmt"
+
+	"prodsynth/internal/extract"
+)
+
+// ExampleFromHTML shows the paper's §4 extractor on a merchant landing
+// page: rows with exactly two cells become attribute-value pairs; the
+// three-cell buy row and the single-cell banner are skipped.
+func ExampleFromHTML() {
+	page := `
+	<html><body>
+	<h1>Hitachi Deskstar T7K500</h1>
+	<table>
+	  <tr><td colspan="2">Free shipping this week only!</td></tr>
+	  <tr><td>Brand</td><td>Hitachi</td></tr>
+	  <tr><td>Capacity:</td><td>500 GB</td></tr>
+	  <tr><td>RPM</td><td>7200</td></tr>
+	  <tr><td>Qty</td><td><input value=1></td><td><a href="/cart">Buy</a></td></tr>
+	</table>
+	</body></html>`
+
+	for _, av := range extract.FromHTML(page) {
+		fmt.Printf("%s = %s\n", av.Name, av.Value)
+	}
+	// Output:
+	// Brand = Hitachi
+	// Capacity = 500 GB
+	// RPM = 7200
+}

@@ -1,0 +1,162 @@
+// Package extract implements the Web-page Attribute Extraction component of
+// the paper (§4): it parses the DOM tree of a merchant landing page, finds
+// all tables, and harvests attribute-value pairs from rows with exactly two
+// columns, treating the first column as the attribute name and the second as
+// the value.
+//
+// As the paper notes, this deliberately simple extractor makes mistakes on
+// pages with exotic table structure; the Schema Reconciliation component is
+// responsible for filtering that noise, because incorrectly extracted "attributes"
+// develop value distributions that match no catalog attribute. A bullet-list
+// fallback (the paper's acknowledged coverage gap, revisited as future work)
+// is provided behind an option.
+package extract
+
+import (
+	"strings"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/htmlx"
+)
+
+// Options configures the extractor.
+type Options struct {
+	// IncludeDefinitionLists also harvests <dl><dt>name<dd>value lists.
+	IncludeDefinitionLists bool
+	// IncludeBulletLists also harvests <li>Name: Value</li> items — the
+	// extension the paper lists as future work. Off by default to match
+	// the paper's evaluated configuration.
+	IncludeBulletLists bool
+	// MaxPairs caps the number of extracted pairs per page (0 = no cap);
+	// a guard against adversarial or pathological pages.
+	MaxPairs int
+	// MaxValueLen drops pairs whose value is longer than this many bytes
+	// (0 = no limit). Long cells are usually prose, not specs.
+	MaxValueLen int
+}
+
+// DefaultOptions matches the paper's evaluated extractor: tables only.
+var DefaultOptions = Options{MaxValueLen: 300}
+
+// FromHTML parses the page and extracts attribute-value pairs using the
+// default options.
+func FromHTML(page string) catalog.Spec {
+	return WithOptions(page, DefaultOptions)
+}
+
+// WithOptions parses the page and extracts attribute-value pairs.
+func WithOptions(page string, opts Options) catalog.Spec {
+	root := htmlx.Parse(page)
+	return FromDOM(root, opts)
+}
+
+// FromDOM extracts attribute-value pairs from an already-parsed DOM.
+func FromDOM(root *htmlx.Node, opts Options) catalog.Spec {
+	var spec catalog.Spec
+	seen := make(map[string]bool)
+
+	add := func(name, value string) {
+		name = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(name), ":"))
+		value = strings.TrimSpace(value)
+		if name == "" || value == "" {
+			return
+		}
+		if opts.MaxValueLen > 0 && len(value) > opts.MaxValueLen {
+			return
+		}
+		if opts.MaxPairs > 0 && len(spec) >= opts.MaxPairs {
+			return
+		}
+		// First occurrence wins; spec tables occasionally repeat rows.
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		spec = append(spec, catalog.AttributeValue{Name: name, Value: value})
+	}
+
+	for _, table := range root.FindAll("table") {
+		extractTable(table, add)
+	}
+	if opts.IncludeDefinitionLists {
+		for _, dl := range root.FindAll("dl") {
+			extractDefinitionList(dl, add)
+		}
+	}
+	if opts.IncludeBulletLists {
+		for _, li := range root.FindAll("li") {
+			extractBullet(li, add)
+		}
+	}
+	return spec
+}
+
+// extractTable walks one table element. Per the paper, only rows with
+// exactly two cells contribute: first cell is the name, second the value.
+// Rows are found at any nesting depth below the table (tbody/thead are
+// common), but rows of nested tables are handled by their own FindAll
+// visit, so they are skipped here.
+func extractTable(table *htmlx.Node, add func(name, value string)) {
+	var rows []*htmlx.Node
+	table.Walk(func(n *htmlx.Node) bool {
+		if n != table && n.Type == htmlx.ElementNode && n.Tag == "table" {
+			return false // nested table: visited separately
+		}
+		if n.Type == htmlx.ElementNode && n.Tag == "tr" {
+			rows = append(rows, n)
+			return false
+		}
+		return true
+	})
+	for _, tr := range rows {
+		cells := cellsOf(tr)
+		if len(cells) != 2 {
+			continue
+		}
+		add(cells[0].InnerText(), cells[1].InnerText())
+	}
+}
+
+func cellsOf(tr *htmlx.Node) []*htmlx.Node {
+	var cells []*htmlx.Node
+	for _, c := range tr.Children {
+		if c.Type == htmlx.ElementNode && (c.Tag == "td" || c.Tag == "th") {
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+func extractDefinitionList(dl *htmlx.Node, add func(name, value string)) {
+	var pendingName string
+	for _, c := range dl.Children {
+		if c.Type != htmlx.ElementNode {
+			continue
+		}
+		switch c.Tag {
+		case "dt":
+			pendingName = c.InnerText()
+		case "dd":
+			if pendingName != "" {
+				add(pendingName, c.InnerText())
+				pendingName = ""
+			}
+		}
+	}
+}
+
+// extractBullet parses "Name: Value" items. Only the first colon splits; a
+// value may itself contain colons ("Interface: SATA: 300" keeps "SATA: 300").
+func extractBullet(li *htmlx.Node, add func(name, value string)) {
+	text := li.InnerText()
+	colon := strings.IndexByte(text, ':')
+	if colon <= 0 || colon == len(text)-1 {
+		return
+	}
+	name := text[:colon]
+	// Reject bullets whose "name" looks like prose (too many tokens).
+	if len(strings.Fields(name)) > 6 {
+		return
+	}
+	add(name, text[colon+1:])
+}

@@ -1,0 +1,32 @@
+package fusion_test
+
+import (
+	"fmt"
+
+	"prodsynth/internal/fusion"
+)
+
+// ExampleCentroid reproduces Appendix A of the paper: three offers describe
+// the operating system as "Windows Vista", "Microsoft Windows Vista" and
+// "Microsoft Vista". Exact majority voting cannot break the three-way tie;
+// the centroid generalization picks the value closest to the term-vector
+// centroid.
+func ExampleCentroid() {
+	values := []string{
+		"Windows Vista",
+		"Microsoft Windows Vista",
+		"Microsoft Vista",
+	}
+	fmt.Println(fusion.Centroid{}.Fuse(values))
+	// Output:
+	// Microsoft Windows Vista
+}
+
+// ExampleMajorityVote shows the single-token case where plain majority
+// voting is the right tool (Appendix A's Memory Capacity example).
+func ExampleMajorityVote() {
+	values := []string{"1024", "1024", "1024", "1024", "2048"}
+	fmt.Println(fusion.MajorityVote{}.Fuse(values))
+	// Output:
+	// 1024
+}

@@ -1,0 +1,171 @@
+// Package fusion implements the Value Fusion component (§4 and Appendix A):
+// given a cluster of reconciled offers, it selects one representative value
+// per catalog attribute.
+//
+// Two strategies are provided:
+//
+//   - MajorityVote: plain majority over exact values; ties break toward the
+//     lexicographically smallest most-frequent value for determinism.
+//   - Centroid (the paper's choice): a generalization of majority voting to
+//     multi-token text — build a term-frequency vector per candidate value,
+//     compute the centroid, and pick the value closest to the centroid in
+//     Euclidean distance (Appendix A's "Microsoft Windows Vista" example).
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/text"
+)
+
+// Strategy selects a representative value from candidates. Candidates are
+// non-empty; the returned value must be one of them.
+type Strategy interface {
+	Fuse(candidates []string) string
+}
+
+// MajorityVote picks the most frequent exact value.
+type MajorityVote struct{}
+
+// Fuse implements Strategy.
+func (MajorityVote) Fuse(candidates []string) string {
+	counts := make(map[string]int)
+	for _, v := range candidates {
+		counts[v]++
+	}
+	best, bestN := "", -1
+	keys := make([]string, 0, len(counts))
+	for v := range counts {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		if counts[v] > bestN {
+			best, bestN = v, counts[v]
+		}
+	}
+	return best
+}
+
+// Centroid is the paper's token-level generalization of majority voting.
+type Centroid struct{}
+
+// Fuse implements Strategy per Appendix A: build |T|-dimensional binary
+// term vectors, average them, and return the candidate closest to the
+// centroid. Ties break toward the lexicographically smallest candidate.
+func (Centroid) Fuse(candidates []string) string {
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	// Term universe in first-seen order.
+	termIdx := make(map[string]int)
+	vectors := make([][]float64, len(candidates))
+	tokenLists := make([][]string, len(candidates))
+	for i, v := range candidates {
+		tokenLists[i] = text.DefaultTokenizer.Tokenize(v)
+		for _, t := range tokenLists[i] {
+			if _, ok := termIdx[t]; !ok {
+				termIdx[t] = len(termIdx)
+			}
+		}
+	}
+	dim := len(termIdx)
+	if dim == 0 {
+		return MajorityVote{}.Fuse(candidates)
+	}
+	centroid := make([]float64, dim)
+	for i, toks := range tokenLists {
+		vec := make([]float64, dim)
+		for _, t := range toks {
+			vec[termIdx[t]] = 1 // Appendix A uses presence vectors
+		}
+		vectors[i] = vec
+		for j, x := range vec {
+			centroid[j] += x
+		}
+	}
+	for j := range centroid {
+		centroid[j] /= float64(len(candidates))
+	}
+
+	bestIdx := 0
+	bestDist := math.Inf(1)
+	for i, vec := range vectors {
+		var d float64
+		for j := range vec {
+			diff := vec[j] - centroid[j]
+			d += diff * diff
+		}
+		switch {
+		case d < bestDist-1e-12:
+			bestIdx, bestDist = i, d
+		case math.Abs(d-bestDist) <= 1e-12 && candidates[i] < candidates[bestIdx]:
+			bestIdx = i
+		}
+	}
+	return candidates[bestIdx]
+}
+
+// FuseCluster builds a single product specification from a cluster using
+// the given strategy. For each catalog attribute appearing in any member
+// offer, the candidate values are collected (one per offer that carries the
+// attribute) and fused. Attributes are emitted in sorted order.
+func FuseCluster(cl cluster.Cluster, strategy Strategy) catalog.Spec {
+	if strategy == nil {
+		strategy = Centroid{}
+	}
+	values := make(map[string][]string)
+	for _, o := range cl.Offers {
+		for _, av := range o.Spec {
+			values[av.Name] = append(values[av.Name], av.Value)
+		}
+	}
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	spec := make(catalog.Spec, 0, len(names))
+	for _, name := range names {
+		spec = append(spec, catalog.AttributeValue{
+			Name:  name,
+			Value: strategy.Fuse(values[name]),
+		})
+	}
+	return spec
+}
+
+// Synthesized is one product produced by the pipeline.
+type Synthesized struct {
+	// CategoryID is the catalog category.
+	CategoryID string
+	// Key and KeyAttr identify the cluster (normalized key value).
+	Key     string
+	KeyAttr string
+	// Spec is the fused product specification in catalog vocabulary.
+	Spec catalog.Spec
+	// OfferIDs are the member offers the product was synthesized from.
+	OfferIDs []string
+}
+
+// SynthesizeAll fuses every cluster into a product instance.
+func SynthesizeAll(clusters []cluster.Cluster, strategy Strategy) []Synthesized {
+	out := make([]Synthesized, 0, len(clusters))
+	for _, cl := range clusters {
+		ids := make([]string, len(cl.Offers))
+		for i, o := range cl.Offers {
+			ids[i] = o.ID
+		}
+		out = append(out, Synthesized{
+			CategoryID: cl.CategoryID,
+			Key:        cl.Key,
+			KeyAttr:    cl.KeyAttr,
+			Spec:       FuseCluster(cl, strategy),
+			OfferIDs:   ids,
+		})
+	}
+	return out
+}

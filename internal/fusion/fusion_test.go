@@ -1,0 +1,157 @@
+package fusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/offer"
+)
+
+func TestMajorityVote(t *testing.T) {
+	mv := MajorityVote{}
+	if got := mv.Fuse([]string{"1024", "1024", "1024", "1024", "2048"}); got != "1024" {
+		t.Errorf("got %q", got)
+	}
+	if got := mv.Fuse([]string{"only"}); got != "only" {
+		t.Errorf("got %q", got)
+	}
+	// Tie: lexicographically smallest most-frequent value.
+	if got := mv.Fuse([]string{"b", "a"}); got != "a" {
+		t.Errorf("tie = %q", got)
+	}
+}
+
+func TestCentroidPaperExample(t *testing.T) {
+	// Appendix A: "Windows Vista", "Microsoft Windows Vista",
+	// "Microsoft Vista" -> centroid picks "Microsoft Windows Vista".
+	c := Centroid{}
+	got := c.Fuse([]string{"Windows Vista", "Microsoft Windows Vista", "Microsoft Vista"})
+	if got != "Microsoft Windows Vista" {
+		t.Errorf("got %q, want Microsoft Windows Vista", got)
+	}
+}
+
+func TestCentroidSingleCandidate(t *testing.T) {
+	if got := (Centroid{}).Fuse([]string{"x"}); got != "x" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCentroidAgreesWithMajorityOnSingleTokens(t *testing.T) {
+	// For single-token values the centroid generalization must behave
+	// like majority voting (Appendix A motivation).
+	got := (Centroid{}).Fuse([]string{"1024", "1024", "1024", "2048"})
+	if got != "1024" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCentroidEmptyTokens(t *testing.T) {
+	// Values that tokenize to nothing degrade to majority voting.
+	got := (Centroid{}).Fuse([]string{"!!!", "???", "!!!"})
+	if got != "!!!" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCentroidReturnsACandidate(t *testing.T) {
+	f := func(vals []string) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		got := (Centroid{}).Fuse(vals)
+		for _, v := range vals {
+			if v == got {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuseCluster(t *testing.T) {
+	cl := cluster.Cluster{
+		Key: "HDT725", KeyAttr: catalog.AttrMPN, CategoryID: "hd",
+		Offers: []offer.Offer{
+			{ID: "o1", Spec: catalog.Spec{
+				{Name: "Capacity", Value: "500"},
+				{Name: "Operating System", Value: "Windows Vista"},
+			}},
+			{ID: "o2", Spec: catalog.Spec{
+				{Name: "Capacity", Value: "500"},
+				{Name: "Operating System", Value: "Microsoft Windows Vista"},
+			}},
+			{ID: "o3", Spec: catalog.Spec{
+				{Name: "Capacity", Value: "500 GB"},
+				{Name: "Operating System", Value: "Microsoft Vista"},
+				{Name: "Speed", Value: "7200"},
+			}},
+		},
+	}
+	spec := FuseCluster(cl, Centroid{})
+	if v, _ := spec.Get("Capacity"); v != "500" {
+		t.Errorf("Capacity = %q", v)
+	}
+	if v, _ := spec.Get("Operating System"); v != "Microsoft Windows Vista" {
+		t.Errorf("OS = %q", v)
+	}
+	if v, _ := spec.Get("Speed"); v != "7200" {
+		t.Errorf("Speed = %q (single-source attribute must survive)", v)
+	}
+	// Attributes sorted.
+	if spec[0].Name != "Capacity" {
+		t.Errorf("order = %v", spec.Names())
+	}
+}
+
+func TestFuseClusterNilStrategyDefaultsToCentroid(t *testing.T) {
+	cl := cluster.Cluster{Offers: []offer.Offer{
+		{Spec: catalog.Spec{{Name: "A", Value: "x y"}}},
+		{Spec: catalog.Spec{{Name: "A", Value: "x"}}},
+		{Spec: catalog.Spec{{Name: "A", Value: "y"}}},
+	}}
+	spec := FuseCluster(cl, nil)
+	if v, _ := spec.Get("A"); v != "x y" {
+		t.Errorf("A = %q, want centroid pick", v)
+	}
+}
+
+func TestSynthesizeAll(t *testing.T) {
+	clusters := []cluster.Cluster{
+		{Key: "K1", KeyAttr: catalog.AttrMPN, CategoryID: "hd", Offers: []offer.Offer{
+			{ID: "o1", Spec: catalog.Spec{{Name: "Brand", Value: "Seagate"}}},
+			{ID: "o2", Spec: catalog.Spec{{Name: "Brand", Value: "Seagate"}}},
+		}},
+		{Key: "K2", KeyAttr: catalog.AttrUPC, CategoryID: "cam", Offers: []offer.Offer{
+			{ID: "o3", Spec: catalog.Spec{{Name: "Brand", Value: "Canon"}}},
+		}},
+	}
+	prods := SynthesizeAll(clusters, Centroid{})
+	if len(prods) != 2 {
+		t.Fatalf("products = %d", len(prods))
+	}
+	if prods[0].Key != "K1" || len(prods[0].OfferIDs) != 2 {
+		t.Errorf("p0 = %+v", prods[0])
+	}
+	if v, _ := prods[1].Spec.Get("Brand"); v != "Canon" {
+		t.Errorf("p1 Brand = %q", v)
+	}
+}
+
+func BenchmarkCentroidFuse(b *testing.B) {
+	vals := []string{
+		"Windows Vista", "Microsoft Windows Vista", "Microsoft Vista",
+		"Windows Vista Home", "Microsoft Windows Vista Home Premium",
+		"Vista", "Windows Vista", "Microsoft Windows Vista",
+	}
+	c := Centroid{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Fuse(vals)
+	}
+}

@@ -1,0 +1,175 @@
+package htmlx
+
+import "strings"
+
+// NodeType enumerates DOM node kinds.
+type NodeType int
+
+const (
+	// ElementNode is an element with a tag name and children.
+	ElementNode NodeType = iota
+	// TextNode is character data.
+	TextNode
+)
+
+// Node is a DOM tree node.
+type Node struct {
+	Type     NodeType
+	Tag      string // element tag name (lower case), empty for text
+	Text     string // text content for TextNode
+	Attrs    []Attr
+	Children []*Node
+	Parent   *Node
+}
+
+// Attr returns the value of the named attribute on an element node.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// voidElements never have children (HTML void elements).
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// autoClose maps a tag to the set of open tags it implicitly closes.
+// This covers the common unclosed-markup patterns on merchant pages:
+// successive <li>, <tr>, <td>, <th>, <option>, <p> without close tags.
+var autoClose = map[string]map[string]bool{
+	"li":     {"li": true},
+	"tr":     {"tr": true, "td": true, "th": true},
+	"td":     {"td": true, "th": true},
+	"th":     {"td": true, "th": true},
+	"option": {"option": true},
+	"p":      {"p": true},
+	"dt":     {"dt": true, "dd": true},
+	"dd":     {"dt": true, "dd": true},
+}
+
+// Parse tokenizes the input and builds a DOM tree rooted at a synthetic
+// element with Tag "#root". It is tolerant: stray end tags are dropped,
+// unclosed elements are closed at EOF, and the auto-close rules above are
+// applied.
+func Parse(input string) *Node {
+	root := &Node{Type: ElementNode, Tag: "#root"}
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	for _, tok := range Tokenize(input) {
+		switch tok.Type {
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" {
+				continue
+			}
+			cur := top()
+			child := &Node{Type: TextNode, Text: tok.Data, Parent: cur}
+			cur.Children = append(cur.Children, child)
+		case CommentToken:
+			// Dropped; comments carry no extraction signal.
+		case StartTagToken, SelfClosingToken:
+			if closes := autoClose[tok.Data]; closes != nil {
+				for len(stack) > 1 && closes[top().Tag] {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			cur := top()
+			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs, Parent: cur}
+			cur.Children = append(cur.Children, el)
+			if tok.Type == StartTagToken && !voidElements[tok.Data] {
+				stack = append(stack, el)
+			}
+		case EndTagToken:
+			// Find the matching open element; if found, pop to it.
+			for j := len(stack) - 1; j >= 1; j-- {
+				if stack[j].Tag == tok.Data {
+					stack = stack[:j]
+					break
+				}
+			}
+		}
+	}
+	return root
+}
+
+// InnerText returns the concatenated text content of the subtree, with
+// runs of whitespace collapsed to single spaces and the result trimmed.
+// Script and style subtrees are skipped.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.appendText(&b)
+	return collapseSpace(b.String())
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Type == TextNode {
+		b.WriteString(n.Text)
+		b.WriteByte(' ')
+		return
+	}
+	if n.Tag == "script" || n.Tag == "style" {
+		return
+	}
+	for _, c := range n.Children {
+		c.appendText(b)
+	}
+}
+
+func collapseSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == '\u00a0' {
+			space = true
+			continue
+		}
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		space = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Walk performs a pre-order traversal, calling fn for every node. If fn
+// returns false the subtree below that node is skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns all element nodes with the given tag, in document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(node *Node) bool {
+		if node.Type == ElementNode && node.Tag == tag {
+			out = append(out, node)
+		}
+		return true
+	})
+	return out
+}
+
+// ChildElements returns the element children with the given tag (any tag if
+// tag is empty).
+func (n *Node) ChildElements(tag string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Type == ElementNode && (tag == "" || c.Tag == tag) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

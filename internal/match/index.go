@@ -1,0 +1,118 @@
+package match
+
+import (
+	"math"
+	"sort"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/text"
+)
+
+// TitleIndex is an inverted index from tokens to products, used to match
+// offer titles against structured product records at scale: instead of
+// scanning every product in the category (O(|products|) per offer), a
+// lookup touches only the posting lists of the title's tokens.
+//
+// Scoring is weighted token containment: each title token found in a
+// product's token set contributes its IDF weight; the score is the
+// fraction of the title's total IDF mass covered by the product. Rare
+// tokens (model numbers, part codes) therefore dominate, which is what
+// makes title matching work — "Hitachi" appears in hundreds of products,
+// "HDT725050VLA360" in one.
+//
+// Build the index once per category with NewTitleIndex; Match is safe for
+// concurrent use afterwards.
+type TitleIndex struct {
+	postings map[string][]int32 // token -> product ordinals (ascending)
+	ids      []string           // ordinal -> product ID
+	idf      map[string]float64
+	numDocs  int
+}
+
+// NewTitleIndex indexes the token sets of the given products' attribute
+// values.
+func NewTitleIndex(products []catalog.Product) *TitleIndex {
+	idx := &TitleIndex{
+		postings: make(map[string][]int32),
+		idf:      make(map[string]float64),
+	}
+	for _, p := range products {
+		ord := int32(len(idx.ids))
+		idx.ids = append(idx.ids, p.ID)
+		seen := make(map[string]bool)
+		for _, av := range p.Spec {
+			for _, tok := range text.DefaultTokenizer.Tokenize(av.Value) {
+				if !seen[tok] {
+					seen[tok] = true
+					idx.postings[tok] = append(idx.postings[tok], ord)
+				}
+			}
+		}
+	}
+	idx.numDocs = len(idx.ids)
+	for tok, posting := range idx.postings {
+		idx.idf[tok] = math.Log(1 + float64(idx.numDocs)/float64(len(posting)))
+	}
+	return idx
+}
+
+// Len returns the number of indexed products.
+func (idx *TitleIndex) Len() int { return idx.numDocs }
+
+// Match returns the best-scoring product for the title and its score in
+// [0,1], or ("", 0) when the index is empty or the title has no tokens.
+// Ties break toward the product indexed first, keeping results
+// deterministic.
+func (idx *TitleIndex) Match(title string) (productID string, score float64) {
+	tokens := text.DefaultTokenizer.Tokenize(title)
+	if len(tokens) == 0 || idx.numDocs == 0 {
+		return "", 0
+	}
+	// Deduplicate title tokens; containment counts each token once.
+	uniq := tokens[:0]
+	seen := make(map[string]bool, len(tokens))
+	for _, tok := range tokens {
+		if !seen[tok] {
+			seen[tok] = true
+			uniq = append(uniq, tok)
+		}
+	}
+
+	var totalMass float64
+	accum := make(map[int32]float64)
+	for _, tok := range uniq {
+		w, ok := idx.idf[tok]
+		if !ok {
+			// Unknown tokens still count toward the denominator with
+			// the maximum IDF: a title full of tokens the catalog has
+			// never seen should not match anything confidently.
+			totalMass += math.Log(1 + float64(idx.numDocs))
+			continue
+		}
+		totalMass += w
+		for _, ord := range idx.postings[tok] {
+			accum[ord] += w
+		}
+	}
+	if totalMass == 0 || len(accum) == 0 {
+		return "", 0
+	}
+
+	bestOrd := int32(-1)
+	bestMass := 0.0
+	ords := make([]int32, 0, len(accum))
+	for ord := range accum {
+		ords = append(ords, ord)
+	}
+	sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+	for _, ord := range ords {
+		if accum[ord] > bestMass {
+			bestMass = accum[ord]
+			bestOrd = ord
+		}
+	}
+	if bestOrd < 0 {
+		return "", 0
+	}
+	return idx.ids[bestOrd], bestMass / totalMass
+}

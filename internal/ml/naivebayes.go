@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// NaiveBayes is a multinomial multi-class Naive Bayes text classifier over
+// bags of tokens. It backs the title→category classifier (paper §2) and the
+// LSD instance matcher baseline (Appendix C).
+//
+// Build it with NewNaiveBayes, feed it with Train, then call Classify or
+// LogPosterior. Training is incremental; classification is safe for
+// concurrent use once training is done.
+type NaiveBayes struct {
+	classes     map[string]*nbClass
+	vocab       map[string]bool
+	totalDocs   int
+	laplace     float64
+	classPriors bool
+}
+
+type nbClass struct {
+	docs       int
+	tokenCount map[string]int
+	totalToken int
+}
+
+// NewNaiveBayes returns an empty classifier with Laplace smoothing alpha
+// (alpha <= 0 defaults to 1) and class priors enabled.
+func NewNaiveBayes(alpha float64) *NaiveBayes {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return &NaiveBayes{
+		classes:     make(map[string]*nbClass),
+		vocab:       make(map[string]bool),
+		laplace:     alpha,
+		classPriors: true,
+	}
+}
+
+// SetUniformPriors disables class priors (uniform prior over classes). The
+// LSD matcher scores classes by likelihood per Appendix C where P(A) uses
+// instance counts; the category classifier keeps priors on.
+func (nb *NaiveBayes) SetUniformPriors() { nb.classPriors = false }
+
+// Train adds one document (bag of tokens) labeled with class.
+func (nb *NaiveBayes) Train(class string, tokens []string) {
+	c := nb.classes[class]
+	if c == nil {
+		c = &nbClass{tokenCount: make(map[string]int)}
+		nb.classes[class] = c
+	}
+	c.docs++
+	nb.totalDocs++
+	for _, t := range tokens {
+		c.tokenCount[t]++
+		c.totalToken++
+		nb.vocab[t] = true
+	}
+}
+
+// NumClasses returns the number of classes seen.
+func (nb *NaiveBayes) NumClasses() int { return len(nb.classes) }
+
+// Classes returns the class labels, sorted.
+func (nb *NaiveBayes) Classes() []string {
+	out := make([]string, 0, len(nb.classes))
+	for c := range nb.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LogPosterior returns log P(class) + Σ log P(token | class) for one class.
+// Unknown classes get -Inf.
+func (nb *NaiveBayes) LogPosterior(class string, tokens []string) float64 {
+	c := nb.classes[class]
+	if c == nil || nb.totalDocs == 0 {
+		return math.Inf(-1)
+	}
+	var lp float64
+	if nb.classPriors {
+		lp = math.Log(float64(c.docs) / float64(nb.totalDocs))
+	}
+	v := float64(len(nb.vocab))
+	den := math.Log(float64(c.totalToken) + nb.laplace*v)
+	for _, t := range tokens {
+		num := float64(c.tokenCount[t]) + nb.laplace
+		lp += math.Log(num) - den
+	}
+	return lp
+}
+
+// Posterior returns the normalized posterior P(class | tokens) over all
+// classes, computed with the log-sum-exp trick.
+func (nb *NaiveBayes) Posterior(tokens []string) map[string]float64 {
+	if len(nb.classes) == 0 {
+		return nil
+	}
+	logs := make(map[string]float64, len(nb.classes))
+	maxLog := math.Inf(-1)
+	for class := range nb.classes {
+		lp := nb.LogPosterior(class, tokens)
+		logs[class] = lp
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	var z float64
+	for _, lp := range logs {
+		z += math.Exp(lp - maxLog)
+	}
+	out := make(map[string]float64, len(logs))
+	for class, lp := range logs {
+		out[class] = math.Exp(lp-maxLog) / z
+	}
+	return out
+}
+
+// Classify returns the argmax class and its posterior probability.
+// Ties break lexicographically for determinism.
+func (nb *NaiveBayes) Classify(tokens []string) (string, float64) {
+	post := nb.Posterior(tokens)
+	if post == nil {
+		return "", 0
+	}
+	best, bestP := "", math.Inf(-1)
+	for _, class := range nb.Classes() {
+		if p := post[class]; p > bestP {
+			best, bestP = class, p
+		}
+	}
+	return best, bestP
+}

@@ -1,0 +1,71 @@
+// Package reconcile implements the Schema Reconciliation component of the
+// runtime pipeline (§4): it translates offer attribute-value pairs from
+// merchant vocabulary into catalog vocabulary using the attribute
+// correspondences learned offline, and discards pairs with no
+// correspondence. The discard step is what filters extraction noise: pairs
+// harvested from marketing tables never earn a correspondence, so they are
+// dropped here.
+package reconcile
+
+import (
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/offer"
+)
+
+// Stats counts the outcome of a reconciliation run.
+type Stats struct {
+	// OffersIn is the number of offers processed.
+	OffersIn int
+	// PairsIn is the number of attribute-value pairs seen.
+	PairsIn int
+	// PairsMapped is the number of pairs translated to catalog names.
+	PairsMapped int
+	// PairsDropped is the number of pairs with no correspondence.
+	PairsDropped int
+}
+
+// Offer reconciles a single offer's spec, returning the translated spec.
+// When two merchant attributes map to the same catalog attribute, the first
+// pair in spec order wins.
+func Offer(o offer.Offer, set *correspond.Set) (catalog.Spec, Stats) {
+	st := Stats{OffersIn: 1}
+	key := offer.SchemaKey{Merchant: o.Merchant, CategoryID: o.CategoryID}
+	var out catalog.Spec
+	used := make(map[string]bool)
+	for _, av := range o.Spec {
+		st.PairsIn++
+		ap, ok := set.Lookup(key, av.Name)
+		if !ok {
+			st.PairsDropped++
+			continue
+		}
+		if used[ap] {
+			st.PairsDropped++
+			continue
+		}
+		used[ap] = true
+		out = append(out, catalog.AttributeValue{Name: ap, Value: av.Value})
+		st.PairsMapped++
+	}
+	return out, st
+}
+
+// Offers reconciles a batch, returning offers whose Spec has been replaced
+// by the reconciled catalog-vocabulary spec. Offers that end up with an
+// empty spec are still returned (clustering will skip them).
+func Offers(offers []offer.Offer, set *correspond.Set) ([]offer.Offer, Stats) {
+	var total Stats
+	out := make([]offer.Offer, len(offers))
+	for i, o := range offers {
+		spec, st := Offer(o, set)
+		total.OffersIn += st.OffersIn
+		total.PairsIn += st.PairsIn
+		total.PairsMapped += st.PairsMapped
+		total.PairsDropped += st.PairsDropped
+		ro := o.Clone()
+		ro.Spec = spec
+		out[i] = ro
+	}
+	return out, total
+}

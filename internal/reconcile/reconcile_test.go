@@ -1,0 +1,104 @@
+package reconcile
+
+import (
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/correspond"
+	"prodsynth/internal/offer"
+)
+
+func testSet() *correspond.Set {
+	key := offer.SchemaKey{Merchant: "hdshop", CategoryID: "hd"}
+	set := correspond.NewSet()
+	set.Add(correspond.Scored{Candidate: correspond.Candidate{Key: key, CatalogAttr: "Speed", MerchantAttr: "RPM"}, Score: 0.9})
+	set.Add(correspond.Scored{Candidate: correspond.Candidate{Key: key, CatalogAttr: "Interface", MerchantAttr: "Int. Type"}, Score: 0.8})
+	set.Add(correspond.Scored{Candidate: correspond.Candidate{Key: key, CatalogAttr: catalog.AttrMPN, MerchantAttr: "Mfr. Part #"}, Score: 0.95})
+	return set
+}
+
+func TestOfferReconciliation(t *testing.T) {
+	o := offer.Offer{
+		ID: "o1", Merchant: "hdshop", CategoryID: "hd",
+		Spec: catalog.Spec{
+			{Name: "RPM", Value: "7200"},
+			{Name: "Int. Type", Value: "SATA 300"},
+			{Name: "Mfr. Part #", Value: "HDT725"},
+			{Name: "Availability", Value: "In Stock"}, // no correspondence
+		},
+	}
+	spec, st := Offer(o, testSet())
+	if v, _ := spec.Get("Speed"); v != "7200" {
+		t.Errorf("Speed = %q", v)
+	}
+	if v, _ := spec.Get("Interface"); v != "SATA 300" {
+		t.Errorf("Interface = %q", v)
+	}
+	if v, _ := spec.Get(catalog.AttrMPN); v != "HDT725" {
+		t.Errorf("MPN = %q", v)
+	}
+	if _, ok := spec.Get("Availability"); ok {
+		t.Error("noise pair not dropped")
+	}
+	if st.PairsIn != 4 || st.PairsMapped != 3 || st.PairsDropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOfferWrongMerchantDropsAll(t *testing.T) {
+	o := offer.Offer{
+		ID: "o1", Merchant: "other", CategoryID: "hd",
+		Spec: catalog.Spec{{Name: "RPM", Value: "7200"}},
+	}
+	spec, st := Offer(o, testSet())
+	if len(spec) != 0 || st.PairsDropped != 1 {
+		t.Errorf("spec = %v, stats = %+v", spec, st)
+	}
+}
+
+func TestOfferDuplicateTargetFirstWins(t *testing.T) {
+	key := offer.SchemaKey{Merchant: "m", CategoryID: "c"}
+	set := correspond.NewSet()
+	set.Add(correspond.Scored{Candidate: correspond.Candidate{Key: key, CatalogAttr: "Speed", MerchantAttr: "RPM"}, Score: 0.9})
+	set.Add(correspond.Scored{Candidate: correspond.Candidate{Key: key, CatalogAttr: "Speed", MerchantAttr: "Rotational Speed"}, Score: 0.8})
+	o := offer.Offer{
+		Merchant: "m", CategoryID: "c",
+		Spec: catalog.Spec{
+			{Name: "RPM", Value: "7200"},
+			{Name: "Rotational Speed", Value: "9999"},
+		},
+	}
+	spec, st := Offer(o, set)
+	if v, _ := spec.Get("Speed"); v != "7200" {
+		t.Errorf("Speed = %q", v)
+	}
+	if len(spec) != 1 || st.PairsDropped != 1 {
+		t.Errorf("spec = %v, stats = %+v", spec, st)
+	}
+}
+
+func TestOffersBatch(t *testing.T) {
+	offers := []offer.Offer{
+		{ID: "o1", Merchant: "hdshop", CategoryID: "hd",
+			Spec: catalog.Spec{{Name: "RPM", Value: "5400"}}},
+		{ID: "o2", Merchant: "hdshop", CategoryID: "hd",
+			Spec: catalog.Spec{{Name: "Junk", Value: "x"}}},
+	}
+	out, st := Offers(offers, testSet())
+	if len(out) != 2 {
+		t.Fatalf("out = %d", len(out))
+	}
+	if v, _ := out[0].Spec.Get("Speed"); v != "5400" {
+		t.Errorf("o1 Speed = %q", v)
+	}
+	if len(out[1].Spec) != 0 {
+		t.Errorf("o2 spec = %v", out[1].Spec)
+	}
+	if st.OffersIn != 2 || st.PairsIn != 2 || st.PairsMapped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Original offers must be untouched.
+	if v, _ := offers[0].Spec.Get("RPM"); v != "5400" {
+		t.Error("input mutated")
+	}
+}

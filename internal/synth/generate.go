@@ -1,0 +1,607 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/offer"
+)
+
+// Dataset is a fully generated marketplace.
+type Dataset struct {
+	Config Config
+
+	// Catalog holds every category plus the products NOT withheld
+	// (the "existing catalog" the PSE already has).
+	Catalog *catalog.Store
+
+	// Categories lists all generated categories (also present in Catalog).
+	Categories []catalog.Category
+
+	// Universe maps product ID to the full true product instance,
+	// including the products withheld from the catalog.
+	Universe map[string]catalog.Product
+
+	// HistoricalOffers are offers for catalog products (offline learning
+	// input). Their Spec contains only feed fields (possibly a UPC);
+	// the rest must be extracted from Pages.
+	HistoricalOffers []offer.Offer
+
+	// IncomingOffers are offers for withheld products (runtime input).
+	IncomingOffers []offer.Offer
+
+	// Pages maps offer URL to the landing page HTML.
+	Pages map[string]string
+
+	// Truth is the exact ground truth for evaluation.
+	Truth *Truth
+}
+
+// Truth records everything the paper had to hand-label.
+type Truth struct {
+	// Correspondences maps (merchant, category) to the true mapping from
+	// merchant attribute name to catalog attribute name — only for
+	// attributes the merchant actually used in that category.
+	Correspondences map[offer.SchemaKey]map[string]string
+
+	// OfferProduct maps offer ID to the universe product it describes.
+	OfferProduct map[string]string
+
+	// Missing marks universe products withheld from the catalog.
+	Missing map[string]bool
+
+	// PageAttrs maps offer ID to the catalog-vocabulary attribute names
+	// actually rendered on its landing page (spec attributes only, no
+	// noise). This is the recall denominator of Table 4.
+	PageAttrs map[string][]string
+
+	// ProductByKey maps an MPN or UPC value to the universe product ID,
+	// used to resolve synthesized clusters to their true product.
+	ProductByKey map[string]string
+}
+
+// IsCorrespondence reports whether merchant attribute ao maps to catalog
+// attribute ap for the given (merchant, category).
+func (t *Truth) IsCorrespondence(k offer.SchemaKey, ap, ao string) bool {
+	m := t.Correspondences[k]
+	if m == nil {
+		return false
+	}
+	return m[ao] == ap
+}
+
+// merchant is one generated merchant with its private vocabulary and quirks.
+type merchant struct {
+	name    string
+	domains map[string]bool
+	// attrName maps a catalog attribute name to this merchant's name for
+	// it (chosen once, used across all categories — merchants are
+	// internally consistent, the assumption behind the paper's
+	// group-by-merchant feature).
+	attrName map[string]string
+	// unitStyle: 0 = never append units, 1 = always, 2 = per-offer coin.
+	unitStyle int
+	// brandInModel prefixes the brand into model values.
+	brandInModel bool
+	// bulletPages renders this merchant's pages as bullet lists.
+	bulletPages bool
+	// generalist merchants carry every brand; specialists carry only the
+	// brands in their affinity set. Assortment bias is the paper's §3.1
+	// motivation for restricting value distributions to matched
+	// instances ("SonyStyle.com only provides Sony MP3 players").
+	generalist bool
+	brands     map[string]bool
+}
+
+// carries reports whether the merchant stocks the given brand.
+func (m *merchant) carries(brand string) bool {
+	return m.generalist || m.brands[brand]
+}
+
+// categoryInfo carries the generated schema plus its attribute templates.
+type categoryInfo struct {
+	cat       catalog.Category
+	templates map[string]attrTemplate // by catalog attribute name
+	domain    *domainTemplate
+	noun      string // singular-ish noun for titles ("Hard Drive")
+}
+
+// Generate builds the marketplace.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ds := &Dataset{
+		Config:   cfg,
+		Catalog:  catalog.NewStore(),
+		Universe: make(map[string]catalog.Product),
+		Pages:    make(map[string]string),
+		Truth: &Truth{
+			Correspondences: make(map[offer.SchemaKey]map[string]string),
+			OfferProduct:    make(map[string]string),
+			Missing:         make(map[string]bool),
+			PageAttrs:       make(map[string][]string),
+			ProductByKey:    make(map[string]string),
+		},
+	}
+
+	orphans := pickOrphanBrands(cfg, rng)
+	cats := buildCategories(cfg, rng, ds)
+	merchants := buildMerchants(cfg, rng, orphans)
+	buildProductsAndOffers(cfg, rng, ds, cats, merchants, orphans)
+	return ds
+}
+
+// pickOrphanBrands selects, per domain, the brands no merchant carries.
+func pickOrphanBrands(cfg Config, rng *rand.Rand) map[string]bool {
+	orphans := make(map[string]bool)
+	for d := range domains {
+		dom := &domains[d]
+		k := int(float64(len(dom.brands)) * cfg.FracOrphanBrands)
+		for _, idx := range pickIndexes(rng, len(dom.brands), k) {
+			orphans[dom.brands[idx]] = true
+		}
+	}
+	return orphans
+}
+
+// buildCategories instantiates category schemas from the domain templates.
+func buildCategories(cfg Config, rng *rand.Rand, ds *Dataset) []*categoryInfo {
+	var infos []*categoryInfo
+	for d := range domains {
+		dom := &domains[d]
+		n := cfg.CategoriesPerDomain
+		if n > len(dom.categories) {
+			n = len(dom.categories)
+		}
+		for _, base := range dom.categories[:n] {
+			id := categoryID(dom.name, base)
+			info := &categoryInfo{
+				domain:    dom,
+				noun:      strings.TrimSuffix(base, "s"),
+				templates: make(map[string]attrTemplate),
+			}
+			schema := catalog.Schema{}
+			addAttr := func(t attrTemplate) {
+				schema.Attributes = append(schema.Attributes, t.attr)
+				info.templates[t.attr.Name] = t
+			}
+			// Universal attributes: Brand, Model, then the keys.
+			addAttr(attrTemplate{
+				attr:     catalog.Attribute{Name: "Brand", Kind: catalog.KindCategorical},
+				synonyms: brandSynonyms[1:],
+				values:   dom.brands,
+			})
+			addAttr(attrTemplate{
+				attr:     catalog.Attribute{Name: "Model", Kind: catalog.KindText},
+				synonyms: []string{"Model Name", "Product Model", "Product Line"},
+			})
+			for _, kt := range keyTemplates {
+				addAttr(kt)
+			}
+			// Domain attributes: a random subset of size in
+			// [minAttrs, maxAttrs], in template order for determinism.
+			k := dom.minAttrs + rng.Intn(dom.maxAttrs-dom.minAttrs+1)
+			if k > len(dom.attrs) {
+				k = len(dom.attrs)
+			}
+			for _, idx := range pickIndexes(rng, len(dom.attrs), k) {
+				addAttr(dom.attrs[idx])
+			}
+			info.cat = catalog.Category{
+				ID:       id,
+				Name:     base,
+				TopLevel: dom.name,
+				Schema:   schema,
+			}
+			if err := ds.Catalog.AddCategory(info.cat); err != nil {
+				panic(fmt.Sprintf("synth: %v", err)) // IDs are unique by construction
+			}
+			ds.Categories = append(ds.Categories, info.cat)
+			infos = append(infos, info)
+		}
+	}
+	return infos
+}
+
+func categoryID(domain, base string) string {
+	slug := func(s string) string {
+		s = strings.ToLower(s)
+		s = strings.ReplaceAll(s, "&", "and")
+		return strings.Join(strings.Fields(s), "-")
+	}
+	return slug(domain) + "/" + slug(base)
+}
+
+func buildMerchants(cfg Config, rng *rand.Rand, orphans map[string]bool) []*merchant {
+	out := make([]*merchant, cfg.Merchants)
+	for i := range out {
+		base := merchantNamePool[i%len(merchantNamePool)]
+		name := base
+		if i >= len(merchantNamePool) {
+			name = fmt.Sprintf("%s%d", base, i/len(merchantNamePool))
+		}
+		m := &merchant{
+			name:         name,
+			domains:      make(map[string]bool),
+			attrName:     make(map[string]string),
+			unitStyle:    rng.Intn(3),
+			brandInModel: rng.Float64() < 0.3,
+			bulletPages:  rng.Float64() < cfg.PBulletPage,
+			generalist:   rng.Float64() < 0.3,
+			brands:       make(map[string]bool),
+		}
+		// One or two domains per merchant.
+		first := rng.Intn(len(domains))
+		m.domains[domains[first].name] = true
+		if rng.Float64() < 0.4 {
+			m.domains[domains[rng.Intn(len(domains))].name] = true
+		}
+		// Specialists stock 1-3 carried (non-orphan) brands per domain
+		// they operate in.
+		if !m.generalist {
+			for d := range domains {
+				dom := &domains[d]
+				if !m.domains[dom.name] {
+					continue
+				}
+				var carried []string
+				for _, b := range dom.brands {
+					if !orphans[b] {
+						carried = append(carried, b)
+					}
+				}
+				if len(carried) == 0 {
+					continue
+				}
+				k := 1 + rng.Intn(3)
+				for _, idx := range pickIndexes(rng, len(carried), k) {
+					m.brands[carried[idx]] = true
+				}
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// nameFor returns (and fixes, on first use) the merchant's name for a
+// catalog attribute.
+func (m *merchant) nameFor(rng *rand.Rand, t attrTemplate, pIdentity float64) string {
+	if n, ok := m.attrName[t.attr.Name]; ok {
+		return n
+	}
+	name := t.attr.Name
+	if len(t.synonyms) > 0 && rng.Float64() >= pIdentity {
+		name = t.synonyms[rng.Intn(len(t.synonyms))]
+	}
+	m.attrName[t.attr.Name] = name
+	return name
+}
+
+var modelSyllables = []string{
+	"bar", "rac", "des", "tor", "cud", "rap", "max", "ultra", "pro",
+	"neo", "zen", "flex", "core", "star", "nova", "apex", "volt", "aero",
+}
+
+func modelName(rng *rand.Rand) string {
+	a := modelSyllables[rng.Intn(len(modelSyllables))]
+	b := modelSyllables[rng.Intn(len(modelSyllables))]
+	return strings.Title(a+b) + " " + fmt.Sprintf("%d", 100+rng.Intn(900)) //nolint:staticcheck // ASCII-only input
+}
+
+// valueFor draws the true catalog value for one attribute of one product.
+func valueFor(rng *rand.Rand, t attrTemplate, brand string, serial int) string {
+	switch t.attr.Kind {
+	case catalog.KindIdentifier:
+		if t.attr.Name == catalog.AttrUPC {
+			return fmt.Sprintf("%012d", rng.Int63n(1e12))
+		}
+		prefix := strings.ToUpper(strings.ReplaceAll(brand, " ", ""))
+		if len(prefix) > 3 {
+			prefix = prefix[:3]
+		}
+		return fmt.Sprintf("%s%d%04d", prefix, serial, rng.Intn(10000))
+	case catalog.KindNumeric:
+		if len(t.numericChoices) > 0 {
+			return t.numericChoices[tieredIndex(rng, brand, t.attr.Name, len(t.numericChoices))]
+		}
+		return fmt.Sprintf("%d", 1+rng.Intn(1000))
+	case catalog.KindText:
+		if t.attr.Name == "Model" {
+			return modelName(rng)
+		}
+		n := 2 + rng.Intn(3)
+		toks := make([]string, n)
+		for i := range toks {
+			toks[i] = t.textPool[rng.Intn(len(t.textPool))]
+		}
+		return strings.Join(toks, " ")
+	default: // categorical
+		pool := t.values
+		if len(pool) == 0 {
+			pool = []string{"Standard"}
+		}
+		return pool[tieredIndex(rng, brand, t.attr.Name, len(pool))]
+	}
+}
+
+// tieredIndex draws a value index biased toward the brand's "tier" for the
+// attribute: each brand occupies a stable segment of the value range, with
+// ±1 jitter. This correlates brand with the other attribute values, so a
+// brand-specialist merchant's assortment has skewed value distributions for
+// EVERY attribute — the phenomenon that makes unrestricted distributional
+// matching unreliable (paper §3.1) and historical-match restriction
+// valuable.
+func tieredIndex(rng *rand.Rand, brand, attrName string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	tier := int(fnv32(brand+"\x00"+attrName) % uint32(n))
+	idx := tier + rng.Intn(3) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// fnv32 is the FNV-1a hash, inlined to keep value generation allocation-free.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func buildProductsAndOffers(cfg Config, rng *rand.Rand, ds *Dataset, cats []*categoryInfo, merchants []*merchant, orphans map[string]bool) {
+	offerSerial := 0
+	productSerial := 0
+
+	for _, info := range cats {
+		// Merchants active in this category's domain.
+		var active []*merchant
+		for _, m := range merchants {
+			if m.domains[info.domain.name] {
+				active = append(active, m)
+			}
+		}
+		if len(active) == 0 {
+			active = merchants[:1]
+		}
+
+		for pi := 0; pi < cfg.ProductsPerCategory; pi++ {
+			productSerial++
+			pid := fmt.Sprintf("prod-%05d", productSerial)
+			brand := info.domain.brands[skewed(rng, len(info.domain.brands))]
+
+			spec := catalog.Spec{}
+			for _, a := range info.cat.Schema.Attributes {
+				t := info.templates[a.Name]
+				v := brand
+				if a.Name != "Brand" {
+					v = valueFor(rng, t, brand, productSerial)
+				}
+				spec = append(spec, catalog.AttributeValue{Name: a.Name, Value: v})
+			}
+			prod := catalog.Product{ID: pid, CategoryID: info.cat.ID, Spec: spec}
+			ds.Universe[pid] = prod
+			if mpn, ok := spec.Get(catalog.AttrMPN); ok {
+				ds.Truth.ProductByKey[mpn] = pid
+			}
+			if upc, ok := spec.Get(catalog.AttrUPC); ok {
+				ds.Truth.ProductByKey[upc] = pid
+			}
+
+			// Orphan-brand products are cold: always in the catalog,
+			// never offered by any merchant (§3.1's unmatched products).
+			if orphans[brand] {
+				if err := ds.Catalog.AddProduct(prod); err != nil {
+					panic(fmt.Sprintf("synth: %v", err))
+				}
+				continue
+			}
+
+			missing := rng.Float64() < cfg.FracMissing
+			if missing {
+				ds.Truth.Missing[pid] = true
+			} else if err := ds.Catalog.AddProduct(prod); err != nil {
+				panic(fmt.Sprintf("synth: %v", err))
+			}
+
+			// Offers: pick the merchant set for this product among
+			// merchants that actually carry the brand.
+			var eligible []*merchant
+			for _, m := range active {
+				if m.carries(brand) {
+					eligible = append(eligible, m)
+				}
+			}
+			if len(eligible) == 0 {
+				eligible = active[:1]
+			}
+			nOffers := 1 + rng.Intn(6)
+			if rng.Float64() < cfg.HeavyOfferFrac {
+				nOffers = 10 + rng.Intn(10)
+			}
+			if nOffers > len(eligible) {
+				nOffers = len(eligible)
+			}
+			for _, mi := range pickIndexes(rng, len(eligible), nOffers) {
+				m := eligible[mi]
+				offerSerial++
+				o := makeOffer(cfg, rng, ds, info, m, prod, offerSerial)
+				if missing {
+					ds.IncomingOffers = append(ds.IncomingOffers, o)
+				} else {
+					ds.HistoricalOffers = append(ds.HistoricalOffers, o)
+				}
+			}
+		}
+	}
+}
+
+// makeOffer creates one offer plus its landing page and ground truth rows.
+func makeOffer(cfg Config, rng *rand.Rand, ds *Dataset, info *categoryInfo, m *merchant, prod catalog.Product, serial int) offer.Offer {
+	oid := fmt.Sprintf("offer-%06d", serial)
+	url := fmt.Sprintf("http://%s.example.com/item/%s", m.name, oid)
+
+	// The merchant-side rendering of the product spec.
+	type renderedPair struct {
+		catalogName  string
+		merchantName string
+		value        string
+	}
+	var pairs []renderedPair
+	key := offer.SchemaKey{Merchant: m.name, CategoryID: info.cat.ID}
+	for _, av := range prod.Spec {
+		if rng.Float64() >= cfg.PAttrPresent {
+			continue
+		}
+		t := info.templates[av.Name]
+		mName := m.nameFor(rng, t, cfg.PIdentity)
+		trueValue := av.Value
+		// Merchant data errors: wrong value listed for a real attribute.
+		// Keys are exempt so cluster identity stays evaluable.
+		if t.attr.Kind != catalog.KindIdentifier && rng.Float64() < cfg.PValueError {
+			brand, _ := prod.Spec.Get("Brand")
+			trueValue = valueFor(rng, t, brand, serial)
+		}
+		pairs = append(pairs, renderedPair{
+			catalogName:  av.Name,
+			merchantName: mName,
+			value:        m.formatValue(rng, t, trueValue, prod),
+		})
+		// Record ground truth correspondence.
+		c := ds.Truth.Correspondences[key]
+		if c == nil {
+			c = make(map[string]string)
+			ds.Truth.Correspondences[key] = c
+		}
+		c[mName] = av.Name
+	}
+
+	// Title: brand + model + one or two salient values + category noun.
+	brand, _ := prod.Spec.Get("Brand")
+	model, _ := prod.Spec.Get("Model")
+	titleParts := []string{brand, model}
+	for _, av := range prod.Spec {
+		t := info.templates[av.Name]
+		if t.attr.Kind == catalog.KindNumeric && len(titleParts) < 4 {
+			titleParts = append(titleParts, av.Value+t.attr.Unit)
+		}
+	}
+	titleParts = append(titleParts, info.noun)
+	title := strings.Join(titleParts, " ")
+
+	// Feed spec: possibly the UPC.
+	var feedSpec catalog.Spec
+	if rng.Float64() < cfg.PFeedUPC {
+		if upc, ok := prod.Spec.Get(catalog.AttrUPC); ok {
+			feedSpec = append(feedSpec, catalog.AttributeValue{Name: catalog.AttrUPC, Value: upc})
+		}
+	}
+
+	categoryID := info.cat.ID
+	if rng.Float64() < cfg.PMissingCategory {
+		categoryID = ""
+	}
+
+	price := info.domain.priceLo + rng.Int63n(info.domain.priceHi-info.domain.priceLo+1)
+
+	o := offer.Offer{
+		ID:         oid,
+		Merchant:   m.name,
+		CategoryID: categoryID,
+		Title:      title,
+		PriceCents: price,
+		URL:        url,
+		Spec:       feedSpec,
+	}
+
+	// Landing page: merchant-name/value pairs plus noise rows.
+	var pageAttrs []string
+	var pagePairs []catalog.AttributeValue
+	for _, p := range pairs {
+		pagePairs = append(pagePairs, catalog.AttributeValue{Name: p.merchantName, Value: p.value})
+		pageAttrs = append(pageAttrs, p.catalogName)
+	}
+	nNoise := rng.Intn(cfg.NoiseRowsMax + 1)
+	for _, idx := range pickIndexes(rng, len(noisePool), nNoise) {
+		np := noisePool[idx]
+		pagePairs = append(pagePairs, catalog.AttributeValue{
+			Name:  np.name,
+			Value: np.values[rng.Intn(len(np.values))],
+		})
+	}
+	ds.Pages[url] = renderPage(rng, m, title, price, pagePairs)
+	ds.Truth.PageAttrs[oid] = pageAttrs
+	ds.Truth.OfferProduct[oid] = prod.ID
+	return o
+}
+
+// formatValue applies the merchant's formatting quirks to a true value.
+func (m *merchant) formatValue(rng *rand.Rand, t attrTemplate, v string, prod catalog.Product) string {
+	switch t.attr.Kind {
+	case catalog.KindNumeric:
+		if t.attr.Unit == "" {
+			return v
+		}
+		switch m.unitStyle {
+		case 1:
+			return v + " " + t.attr.Unit
+		case 2:
+			if rng.Float64() < 0.5 {
+				return v + t.attr.Unit
+			}
+		}
+		return v
+	case catalog.KindText:
+		if t.attr.Name == "Model" && m.brandInModel {
+			if brand, ok := prod.Spec.Get("Brand"); ok {
+				return brand + " " + v
+			}
+		}
+		return v
+	default:
+		return v
+	}
+}
+
+// skewed returns an index in [0,n) biased toward 0 (min of two uniforms).
+func skewed(rng *rand.Rand, n int) int {
+	i, j := rng.Intn(n), rng.Intn(n)
+	if j < i {
+		return j
+	}
+	return i
+}
+
+// pickIndexes returns k distinct indexes from [0,n) in ascending order.
+func pickIndexes(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	return perm
+}
+
+// AllOffers returns historical then incoming offers as one slice.
+func (ds *Dataset) AllOffers() []offer.Offer {
+	out := make([]offer.Offer, 0, len(ds.HistoricalOffers)+len(ds.IncomingOffers))
+	out = append(out, ds.HistoricalOffers...)
+	out = append(out, ds.IncomingOffers...)
+	return out
+}

@@ -1,0 +1,70 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"prodsynth/internal/catalog"
+)
+
+// renderPage produces a merchant landing page: navigation chrome, a title,
+// the spec block (a two-column table, or a bullet list for bullet-style
+// merchants), and a marketing table. Noise rows arrive pre-mixed in pairs.
+func renderPage(rng *rand.Rand, m *merchant, title string, priceCents int64, pairs []catalog.AttributeValue) string {
+	var b strings.Builder
+	b.Grow(2048)
+	b.WriteString("<!doctype html>\n<html><head><title>")
+	b.WriteString(escape(title))
+	b.WriteString(" | ")
+	b.WriteString(escape(m.name))
+	b.WriteString("</title>\n<script>var page = {layout: \"<table><tr><td>decoy</td><td>markup</td></tr></table>\"};</script>\n")
+	b.WriteString("<style>.spec td { padding: 2px; }</style>\n</head>\n<body>\n")
+
+	// Navigation chrome.
+	b.WriteString("<div class=nav><ul>")
+	for _, link := range []string{"Home", "Departments", "Deals", "Cart", "Help"} {
+		fmt.Fprintf(&b, "<li><a href=\"/%s\">%s</a>", strings.ToLower(link), link)
+	}
+	b.WriteString("</ul></div>\n")
+
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", escape(title))
+
+	// Marketing table: single-cell and three-cell rows that the
+	// two-column extractor must skip, plus a price pair it will pick up
+	// as a (noise) attribute.
+	b.WriteString("<table class=buybox>\n")
+	fmt.Fprintf(&b, "<tr><td colspan=2>Order today and save!</td></tr>\n")
+	fmt.Fprintf(&b, "<tr><td>Price</td><td>$%d.%02d</td></tr>\n", priceCents/100, priceCents%100)
+	fmt.Fprintf(&b, "<tr><td>Qty</td><td><input name=qty value=1></td><td><a href=\"/cart\">Add to Cart</a></td></tr>\n")
+	b.WriteString("</table>\n")
+
+	if m.bulletPages {
+		// Bullet-list spec block (invisible to the default extractor).
+		b.WriteString("<h2>Specifications</h2>\n<ul class=spec>\n")
+		for _, av := range pairs {
+			fmt.Fprintf(&b, "<li>%s: %s</li>\n", escape(av.Name), escape(av.Value))
+		}
+		b.WriteString("</ul>\n")
+	} else {
+		b.WriteString("<h2>Specifications</h2>\n<table class=spec>\n")
+		sloppy := rng.Float64() < 0.3 // unclosed cells, as in the wild
+		for _, av := range pairs {
+			if sloppy {
+				fmt.Fprintf(&b, "<tr><td>%s<td>%s\n", escape(av.Name), escape(av.Value))
+			} else {
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td></tr>\n", escape(av.Name), escape(av.Value))
+			}
+		}
+		b.WriteString("</table>\n")
+	}
+
+	b.WriteString("<div class=footer>&copy; merchant store &mdash; all rights reserved</div>\n")
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,273 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/extract"
+	"prodsynth/internal/offer"
+)
+
+func small() Config {
+	return Config{
+		Seed:                7,
+		CategoriesPerDomain: 2,
+		ProductsPerCategory: 15,
+		Merchants:           12,
+	}.withDefaults()
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(small())
+	if got := ds.Catalog.NumCategories(); got != 8 {
+		t.Errorf("categories = %d, want 8 (2 per domain x 4 domains)", got)
+	}
+	if len(ds.Universe) != 8*15 {
+		t.Errorf("universe = %d, want 120", len(ds.Universe))
+	}
+	if len(ds.HistoricalOffers) == 0 || len(ds.IncomingOffers) == 0 {
+		t.Fatalf("offers: hist=%d incoming=%d", len(ds.HistoricalOffers), len(ds.IncomingOffers))
+	}
+	if len(ds.Pages) != len(ds.HistoricalOffers)+len(ds.IncomingOffers) {
+		t.Errorf("pages = %d, offers = %d", len(ds.Pages), len(ds.AllOffers()))
+	}
+	// Catalog contains exactly the non-missing universe products.
+	wantCatalog := 0
+	for pid := range ds.Universe {
+		if !ds.Truth.Missing[pid] {
+			wantCatalog++
+		}
+	}
+	if got := ds.Catalog.NumProducts(); got != wantCatalog {
+		t.Errorf("catalog products = %d, want %d", got, wantCatalog)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(small())
+	b := Generate(small())
+	if len(a.HistoricalOffers) != len(b.HistoricalOffers) ||
+		len(a.IncomingOffers) != len(b.IncomingOffers) {
+		t.Fatal("offer counts differ across runs with same seed")
+	}
+	for i := range a.IncomingOffers {
+		ao, bo := a.IncomingOffers[i], b.IncomingOffers[i]
+		if ao.ID != bo.ID || ao.Title != bo.Title || ao.URL != bo.URL {
+			t.Fatalf("offer %d differs: %+v vs %+v", i, ao, bo)
+		}
+	}
+	for url, page := range a.Pages {
+		if b.Pages[url] != page {
+			t.Fatalf("page %s differs", url)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := small()
+	a := Generate(cfg)
+	cfg.Seed = 99
+	b := Generate(cfg)
+	if len(a.IncomingOffers) == len(b.IncomingOffers) {
+		same := true
+		for i := range a.IncomingOffers {
+			if a.IncomingOffers[i].Title != b.IncomingOffers[i].Title {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical offers")
+		}
+	}
+}
+
+func TestOffersReferenceTheirProducts(t *testing.T) {
+	ds := Generate(small())
+	for _, o := range ds.AllOffers() {
+		pid, ok := ds.Truth.OfferProduct[o.ID]
+		if !ok {
+			t.Fatalf("offer %s has no truth product", o.ID)
+		}
+		prod, ok := ds.Universe[pid]
+		if !ok {
+			t.Fatalf("offer %s references unknown product %s", o.ID, pid)
+		}
+		// Incoming offers must reference missing products; historical
+		// offers must reference catalog products.
+		if ds.Truth.Missing[pid] {
+			continue
+		}
+		if _, ok := ds.Catalog.Product(pid); !ok {
+			t.Fatalf("non-missing product %s absent from catalog", pid)
+		}
+		// Title carries the brand.
+		brand, _ := prod.Spec.Get("Brand")
+		if !strings.Contains(o.Title, brand) {
+			t.Errorf("offer %s title %q lacks brand %q", o.ID, o.Title, brand)
+		}
+	}
+	for _, o := range ds.IncomingOffers {
+		pid := ds.Truth.OfferProduct[o.ID]
+		if !ds.Truth.Missing[pid] {
+			t.Fatalf("incoming offer %s references catalog product %s", o.ID, pid)
+		}
+	}
+}
+
+func TestPagesExtractable(t *testing.T) {
+	ds := Generate(small())
+	extractedSomething := 0
+	truthAgreement := 0
+	checked := 0
+	for _, o := range ds.AllOffers() {
+		page := ds.Pages[o.URL]
+		if page == "" {
+			t.Fatalf("offer %s has no page", o.ID)
+		}
+		spec := extract.FromHTML(page)
+		if len(spec) > 0 {
+			extractedSomething++
+		}
+		// Every extracted pair that is a true spec attribute must carry
+		// the merchant's value for it.
+		key := offer.SchemaKey{Merchant: o.Merchant, CategoryID: truthCategory(ds, o)}
+		corr := ds.Truth.Correspondences[key]
+		for _, av := range spec {
+			if catName, ok := corr[av.Name]; ok {
+				checked++
+				prod := ds.Universe[ds.Truth.OfferProduct[o.ID]]
+				trueVal, _ := prod.Spec.Get(catName)
+				// The merchant value must contain the true value's
+				// leading token (formatting only appends units/brand).
+				if strings.Contains(av.Value, firstToken(trueVal)) {
+					truthAgreement++
+				}
+			}
+		}
+	}
+	if extractedSomething < len(ds.AllOffers())*7/10 {
+		t.Errorf("extraction succeeded on %d/%d pages", extractedSomething, len(ds.AllOffers()))
+	}
+	if checked == 0 || truthAgreement < checked*95/100 {
+		t.Errorf("value agreement %d/%d", truthAgreement, checked)
+	}
+}
+
+// truthCategory returns the true category of an offer even when the feed
+// row omitted it (PMissingCategory).
+func truthCategory(ds *Dataset, o offer.Offer) string {
+	if o.CategoryID != "" {
+		return o.CategoryID
+	}
+	return ds.Universe[ds.Truth.OfferProduct[o.ID]].CategoryID
+}
+
+func firstToken(s string) string {
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return s
+	}
+	return f[0]
+}
+
+func TestCorrespondenceTruthConsistent(t *testing.T) {
+	ds := Generate(small())
+	// A merchant must use exactly one name per catalog attribute within a
+	// (merchant, category) — the §3.2 assumption.
+	for key, corr := range ds.Truth.Correspondences {
+		seen := make(map[string]string) // catalog name -> merchant name
+		for mName, catName := range corr {
+			if prev, ok := seen[catName]; ok && prev != mName {
+				t.Errorf("%v: catalog attr %q has two merchant names %q and %q",
+					key, catName, prev, mName)
+			}
+			seen[catName] = mName
+		}
+	}
+	if len(ds.Truth.Correspondences) == 0 {
+		t.Fatal("no correspondences recorded")
+	}
+	// Some merchants must use name identities (PIdentity > 0) and some
+	// must rename; otherwise the learning problem degenerates.
+	identities, renames := 0, 0
+	for _, corr := range ds.Truth.Correspondences {
+		for mName, catName := range corr {
+			if mName == catName {
+				identities++
+			} else {
+				renames++
+			}
+		}
+	}
+	if identities == 0 || renames == 0 {
+		t.Errorf("identities=%d renames=%d; need both", identities, renames)
+	}
+}
+
+func TestOfferDistributionForTable4(t *testing.T) {
+	// The ≥10-offer split needs enough merchants per domain.
+	cfg := small()
+	cfg.Merchants = 60
+	ds := Generate(cfg)
+	perProduct := make(map[string]int)
+	for _, o := range ds.IncomingOffers {
+		perProduct[ds.Truth.OfferProduct[o.ID]]++
+	}
+	heavy, light := 0, 0
+	for _, n := range perProduct {
+		if n >= 10 {
+			heavy++
+		} else {
+			light++
+		}
+	}
+	if heavy == 0 || light == 0 {
+		t.Errorf("need both heavy and light products: heavy=%d light=%d", heavy, light)
+	}
+}
+
+func TestProductByKeyResolution(t *testing.T) {
+	ds := Generate(small())
+	for pid, prod := range ds.Universe {
+		mpn, _ := prod.Spec.Get(catalog.AttrMPN)
+		if got := ds.Truth.ProductByKey[mpn]; got != pid {
+			t.Errorf("MPN %q resolves to %q, want %q", mpn, got, pid)
+		}
+	}
+}
+
+func TestUPCFeedFraction(t *testing.T) {
+	ds := Generate(small())
+	withUPC := 0
+	for _, o := range ds.HistoricalOffers {
+		if _, ok := o.Spec.Get(catalog.AttrUPC); ok {
+			withUPC++
+		}
+	}
+	frac := float64(withUPC) / float64(len(ds.HistoricalOffers))
+	if frac < 0.5 || frac > 0.9 {
+		t.Errorf("UPC-bearing fraction = %.2f, want ≈ 0.7", frac)
+	}
+}
+
+func TestExperimentConfigLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := ExperimentConfig()
+	cfg.ProductsPerCategory = 20 // keep the test fast; shape only
+	ds := Generate(cfg)
+	if ds.Catalog.NumCategories() < 30 {
+		t.Errorf("experiment config categories = %d", ds.Catalog.NumCategories())
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := small()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

@@ -1,0 +1,270 @@
+package synth
+
+import "prodsynth/internal/catalog"
+
+// The vocabulary below defines the simulated marketplace: four top-level
+// domains matching the paper's Table 3 (Cameras, Computing, Home
+// Furnishings, Kitchen & Housewares), each with leaf category templates,
+// attribute templates with value generators, and per-attribute synonym
+// pools describing how merchants rename catalog attributes.
+//
+// Schema richness is deliberately uneven across domains — Computing and
+// Cameras categories carry many attributes, Furnishing and Kitchen few —
+// because that asymmetry produces the paper's Table 3 effect (strict
+// product precision is lower where products have more attributes).
+
+// attrTemplate describes one catalog attribute and how merchants mangle it.
+type attrTemplate struct {
+	attr catalog.Attribute
+	// synonyms are the names merchants may use instead of attr.Name.
+	// attr.Name itself is always a candidate (name identity).
+	synonyms []string
+	// values is the closed vocabulary for categorical attributes.
+	values []string
+	// numeric values are drawn from numericChoices when non-empty.
+	numericChoices []string
+	// textPool provides tokens for KindText attributes.
+	textPool []string
+}
+
+// domainTemplate describes one top-level taxonomy domain.
+type domainTemplate struct {
+	name string
+	// categories are the leaf category base names.
+	categories []string
+	// attrs are the domain's non-key attribute templates; each category
+	// samples a contiguous-ish subset of them.
+	attrs []attrTemplate
+	// minAttrs/maxAttrs bound how many non-key attributes a category
+	// schema gets (drives Table 3's avg-attrs-per-product differences).
+	minAttrs, maxAttrs int
+	// brandPool names the brands active in this domain.
+	brands []string
+	// priceLo/priceHi bound offer prices in cents.
+	priceLo, priceHi int64
+}
+
+var brandSynonyms = []string{"Brand", "Manufacturer", "Make", "Mfg", "Brand Name"}
+
+var keyTemplates = []attrTemplate{
+	{
+		attr:     catalog.Attribute{Name: catalog.AttrMPN, Kind: catalog.KindIdentifier},
+		synonyms: []string{"MPN", "Mfr. Part #", "Part Number", "Manufacturers Part Number", "Model No"},
+	},
+	{
+		attr:     catalog.Attribute{Name: catalog.AttrUPC, Kind: catalog.KindIdentifier},
+		synonyms: []string{"UPC", "UPC Code", "EAN", "GTIN"},
+	},
+}
+
+var domains = []domainTemplate{
+	{
+		name: "Computing",
+		categories: []string{
+			"Hard Drives", "Laptops", "Monitors", "Workstations",
+			"Mobile Devices", "Routers", "Memory", "Graphics Cards",
+			"Keyboards", "Printers", "Scanners", "Servers",
+		},
+		minAttrs: 5, maxAttrs: 8,
+		brands: []string{
+			"Seagate", "Western Digital", "Hitachi", "Samsung", "Toshiba",
+			"Dell", "HP", "Lenovo", "Asus", "Acer", "Intel", "Kingston",
+		},
+		priceLo: 2900, priceHi: 249900,
+		attrs: []attrTemplate{
+			{
+				attr:           catalog.Attribute{Name: "Capacity", Kind: catalog.KindNumeric, Unit: "GB"},
+				synonyms:       []string{"Hard Disk Size", "Storage Capacity", "Drive Capacity", "Size"},
+				numericChoices: []string{"80", "160", "250", "320", "400", "500", "640", "750", "1000"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Speed", Kind: catalog.KindNumeric, Unit: "rpm"},
+				synonyms:       []string{"RPM", "Rotational Speed", "Spindle Speed"},
+				numericChoices: []string{"4200", "5400", "7200", "10000", "15000"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Interface", Kind: catalog.KindCategorical},
+				synonyms: []string{"Int. Type", "Interface Type", "Connection", "Bus Type"},
+				values:   []string{"SATA 300", "SATA 150", "IDE 133", "ATA 100", "SCSI", "USB 2.0", "PCIe"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Cache", Kind: catalog.KindNumeric, Unit: "MB"},
+				synonyms:       []string{"Buffer Size", "Cache Size", "Cache Memory"},
+				numericChoices: []string{"2", "8", "16", "32", "64"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Form Factor", Kind: catalog.KindCategorical},
+				synonyms: []string{"Size Class", "Disk Size", "Format"},
+				values:   []string{"3.5 inch", "2.5 inch", "1.8 inch", "Tower", "Rackmount"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Memory", Kind: catalog.KindNumeric, Unit: "GB"},
+				synonyms:       []string{"RAM", "Installed Memory", "System Memory"},
+				numericChoices: []string{"1", "2", "4", "8", "16", "32"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Screen Size", Kind: catalog.KindNumeric, Unit: "in"},
+				synonyms:       []string{"Display Size", "Diagonal Size", "Monitor Size"},
+				numericChoices: []string{"13", "14", "15", "17", "19", "21", "24", "27"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Processor", Kind: catalog.KindText},
+				synonyms: []string{"CPU", "Processor Type", "Chip"},
+				textPool: []string{"Core", "Duo", "Quad", "Xeon", "Atom", "Turion", "Phenom", "2.4", "3.0", "GHz"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Operating System", Kind: catalog.KindText},
+				synonyms: []string{"OS", "Platform", "OS Provided"},
+				textPool: []string{"Windows", "Vista", "XP", "Linux", "Ubuntu", "Home", "Professional", "Microsoft"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Data Transfer Rate", Kind: catalog.KindNumeric, Unit: "MBps"},
+				synonyms:       []string{"Transfer Rate", "Throughput", "Max Transfer Rate"},
+				numericChoices: []string{"100", "133", "150", "300", "600"},
+			},
+		},
+	},
+	{
+		name: "Cameras",
+		categories: []string{
+			"Digital Cameras", "Lenses", "Camcorders", "Flashes",
+			"Tripods", "Binoculars", "Camera Bags", "Memory Cards",
+		},
+		minAttrs: 4, maxAttrs: 6,
+		brands: []string{
+			"Canon", "Nikon", "Sony", "Olympus", "Pentax", "Fujifilm",
+			"Panasonic", "Kodak", "Sigma", "Tamron",
+		},
+		priceLo: 1900, priceHi: 189900,
+		attrs: []attrTemplate{
+			{
+				attr:           catalog.Attribute{Name: "Resolution", Kind: catalog.KindNumeric, Unit: "MP"},
+				synonyms:       []string{"Megapixels", "Effective Pixels", "Sensor Resolution"},
+				numericChoices: []string{"6", "8", "10", "12", "14", "16", "21"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Optical Zoom", Kind: catalog.KindNumeric, Unit: "x"},
+				synonyms:       []string{"Zoom", "Zoom Factor", "Optical Zoom Ratio"},
+				numericChoices: []string{"3", "4", "5", "10", "12", "18", "20"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Sensor Type", Kind: catalog.KindCategorical},
+				synonyms: []string{"Sensor", "Image Sensor", "Sensor Technology"},
+				values:   []string{"CMOS", "CCD", "Full Frame CMOS", "APS-C CMOS"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Focal Length", Kind: catalog.KindText},
+				synonyms: []string{"Lens Focal Length", "Focal Range", "Zoom Range"},
+				textPool: []string{"18", "35", "55", "70", "105", "200", "300", "mm", "f/2.8", "f/4", "f/5.6"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Display Size", Kind: catalog.KindNumeric, Unit: "in"},
+				synonyms:       []string{"LCD Size", "Screen", "Monitor"},
+				numericChoices: []string{"2.5", "2.7", "3.0", "3.5"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Image Format", Kind: catalog.KindCategorical},
+				synonyms: []string{"File Format", "Still Image Format", "Format"},
+				values:   []string{"JPEG", "RAW", "JPEG RAW", "TIFF"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Color", Kind: catalog.KindCategorical},
+				synonyms: []string{"Colour", "Body Color", "Finish"},
+				values:   []string{"Black", "Silver", "Red", "Blue", "Gray"},
+			},
+		},
+	},
+	{
+		name: "Home Furnishings",
+		categories: []string{
+			"Bedspreads", "Home Lighting", "Curtains", "Area Rugs",
+			"Throw Pillows", "Wall Art", "Mirrors", "Candles",
+		},
+		minAttrs: 1, maxAttrs: 3,
+		brands: []string{
+			"Croscill", "Waverly", "Laura Ashley", "Pottery Barn",
+			"Mohawk", "Safavieh", "Nourison", "Surya",
+		},
+		priceLo: 900, priceHi: 59900,
+		attrs: []attrTemplate{
+			{
+				attr:     catalog.Attribute{Name: "Material", Kind: catalog.KindCategorical},
+				synonyms: []string{"Fabric", "Fabric Type", "Construction"},
+				values:   []string{"Cotton", "Polyester", "Silk", "Wool", "Linen", "Velvet"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Color", Kind: catalog.KindCategorical},
+				synonyms: []string{"Colour", "Color Family", "Shade"},
+				values:   []string{"White", "Ivory", "Blue", "Red", "Green", "Beige", "Brown"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Size", Kind: catalog.KindCategorical},
+				synonyms: []string{"Dimensions", "Item Size", "Measurements"},
+				values:   []string{"Twin", "Full", "Queen", "King", "Standard", "Oversized"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Pattern", Kind: catalog.KindCategorical},
+				synonyms: []string{"Design", "Style", "Motif"},
+				values:   []string{"Solid", "Floral", "Striped", "Paisley", "Geometric"},
+			},
+		},
+	},
+	{
+		name: "Kitchen & Housewares",
+		categories: []string{
+			"Air Conditioners", "Dishwashers", "Blenders", "Coffee Makers",
+			"Toasters", "Cookware", "Microwaves", "Vacuums",
+		},
+		minAttrs: 1, maxAttrs: 3,
+		brands: []string{
+			"KitchenAid", "Cuisinart", "Whirlpool", "GE", "Bosch",
+			"Hamilton Beach", "Oster", "Breville", "Dyson",
+		},
+		priceLo: 1500, priceHi: 99900,
+		attrs: []attrTemplate{
+			{
+				attr:           catalog.Attribute{Name: "Wattage", Kind: catalog.KindNumeric, Unit: "W"},
+				synonyms:       []string{"Power", "Watts", "Power Consumption"},
+				numericChoices: []string{"300", "500", "700", "900", "1200", "1500"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Color", Kind: catalog.KindCategorical},
+				synonyms: []string{"Colour", "Finish", "Exterior Color"},
+				values:   []string{"Stainless Steel", "White", "Black", "Red", "Chrome"},
+			},
+			{
+				attr:     catalog.Attribute{Name: "Material", Kind: catalog.KindCategorical},
+				synonyms: []string{"Construction", "Body Material", "Housing"},
+				values:   []string{"Stainless Steel", "Plastic", "Glass", "Aluminum", "Cast Iron"},
+			},
+			{
+				attr:           catalog.Attribute{Name: "Capacity", Kind: catalog.KindNumeric, Unit: "qt"},
+				synonyms:       []string{"Volume", "Size", "Holding Capacity"},
+				numericChoices: []string{"1", "2", "4", "5", "6", "8", "12"},
+			},
+		},
+	},
+}
+
+// noisePool is the marketing/fulfillment content that appears in landing
+// page tables but is NOT part of any product specification. Extraction
+// harvests these pairs; schema reconciliation must learn to drop them.
+var noisePool = []struct {
+	name   string
+	values []string
+}{
+	{"Availability", []string{"In Stock", "Out of Stock", "2-3 Days", "Ships Today"}},
+	{"Shipping", []string{"Free Shipping", "Flat Rate", "Ground", "Expedited"}},
+	{"Condition", []string{"New", "Refurbished", "Open Box"}},
+	{"Warranty", []string{"1 Year", "2 Years", "90 Days", "Limited Lifetime"}},
+	{"Returns", []string{"30 Day Returns", "No Returns", "14 Day Returns"}},
+	{"Our Price", []string{"See Cart", "Call For Price", "Special Offer"}},
+}
+
+// merchantNamePool seeds merchant identifiers.
+var merchantNamePool = []string{
+	"acme", "buynow", "techforless", "megastore", "shopsmart", "lacc",
+	"microwarehouse", "valuebay", "gizmohut", "homegoods", "kitchenpro",
+	"photodirect", "datastore", "pricekings", "fastship", "bargainbin",
+	"primesource", "directdeals", "qualityfirst", "superstore",
+}

@@ -1,0 +1,252 @@
+// Package text provides tokenization, normalization, bags of words, and
+// term probability distributions. These are the shared lexical substrate
+// for the schema-reconciliation features (Jensen-Shannon divergence over
+// attribute value distributions), the value-fusion component, and the
+// baseline matchers.
+//
+// All operations are pure and allocation-conscious; a Tokenizer can be
+// reused across goroutines because it carries no mutable state.
+package text
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits raw attribute values and titles into normalized tokens.
+// The zero value is ready to use and applies the default normalization:
+// lower-casing, splitting on any non-alphanumeric rune, and splitting at
+// letter/digit boundaries (so "500GB" becomes ["500", "gb"], matching how
+// the paper's value distributions treat "500 GB" and "500GB" as overlapping).
+type Tokenizer struct {
+	// KeepAlphaNumJoined, when true, disables splitting at letter/digit
+	// boundaries, so "500GB" stays a single token. The paper's examples
+	// (Figure 5c) tokenize "ATA 100 mb/s" into ["ata", "100", "mb", "s"],
+	// which the default behaviour reproduces.
+	KeepAlphaNumJoined bool
+
+	// StopWords, when non-nil, is a set of tokens dropped from output.
+	StopWords map[string]bool
+}
+
+// DefaultTokenizer is the tokenizer used throughout the pipeline.
+var DefaultTokenizer = Tokenizer{}
+
+// Tokenize returns the normalized tokens of s, in order of appearance.
+// It never returns nil; an input with no token content yields an empty slice.
+func (t Tokenizer) Tokenize(s string) []string {
+	tokens := make([]string, 0, 8)
+	var cur strings.Builder
+	var curClass runeClass
+
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		cur.Reset()
+		if t.StopWords != nil && t.StopWords[tok] {
+			return
+		}
+		tokens = append(tokens, tok)
+	}
+
+	for _, r := range s {
+		c := classify(r)
+		if c == classOther {
+			flush()
+			curClass = classOther
+			continue
+		}
+		if !t.KeepAlphaNumJoined && cur.Len() > 0 && c != curClass {
+			flush()
+		}
+		curClass = c
+		cur.WriteRune(unicode.ToLower(r))
+	}
+	flush()
+	return tokens
+}
+
+type runeClass int
+
+const (
+	classOther runeClass = iota
+	classLetter
+	classDigit
+)
+
+func classify(r rune) runeClass {
+	switch {
+	case unicode.IsLetter(r):
+		return classLetter
+	case unicode.IsDigit(r):
+		return classDigit
+	default:
+		return classOther
+	}
+}
+
+// NormalizeName canonicalizes an attribute name for name-identity comparison:
+// lower-case, with runs of non-alphanumeric runes collapsed to single spaces
+// and leading/trailing separators trimmed. "Mfr. Part #" and "mfr part"
+// normalize identically.
+func NormalizeName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	pendingSpace := false
+	for _, r := range name {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			pendingSpace = true
+		}
+	}
+	return b.String()
+}
+
+// Bag is a multiset of tokens: the "bag of words" the paper assembles from
+// all values of an attribute across a set of products or offers (§3.1).
+type Bag struct {
+	counts map[string]int
+	total  int
+}
+
+// NewBag returns an empty bag.
+func NewBag() *Bag {
+	return &Bag{counts: make(map[string]int)}
+}
+
+// Add inserts every token once.
+func (b *Bag) Add(tokens ...string) {
+	for _, tok := range tokens {
+		b.counts[tok]++
+		b.total++
+	}
+}
+
+// AddValue tokenizes v with the default tokenizer and adds the tokens.
+func (b *Bag) AddValue(v string) {
+	b.Add(DefaultTokenizer.Tokenize(v)...)
+}
+
+// Count returns the multiplicity of tok.
+func (b *Bag) Count(tok string) int { return b.counts[tok] }
+
+// Total returns the total number of token occurrences.
+func (b *Bag) Total() int { return b.total }
+
+// Distinct returns the number of distinct tokens.
+func (b *Bag) Distinct() int { return len(b.counts) }
+
+// Tokens returns the distinct tokens in unspecified order.
+func (b *Bag) Tokens() []string {
+	out := make([]string, 0, len(b.counts))
+	for tok := range b.counts {
+		out = append(out, tok)
+	}
+	return out
+}
+
+// SortedTokens returns the distinct tokens in lexicographic order.
+func (b *Bag) SortedTokens() []string {
+	out := b.Tokens()
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds all of other's counts into b.
+func (b *Bag) Merge(other *Bag) {
+	if other == nil {
+		return
+	}
+	for tok, n := range other.counts {
+		b.counts[tok] += n
+		b.total += n
+	}
+}
+
+// Clone returns a deep copy of the bag.
+func (b *Bag) Clone() *Bag {
+	c := &Bag{counts: make(map[string]int, len(b.counts)), total: b.total}
+	for tok, n := range b.counts {
+		c.counts[tok] = n
+	}
+	return c
+}
+
+// Jaccard returns the Jaccard coefficient |A∩B| / |A∪B| over the distinct
+// token sets of the two bags (§3.1: "The Jaccard coefficient considers only
+// counts for the different terms"). Two empty bags have similarity 0.
+func (b *Bag) Jaccard(other *Bag) float64 {
+	if b == nil || other == nil || (len(b.counts) == 0 && len(other.counts) == 0) {
+		return 0
+	}
+	inter := 0
+	small, large := b, other
+	if len(small.counts) > len(large.counts) {
+		small, large = large, small
+	}
+	for tok := range small.counts {
+		if large.counts[tok] > 0 {
+			inter++
+		}
+	}
+	union := len(b.counts) + len(other.counts) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Distribution is a probability distribution over tokens:
+// p(t) = count(t) / total, per the paper's definition in §3.1.
+type Distribution struct {
+	probs map[string]float64
+}
+
+// Distribution converts the bag into a probability distribution.
+// An empty bag yields an empty (zero-support) distribution.
+func (b *Bag) Distribution() Distribution {
+	d := Distribution{probs: make(map[string]float64, len(b.counts))}
+	if b.total == 0 {
+		return d
+	}
+	inv := 1 / float64(b.total)
+	for tok, n := range b.counts {
+		d.probs[tok] = float64(n) * inv
+	}
+	return d
+}
+
+// P returns the probability of tok (0 if unsupported).
+func (d Distribution) P(tok string) float64 { return d.probs[tok] }
+
+// Support returns the number of tokens with non-zero probability.
+func (d Distribution) Support() int { return len(d.probs) }
+
+// Tokens returns the supported tokens in lexicographic order, so that
+// floating-point reductions over a distribution are deterministic.
+func (d Distribution) Tokens() []string {
+	out := make([]string, 0, len(d.probs))
+	for tok := range d.probs {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mass returns the total probability mass (1 for a valid non-empty
+// distribution, 0 for an empty one). Exposed for invariant testing.
+func (d Distribution) Mass() float64 {
+	var sum float64
+	for _, p := range d.probs {
+		sum += p
+	}
+	return sum
+}

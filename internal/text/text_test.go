@@ -1,0 +1,246 @@
+package text
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"ATA 100 mb/s", []string{"ata", "100", "mb", "s"}},
+		{"500GB", []string{"500", "gb"}},
+		{"Serial ATA-300", []string{"serial", "ata", "300"}},
+		{"", nil},
+		{"   ", nil},
+		{"Windows Vista", []string{"windows", "vista"}},
+		{"3.5\" x 1/3H", []string{"3", "5", "x", "1", "3", "h"}},
+		{"HDT725050VLA360", []string{"hdt", "725050", "vla", "360"}},
+		{"7200 rpm", []string{"7200", "rpm"}},
+	}
+	for _, c := range cases {
+		got := DefaultTokenizer.Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeKeepAlphaNumJoined(t *testing.T) {
+	tok := Tokenizer{KeepAlphaNumJoined: true}
+	got := tok.Tokenize("500GB SATA2")
+	want := []string{"500gb", "sata2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeStopWords(t *testing.T) {
+	tok := Tokenizer{StopWords: map[string]bool{"the": true, "a": true}}
+	got := tok.Tokenize("The Quick a Fox")
+	want := []string{"quick", "fox"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := DefaultTokenizer.Tokenize("Caché Größe")
+	want := []string{"caché", "größe"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"Mfr. Part #", "mfr part"},
+		{"  mfr   part ", "mfr part"},
+		{"MPN", "mpn"},
+		{"Storage Hard Drive / Capacity", "storage hard drive capacity"},
+		{"", ""},
+		{"###", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeName(c.in); got != c.want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeNameIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizeName(s)
+		return NormalizeName(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagCounts(t *testing.T) {
+	b := NewBag()
+	b.AddValue("ATA 100")
+	b.AddValue("IDE 133")
+	b.AddValue("IDE 133")
+	b.AddValue("ATA 133")
+
+	if got := b.Total(); got != 8 {
+		t.Fatalf("Total = %d, want 8", got)
+	}
+	if got := b.Count("133"); got != 3 {
+		t.Errorf("Count(133) = %d, want 3", got)
+	}
+	if got := b.Count("ata"); got != 2 {
+		t.Errorf("Count(ata) = %d, want 2", got)
+	}
+	if got := b.Distinct(); got != 4 {
+		t.Errorf("Distinct = %d, want 4", got)
+	}
+}
+
+func TestBagMergeClone(t *testing.T) {
+	a := NewBag()
+	a.Add("x", "y")
+	b := NewBag()
+	b.Add("y", "z")
+
+	c := a.Clone()
+	c.Merge(b)
+	if c.Total() != 4 || c.Count("y") != 2 {
+		t.Errorf("merged bag wrong: total=%d count(y)=%d", c.Total(), c.Count("y"))
+	}
+	// Original must be unchanged.
+	if a.Total() != 2 || a.Count("y") != 1 {
+		t.Errorf("clone mutated original: total=%d", a.Total())
+	}
+	c.Merge(nil) // must not panic
+}
+
+func TestBagJaccard(t *testing.T) {
+	a := NewBag()
+	a.Add("ata", "100", "ide", "133")
+	b := NewBag()
+	b.Add("ata", "100", "ide", "133", "mb", "s")
+
+	got := a.Jaccard(b)
+	want := 4.0 / 6.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jaccard = %g, want %g", got, want)
+	}
+	if a.Jaccard(a) != 1 {
+		t.Errorf("self Jaccard = %g, want 1", a.Jaccard(a))
+	}
+	empty := NewBag()
+	if empty.Jaccard(empty) != 0 {
+		t.Errorf("empty Jaccard = %g, want 0", empty.Jaccard(empty))
+	}
+	if a.Jaccard(nil) != 0 {
+		t.Errorf("nil Jaccard should be 0")
+	}
+}
+
+func TestBagJaccardSymmetric(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a, b := NewBag(), NewBag()
+		a.Add(xs...)
+		b.Add(ys...)
+		return math.Abs(a.Jaccard(b)-b.Jaccard(a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagJaccardBounds(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a, b := NewBag(), NewBag()
+		a.Add(xs...)
+		b.Add(ys...)
+		j := a.Jaccard(b)
+		return j >= 0 && j <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	b := NewBag()
+	b.Add("speed", "speed", "rpm", "interface")
+	d := b.Distribution()
+	if got := d.P("speed"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(speed) = %g, want 0.5", got)
+	}
+	if got := d.P("missing"); got != 0 {
+		t.Errorf("P(missing) = %g, want 0", got)
+	}
+	if got := d.Support(); got != 3 {
+		t.Errorf("Support = %d, want 3", got)
+	}
+	if got := d.Mass(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Mass = %g, want 1", got)
+	}
+}
+
+func TestDistributionEmptyBag(t *testing.T) {
+	d := NewBag().Distribution()
+	if d.Support() != 0 || d.Mass() != 0 {
+		t.Errorf("empty distribution has support=%d mass=%g", d.Support(), d.Mass())
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	f := func(tokens []string) bool {
+		if len(tokens) == 0 {
+			return true
+		}
+		b := NewBag()
+		b.Add(tokens...)
+		return math.Abs(b.Distribution().Mass()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagTokensSorted(t *testing.T) {
+	b := NewBag()
+	b.Add("z", "a", "m")
+	got := b.SortedTokens()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("SortedTokens not sorted: %v", got)
+	}
+	if len(got) != 3 {
+		t.Errorf("len = %d, want 3", len(got))
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	s := "Hitachi 500GB S/ATA2 7200rpm Cache: 16MB, SATA 300 Hard Drive"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DefaultTokenizer.Tokenize(s)
+	}
+}
+
+func BenchmarkBagDistribution(b *testing.B) {
+	bag := NewBag()
+	for i := 0; i < 100; i++ {
+		bag.AddValue("Serial ATA 300 7200 rpm 16 MB cache")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bag.Distribution()
+	}
+}
