@@ -24,15 +24,22 @@
 package prodsynth
 
 import (
+	"errors"
 	"strconv"
 
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/core"
 	"prodsynth/internal/correspond"
 	"prodsynth/internal/fusion"
+	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
 	"prodsynth/internal/synth"
 )
+
+// ErrNotLearned is returned by Synthesize and SynthesizeBatches when Learn
+// has not succeeded first: the runtime pipeline needs the learned attribute
+// correspondences.
+var ErrNotLearned = errors.New("prodsynth: Learn must succeed before Synthesize")
 
 // Re-exported data model. These aliases are the supported public surface;
 // their methods are documented on the internal definitions.
@@ -92,6 +99,14 @@ const (
 
 // NewCatalog returns an empty catalog store.
 func NewCatalog() *Catalog { return catalog.NewStore() }
+
+// ReleaseMatchState drops the matcher's cached per-category indexes for a
+// catalog, releasing the memory (and the catalog reference) the shared
+// index registry holds for it. Call when a catalog goes out of use in a
+// long-lived process — e.g. after swapping in a rebuilt catalog — to keep
+// the registry from pinning retired stores. Matching against the catalog
+// afterwards simply rebuilds its indexes on first touch.
+func ReleaseMatchState(store *Catalog) { match.DefaultRegistry.ReleaseStore(store) }
 
 // GenerateMarketplace builds a synthetic marketplace (catalog, merchants,
 // offers, landing pages, ground truth) standing in for a production offer
@@ -177,8 +192,11 @@ type Result struct {
 
 // Synthesize runs the runtime pipeline (§4) over incoming offers:
 // extraction, schema reconciliation, clustering, and value fusion.
-// Learn must have been called first.
+// Learn must have succeeded first; ErrNotLearned otherwise.
 func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error) {
+	if s.offline == nil {
+		return nil, ErrNotLearned
+	}
 	run, err := core.RunRuntime(s.store, s.offline, incoming, pages, s.cfg)
 	if err != nil {
 		return nil, err
@@ -192,21 +210,90 @@ func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error
 	}, nil
 }
 
+// BatchResult is the outcome of a SynthesizeBatches run.
+type BatchResult struct {
+	// Batches holds one Result per input batch, in input order.
+	Batches []*Result
+	// Total aggregates every batch: concatenated Products (batch order)
+	// and summed counters.
+	Total Result
+}
+
+// SynthesizeBatches runs the runtime pipeline over a sequence of offer
+// batches — the serving shape of the system, where offer feeds arrive in
+// waves. The learned offline state and the matcher's per-category indexes
+// are reused across batches, so every batch after the first runs against
+// warm state; a batch containing all offers at once is equivalent to a
+// single Synthesize call. Offers are clustered within their batch: a
+// product whose offers are split across batches synthesizes once per
+// batch it appears in.
+//
+// Learn must have succeeded first; ErrNotLearned otherwise. An error on
+// any batch aborts the run.
+func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*BatchResult, error) {
+	if s.offline == nil {
+		return nil, ErrNotLearned
+	}
+	out := &BatchResult{Batches: make([]*Result, 0, len(batches))}
+	for _, batch := range batches {
+		res, err := s.Synthesize(batch, pages)
+		if err != nil {
+			return nil, err
+		}
+		out.Batches = append(out.Batches, res)
+		out.Total.Products = append(out.Total.Products, res.Products...)
+		out.Total.PairsDropped += res.PairsDropped
+		out.Total.PairsMapped += res.PairsMapped
+		out.Total.OffersWithoutKey += res.OffersWithoutKey
+		out.Total.ExcludedMatched += res.ExcludedMatched
+	}
+	return out, nil
+}
+
+// AddReport is the outcome of an AddToCatalog run, with rejected products
+// separated by cause.
+type AddReport struct {
+	// Added counts products inserted into the catalog.
+	Added int
+	// KeyCollisions are products whose synthesized ID (prefix + cluster
+	// key) collided with an existing product ID — typically the product
+	// was already added by an earlier wave, or two synthesized products
+	// share a key. Nothing is wrong with the product itself.
+	KeyCollisions []Synthesized
+	// SchemaViolations are products rejected on their own merits: a spec
+	// attribute outside the category schema, or an unknown category.
+	SchemaViolations []Synthesized
+}
+
+// Skipped returns every rejected product (collisions then violations),
+// mirroring the pre-AddReport return value.
+func (r AddReport) Skipped() []Synthesized {
+	return append(append([]Synthesized(nil), r.KeyCollisions...), r.SchemaViolations...)
+}
+
 // AddToCatalog inserts synthesized products into the catalog as new
-// product instances, assigning IDs with the given prefix. Products whose
-// spec violates the category schema are skipped and reported.
-func (s *System) AddToCatalog(products []Synthesized, idPrefix string) (added int, skipped []Synthesized) {
+// product instances, assigning IDs with the given prefix. Rejected
+// products are reported by cause: ID collisions with existing products
+// distinctly from schema violations. Insertions bump the affected
+// categories' versions, which evicts the matcher's warm indexes for those
+// categories (see Catalog.CategoryVersion) — a following Synthesize
+// observes the grown catalog.
+func (s *System) AddToCatalog(products []Synthesized, idPrefix string) AddReport {
+	var report AddReport
 	for i, p := range products {
 		id := idPrefix + "-" + p.Key
 		if p.Key == "" {
 			id = idPrefix + "-" + strconv.Itoa(i)
 		}
 		prod := Product{ID: id, CategoryID: p.CategoryID, Spec: p.Spec}
-		if err := s.store.AddProduct(prod); err != nil {
-			skipped = append(skipped, p)
-			continue
+		switch err := s.store.AddProduct(prod); {
+		case err == nil:
+			report.Added++
+		case errors.Is(err, catalog.ErrDuplicateProduct):
+			report.KeyCollisions = append(report.KeyCollisions, p)
+		default:
+			report.SchemaViolations = append(report.SchemaViolations, p)
 		}
-		added++
 	}
-	return added, skipped
+	return report
 }

@@ -1,6 +1,8 @@
 package prodsynth
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -25,8 +27,11 @@ func TestSystemLifecycle(t *testing.T) {
 	if sys.Correspondences() != nil || sys.ScoredCandidates() != nil {
 		t.Error("correspondences before Learn should be nil")
 	}
-	if _, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages)); err == nil {
-		t.Fatal("Synthesize before Learn should error")
+	if _, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages)); !errors.Is(err, ErrNotLearned) {
+		t.Fatalf("Synthesize before Learn: err = %v, want ErrNotLearned", err)
+	}
+	if _, err := sys.SynthesizeBatches([][]Offer{ds.IncomingOffers}, MapFetcher(ds.Pages)); !errors.Is(err, ErrNotLearned) {
+		t.Fatalf("SynthesizeBatches before Learn: err = %v, want ErrNotLearned", err)
 	}
 
 	if err := sys.Learn(ds.HistoricalOffers, MapFetcher(ds.Pages)); err != nil {
@@ -66,17 +71,173 @@ func TestAddToCatalog(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := ds.Catalog.NumProducts()
-	added, skipped := sys.AddToCatalog(res.Products, "synth")
-	if added == 0 {
-		t.Fatalf("added = 0, skipped = %d", len(skipped))
+	report := sys.AddToCatalog(res.Products, "synth")
+	if report.Added == 0 {
+		t.Fatalf("added = 0, report = %+v", report)
 	}
-	if got := ds.Catalog.NumProducts(); got != before+added {
-		t.Errorf("catalog grew by %d, want %d", got-before, added)
+	if got := ds.Catalog.NumProducts(); got != before+report.Added {
+		t.Errorf("catalog grew by %d, want %d", got-before, report.Added)
 	}
-	// Adding the same products again collides on IDs: all skipped.
-	again, skippedAgain := sys.AddToCatalog(res.Products, "synth")
-	if again != 0 || len(skippedAgain) != len(res.Products) {
-		t.Errorf("re-add: added=%d skipped=%d", again, len(skippedAgain))
+	// Adding the same products again collides on IDs: every product must be
+	// reported as a key collision, not lumped in with schema violations.
+	again := sys.AddToCatalog(res.Products, "synth")
+	if again.Added != 0 || len(again.KeyCollisions) != len(res.Products) {
+		t.Errorf("re-add: added=%d collisions=%d of %d", again.Added, len(again.KeyCollisions), len(res.Products))
+	}
+	if len(again.SchemaViolations) != 0 {
+		t.Errorf("re-add reported %d schema violations, want 0", len(again.SchemaViolations))
+	}
+	if got := len(again.Skipped()); got != len(res.Products) {
+		t.Errorf("Skipped() = %d, want %d", got, len(res.Products))
+	}
+}
+
+// TestAddToCatalogSeparatesCauses feeds AddToCatalog one well-formed
+// product, one ID-colliding product, and one schema-violating product, and
+// checks each lands in the right bucket.
+func TestAddToCatalogSeparatesCauses(t *testing.T) {
+	store := NewCatalog()
+	if err := store.AddCategory(Category{
+		ID: "hd", Name: "Hard Drives",
+		Schema: Schema{Attributes: []Attribute{
+			{Name: "Brand"}, {Name: AttrMPN, Kind: KindIdentifier},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(store, Config{})
+
+	good := Synthesized{CategoryID: "hd", Key: "MPN1", Spec: Spec{{Name: "Brand", Value: "Seagate"}}}
+	violating := Synthesized{CategoryID: "hd", Key: "MPN2", Spec: Spec{{Name: "Bogus", Value: "x"}}}
+
+	first := sys.AddToCatalog([]Synthesized{good}, "synth")
+	if first.Added != 1 || len(first.KeyCollisions)+len(first.SchemaViolations) != 0 {
+		t.Fatalf("first add: %+v", first)
+	}
+	report := sys.AddToCatalog([]Synthesized{good, violating}, "synth")
+	if report.Added != 0 {
+		t.Errorf("Added = %d, want 0", report.Added)
+	}
+	if len(report.KeyCollisions) != 1 || report.KeyCollisions[0].Key != "MPN1" {
+		t.Errorf("KeyCollisions = %+v", report.KeyCollisions)
+	}
+	if len(report.SchemaViolations) != 1 || report.SchemaViolations[0].Key != "MPN2" {
+		t.Errorf("SchemaViolations = %+v", report.SchemaViolations)
+	}
+}
+
+// productFingerprints renders products comparably across runs.
+func productFingerprints(products []Synthesized) []string {
+	out := make([]string, len(products))
+	for i, p := range products {
+		out[i] = fmt.Sprintf("%s/%s=%s %v %s", p.CategoryID, p.KeyAttr, p.Key, p.OfferIDs, p.Spec.String())
+	}
+	return out
+}
+
+// TestSynthesizeBatchesMatchesOneShot is the batch-API determinism
+// acceptance test: a single batch holding all offers must produce exactly
+// the one-shot Synthesize output, and repeated batch runs must agree with
+// each other.
+func TestSynthesizeBatchesMatchesOneShot(t *testing.T) {
+	ds := marketplace(t)
+	sys := New(ds.Catalog, Config{})
+	if err := sys.Learn(ds.HistoricalOffers, MapFetcher(ds.Pages)); err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched, err := sys.SynthesizeBatches([][]Offer{ds.IncomingOffers}, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Batches) != 1 {
+		t.Fatalf("Batches = %d, want 1", len(batched.Batches))
+	}
+	want := productFingerprints(oneShot.Products)
+	got := productFingerprints(batched.Total.Products)
+	if len(got) != len(want) {
+		t.Fatalf("products: %d batched vs %d one-shot", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("product %d differs:\n  batched:  %s\n  one-shot: %s", i, got[i], want[i])
+		}
+	}
+	if batched.Total.PairsMapped != oneShot.PairsMapped ||
+		batched.Total.PairsDropped != oneShot.PairsDropped ||
+		batched.Total.OffersWithoutKey != oneShot.OffersWithoutKey ||
+		batched.Total.ExcludedMatched != oneShot.ExcludedMatched {
+		t.Errorf("counters differ: batched %+v vs one-shot %+v", batched.Total, *oneShot)
+	}
+
+	// Split runs are deterministic run-to-run, and their counters aggregate.
+	split := [][]Offer{
+		ds.IncomingOffers[:len(ds.IncomingOffers)/2],
+		ds.IncomingOffers[len(ds.IncomingOffers)/2:],
+	}
+	b1, err := sys.SynthesizeBatches(split, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := sys.SynthesizeBatches(split, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := productFingerprints(b1.Total.Products), productFingerprints(b2.Total.Products)
+	if len(f1) != len(f2) {
+		t.Fatalf("split runs disagree on product count: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Errorf("split runs differ at product %d", i)
+		}
+	}
+	sum := 0
+	for _, r := range b1.Batches {
+		sum += len(r.Products)
+	}
+	if sum != len(b1.Total.Products) {
+		t.Errorf("Total.Products = %d, want sum of batches %d", len(b1.Total.Products), sum)
+	}
+}
+
+// TestSynthesizeSeesCatalogGrowth closes the loop through the index
+// registry: after AddToCatalog commits wave-1 products, re-synthesizing
+// the same offers must see them match the grown catalog (stale category
+// indexes evicted), excluding them from synthesis.
+func TestSynthesizeSeesCatalogGrowth(t *testing.T) {
+	ds := marketplace(t)
+	sys := New(ds.Catalog, Config{})
+	if err := sys.Learn(ds.HistoricalOffers, MapFetcher(ds.Pages)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Products) == 0 {
+		t.Fatal("no products synthesized")
+	}
+	report := sys.AddToCatalog(res.Products, "synth")
+	if report.Added == 0 {
+		t.Fatalf("nothing added: %+v", report)
+	}
+
+	again, err := sys.Synthesize(ds.IncomingOffers, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ExcludedMatched <= res.ExcludedMatched {
+		t.Errorf("after catalog growth ExcludedMatched = %d, want > %d (stale indexes not evicted?)",
+			again.ExcludedMatched, res.ExcludedMatched)
+	}
+	if len(again.Products) >= len(res.Products) {
+		t.Errorf("after catalog growth synthesized %d products, want < %d",
+			len(again.Products), len(res.Products))
 	}
 }
 

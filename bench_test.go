@@ -17,6 +17,8 @@ import (
 
 	"prodsynth/internal/core"
 	"prodsynth/internal/experiments"
+	"prodsynth/internal/match"
+	"prodsynth/internal/offer"
 	"prodsynth/internal/synth"
 )
 
@@ -199,4 +201,187 @@ func BenchmarkRuntimePipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(env.Dataset.IncomingOffers))/float64(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+}
+
+// ---------------------------------------------------------------------------
+// Cold vs warm index benchmarks: the payoff of the shared category-index
+// registry. "Cold" hands the matcher a fresh registry every iteration —
+// the seed behavior, where every Matcher.Run rebuilt each category's index
+// (and before the registry, every worker goroutine rebuilt it again). "Warm"
+// shares one registry across iterations — the batch/serving steady state.
+
+// expGen is the ExperimentMarketplaceConfig-scale marketplace for the
+// end-to-end warm/cold comparison.
+var (
+	expGenOnce sync.Once
+	expGenDS   *synth.Dataset
+)
+
+func experimentDataset() *synth.Dataset {
+	expGenOnce.Do(func() {
+		cfg := synth.ExperimentConfig()
+		cfg.Seed = 1
+		expGenDS = synth.Generate(cfg)
+	})
+	return expGenDS
+}
+
+// matcherBenchInput is one serving-shaped wave: a 500-offer batch against
+// the full experiment-scale catalog. Small batches against a large catalog
+// are where index construction dominates — the seed paid it per worker per
+// run; the registry pays it once ever.
+func matcherBenchInput(ds *synth.Dataset) *offer.Set {
+	n := 500
+	if n > len(ds.HistoricalOffers) {
+		n = len(ds.HistoricalOffers)
+	}
+	return offer.NewSet(ds.HistoricalOffers[:n])
+}
+
+// BenchmarkMatcherSeedPerWorkerRebuild reproduces the seed's matching
+// cost model: each of the 8 workers holds private per-category state, so
+// every worker rebuilds the index of every category its chunk touches, on
+// every run. (Implemented as 8 parallel single-worker Matchers, each with
+// its own fresh registry — exactly the per-goroutine caches the seed kept.)
+func BenchmarkMatcherSeedPerWorkerRebuild(b *testing.B) {
+	ds := experimentDataset()
+	set := matcherBenchInput(ds)
+	all := set.All()
+	const workers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		chunk := (len(all) + workers - 1) / workers
+		for start := 0; start < len(all); start += chunk {
+			end := start + chunk
+			if end > len(all) {
+				end = len(all)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				m := match.Matcher{Workers: 1, Registry: match.NewRegistry()}
+				m.Run(ds.Catalog, offer.NewSet(all[lo:hi]))
+			}(start, end)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(set.Len())/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+}
+
+// BenchmarkMatcherColdIndex measures Matcher.Run with a fresh shared
+// registry per iteration: every category index is rebuilt once per run
+// (already W× better than the seed's per-worker rebuilds).
+func BenchmarkMatcherColdIndex(b *testing.B) {
+	ds := experimentDataset()
+	set := matcherBenchInput(ds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := match.Matcher{Workers: 8, Registry: match.NewRegistry()}
+		if ms := m.Run(ds.Catalog, set); ms.Len() == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.ReportMetric(float64(set.Len())/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+}
+
+// BenchmarkMatcherWarmIndex measures Matcher.Run against a warm registry:
+// category indexes are built once before the timer and reused by every
+// iteration.
+func BenchmarkMatcherWarmIndex(b *testing.B) {
+	ds := experimentDataset()
+	set := matcherBenchInput(ds)
+	m := match.Matcher{Workers: 8, Registry: match.NewRegistry()}
+	m.Run(ds.Catalog, set) // warm the registry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ms := m.Run(ds.Catalog, set); ms.Len() == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.ReportMetric(float64(set.Len())/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+}
+
+// benchBatches splits the experiment-scale incoming offers into n batches.
+func benchBatches(ds *synth.Dataset, n int) [][]Offer {
+	batches := make([][]Offer, n)
+	for i, o := range ds.IncomingOffers {
+		batches[i%n] = append(batches[i%n], o)
+	}
+	return batches
+}
+
+// benchSystem learns once over the experiment-scale marketplace and is
+// shared by the batch benchmarks.
+var (
+	benchSysOnce sync.Once
+	benchSysVal  *System
+	benchSysErr  error
+)
+
+func benchSystem(b *testing.B) *System {
+	b.Helper()
+	ds := experimentDataset()
+	benchSysOnce.Do(func() {
+		sys := New(ds.Catalog, Config{})
+		benchSysErr = sys.Learn(ds.HistoricalOffers, MapFetcher(ds.Pages))
+		benchSysVal = sys
+	})
+	if benchSysErr != nil {
+		b.Fatal(benchSysErr)
+	}
+	return benchSysVal
+}
+
+// BenchmarkSynthesizeBatches runs the batch API over the experiment-scale
+// incoming stream split into 8 waves, with warm offline state and warm
+// indexes — the steady-state serving cost per offer.
+func BenchmarkSynthesizeBatches(b *testing.B) {
+	ds := experimentDataset()
+	sys := benchSystem(b)
+	batches := benchBatches(ds, 8)
+	fetcher := MapFetcher(ds.Pages)
+	if _, err := sys.SynthesizeBatches(batches, fetcher); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *BatchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sys.SynthesizeBatches(batches, fetcher)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ds.IncomingOffers))/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+	b.ReportMetric(float64(len(res.Total.Products)), "products")
+}
+
+// BenchmarkSynthesizeOneShotCold measures one runtime pass per iteration
+// with a truly cold matcher registry: the offline state is learned once
+// (untimed, in its own registry), and each timed run gets a fresh registry
+// so every category index is rebuilt — the cold half of the cold-vs-warm
+// end-to-end comparison. Learn must not share the per-iteration registry,
+// or it would warm the indexes the timed region is supposed to build.
+func BenchmarkSynthesizeOneShotCold(b *testing.B) {
+	ds := experimentDataset()
+	fetcher := core.MapFetcher(ds.Pages)
+	learnCfg := core.Config{}
+	learnCfg.Matcher.Registry = match.NewRegistry()
+	offline, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, learnCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{}
+		cfg.Matcher.Registry = match.NewRegistry()
+		if _, err := core.RunRuntime(ds.Catalog, offline, ds.IncomingOffers, fetcher, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ds.IncomingOffers))/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
 }

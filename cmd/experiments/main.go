@@ -30,18 +30,19 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		table2 = flag.Bool("table2", false, "Table 2: end-to-end synthesis quality")
-		table3 = flag.Bool("table3", false, "Table 3: per top-level category")
-		table4 = flag.Bool("table4", false, "Table 4: recall by offer-set size")
-		fig6   = flag.Bool("fig6", false, "Figure 6: classifier vs single features")
-		fig7   = flag.Bool("fig7", false, "Figure 7: with vs without historical matches")
-		fig8   = flag.Bool("fig8", false, "Figure 8: baseline comparison")
-		fig9   = flag.Bool("fig9", false, "Figure 9: COMA++ delta settings")
-		ablate = flag.Bool("ablations", false, "ablation sweeps")
-		scale  = flag.String("scale", "medium", "corpus scale: small, medium, large")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("out", "", "write report here (default stdout)")
+		all     = flag.Bool("all", false, "run every experiment")
+		table2  = flag.Bool("table2", false, "Table 2: end-to-end synthesis quality")
+		table3  = flag.Bool("table3", false, "Table 3: per top-level category")
+		table4  = flag.Bool("table4", false, "Table 4: recall by offer-set size")
+		fig6    = flag.Bool("fig6", false, "Figure 6: classifier vs single features")
+		fig7    = flag.Bool("fig7", false, "Figure 7: with vs without historical matches")
+		fig8    = flag.Bool("fig8", false, "Figure 8: baseline comparison")
+		fig9    = flag.Bool("fig9", false, "Figure 9: COMA++ delta settings")
+		ablate  = flag.Bool("ablations", false, "ablation sweeps")
+		scale   = flag.String("scale", "medium", "corpus scale: small, medium, large")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "pipeline worker pool size (0 = default)")
+		out     = flag.String("out", "", "write report here (default stdout)")
 	)
 	flag.Parse()
 
@@ -67,7 +68,7 @@ func main() {
 	fmt.Fprintf(w, "# generating marketplace: %d categories/domain, %d products/category, %d merchants\n\n",
 		gen.CategoriesPerDomain, gen.ProductsPerCategory, gen.Merchants)
 
-	env, err := experiments.Setup(gen, core.Config{})
+	env, err := experiments.Setup(gen, core.Config{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -52,11 +52,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		added, skipped := sys.AddToCatalog(res.Products, fmt.Sprintf("wave%d", i+1))
+		report := sys.AddToCatalog(res.Products, fmt.Sprintf("wave%d", i+1))
 		fmt.Printf("wave %d: %d offers in\n", i+1, len(wave))
 		fmt.Printf("  matched existing catalog products (excluded): %d\n", res.ExcludedMatched)
-		fmt.Printf("  synthesized: %d products; committed %d (%d skipped)\n",
-			len(res.Products), added, len(skipped))
+		fmt.Printf("  synthesized: %d products; committed %d (%d key collisions, %d schema violations)\n",
+			len(res.Products), report.Added,
+			len(report.KeyCollisions), len(report.SchemaViolations))
 		fmt.Printf("  catalog now: %d products\n\n", market.Catalog.NumProducts())
 	}
 

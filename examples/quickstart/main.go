@@ -80,7 +80,8 @@ func main() {
 	}
 
 	// Finally, grow the catalog with the synthesized products.
-	added, skipped := sys.AddToCatalog(res.Products, "synth")
-	fmt.Printf("catalog grew to %d products (+%d, %d skipped)\n",
-		market.Catalog.NumProducts(), added, len(skipped))
+	report := sys.AddToCatalog(res.Products, "synth")
+	fmt.Printf("catalog grew to %d products (+%d, %d key collisions, %d schema violations)\n",
+		market.Catalog.NumProducts(), report.Added,
+		len(report.KeyCollisions), len(report.SchemaViolations))
 }

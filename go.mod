@@ -1,0 +1,3 @@
+module prodsynth
+
+go 1.24

@@ -198,12 +198,19 @@ var (
 
 // Store is the in-memory catalog: categories plus products, with indexes by
 // category and by key attribute. All methods are safe for concurrent use.
+//
+// Every mutation of a category's product set bumps that category's version
+// counter (see CategoryVersion). External caches built over a category's
+// products — such as the matcher's shared title-index registry — record the
+// version they were built at and rebuild when it moves, so stale entries are
+// evicted without the Store knowing who caches what.
 type Store struct {
 	mu         sync.RWMutex
 	categories map[string]*Category
 	products   map[string]*Product
 	byCategory map[string][]string // category ID -> product IDs (insertion order)
 	byKey      map[string]string   // key value -> product ID
+	versions   map[string]uint64   // category ID -> mutation counter
 }
 
 // NewStore returns an empty catalog store.
@@ -213,6 +220,7 @@ func NewStore() *Store {
 		products:   make(map[string]*Product),
 		byCategory: make(map[string][]string),
 		byKey:      make(map[string]string),
+		versions:   make(map[string]uint64),
 	}
 }
 
@@ -285,7 +293,17 @@ func (st *Store) AddProduct(p Product) error {
 	if key, ok := cp.Key(); ok {
 		st.byKey[key] = p.ID
 	}
+	st.versions[p.CategoryID]++
 	return nil
+}
+
+// CategoryVersion returns the category's mutation counter: it starts at 0
+// and increments on every product insertion into the category. Caches keyed
+// on a category's product set use it to detect staleness.
+func (st *Store) CategoryVersion(categoryID string) uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.versions[categoryID]
 }
 
 // Product returns the product with the given ID.

@@ -232,3 +232,42 @@ func TestAttributeKindString(t *testing.T) {
 		t.Error("unknown kind should still render")
 	}
 }
+
+func TestCategoryVersion(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	catID := hardDriveCategory().ID
+	if got := st.CategoryVersion(catID); got != 0 {
+		t.Errorf("fresh category version = %d, want 0", got)
+	}
+	if got := st.CategoryVersion("unknown"); got != 0 {
+		t.Errorf("unknown category version = %d, want 0", got)
+	}
+
+	for i := 1; i <= 3; i++ {
+		err := st.AddProduct(Product{
+			ID: fmt.Sprintf("p%d", i), CategoryID: catID,
+			Spec: Spec{{Name: "Brand", Value: "Seagate"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.CategoryVersion(catID); got != uint64(i) {
+			t.Errorf("version after %d inserts = %d", i, got)
+		}
+	}
+
+	// Failed inserts must not bump the version.
+	before := st.CategoryVersion(catID)
+	if err := st.AddProduct(Product{ID: "p1", CategoryID: catID}); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if err := st.AddProduct(Product{ID: "px", CategoryID: catID, Spec: Spec{{Name: "Bogus", Value: "v"}}}); err == nil {
+		t.Fatal("schema-violating insert should fail")
+	}
+	if got := st.CategoryVersion(catID); got != before {
+		t.Errorf("version moved on failed inserts: %d -> %d", before, got)
+	}
+}

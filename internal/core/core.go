@@ -14,12 +14,23 @@
 //
 // The package wires the substrate packages together, parallelizes the
 // per-offer stages, and reports the statistics the paper's §5.1 quotes.
+//
+// Concurrency model: per-category work — matching and schema
+// reconciliation — fans out across a bounded worker pool (Config.Workers),
+// one task per category, with results merged back in input order so output
+// is identical for every worker count. Matching state is shared through
+// the match package's index registry, so concurrent categories never
+// rebuild each other's indexes. Clustering stays global (clusters may span
+// categories when the category classifier errs on individual offers, §2);
+// value fusion then fans out again, one task per cluster.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/categorize"
@@ -70,8 +81,17 @@ type Config struct {
 	// UPC then Model Part Number).
 	ClusterKeys []string
 	// Fusion selects the value fusion strategy (default Centroid).
+	// Fuse is called concurrently from the worker pool, one cluster per
+	// call; implementations must be safe for concurrent use (stateless
+	// strategies, like the provided ones, are).
 	Fusion fusion.Strategy
-	// Workers is the per-offer parallelism (default 4).
+	// Workers bounds the pipeline's worker pools (default 4): per-offer
+	// extraction, the per-category fan-out for matching and
+	// reconciliation, and the per-cluster fusion fan-out. It also seeds
+	// Features.Workers when that is unset, and is split with the
+	// matcher's per-offer parallelism unless Matcher.Workers is set
+	// explicitly (see categoryMatcher). Output is identical for every
+	// value.
 	Workers int
 	// KeepMatchedIncoming disables the runtime filter that excludes
 	// incoming offers matching existing catalog products (§1: synthesis
@@ -92,8 +112,121 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
+	if c.Features.Workers <= 0 {
+		c.Features.Workers = c.Workers
+	}
 	c.Features.UseMatches = true
 	return c
+}
+
+// runLimited executes jobs 0..n-1 on at most workers goroutines, pulling
+// from a shared counter so unbalanced jobs (a huge category next to tiny
+// ones) do not leave workers idle. Jobs must write only to their own slots.
+func runLimited(n, workers int, job func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// categorySlice names one category's offers by their positions in the
+// enclosing slice (ascending, so gathering preserves input order).
+type categorySlice struct {
+	category string
+	indices  []int
+}
+
+// partitionByCategory groups offer positions by category, categories
+// sorted by ID for a deterministic task order.
+func partitionByCategory(offers []offer.Offer) []categorySlice {
+	byCat := make(map[string][]int)
+	for i, o := range offers {
+		byCat[o.CategoryID] = append(byCat[o.CategoryID], i)
+	}
+	parts := make([]categorySlice, 0, len(byCat))
+	for cat, idx := range byCat {
+		parts = append(parts, categorySlice{category: cat, indices: idx})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].category < parts[j].category })
+	return parts
+}
+
+// categoryMatcher is the matcher used inside per-category tasks. An
+// explicitly configured Matcher.Workers is honored as-is; otherwise the
+// Config.Workers budget is split between the per-category pool and the
+// matcher's per-offer parallelism inside one category: with few large
+// categories the matcher keeps its own workers, with many categories the
+// category fan-out is the parallelism.
+func categoryMatcher(cfg Config, parts int) match.Matcher {
+	matcher := cfg.Matcher
+	if matcher.Workers > 0 {
+		return matcher
+	}
+	matcher.Workers = 1
+	if parts == 0 {
+		matcher.Workers = cfg.Workers
+	} else if w := cfg.Workers / parts; w > 1 {
+		matcher.Workers = w
+	}
+	return matcher
+}
+
+// matchPerCategory fans historical matching out across the worker pool,
+// one task per category, and merges the per-category match sets back in
+// offer input order — byte-for-byte the MatchSet a single serial Run over
+// the whole set produces.
+func matchPerCategory(store *catalog.Store, offers []offer.Offer, cfg Config) *match.MatchSet {
+	parts := partitionByCategory(offers)
+	matcher := categoryMatcher(cfg, len(parts))
+
+	results := make([]match.Match, len(offers))
+	found := make([]bool, len(offers))
+	runLimited(len(parts), cfg.Workers, func(pi int) {
+		part := parts[pi]
+		sub := make([]offer.Offer, len(part.indices))
+		for j, gi := range part.indices {
+			sub[j] = offers[gi]
+		}
+		ms := matcher.Run(store, offer.NewSet(sub))
+		for j, gi := range part.indices {
+			if mt, ok := ms.ProductFor(sub[j].ID); ok {
+				results[gi] = mt
+				found[gi] = true
+			}
+		}
+	})
+
+	kept := make([]match.Match, 0, len(offers))
+	for i := range results {
+		if found[i] {
+			kept = append(kept, results[i])
+		}
+	}
+	return match.NewMatchSet(kept)
 }
 
 // OfflineResult is the output of the offline learning phase.
@@ -140,7 +273,7 @@ func RunOffline(store *catalog.Store, historical []offer.Offer, pages PageFetche
 	enriched := extractSpecs(withCat, pages, cfg)
 	set := offer.NewSet(enriched)
 
-	matches := cfg.Matcher.Run(store, set)
+	matches := matchPerCategory(store, enriched, cfg)
 	if matches.Len() == 0 {
 		return nil, errors.New("core: no historical offer-to-product matches; offline learning has no signal")
 	}
@@ -215,31 +348,75 @@ func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.O
 
 	enriched := extractSpecs(withCat, pages, cfg)
 
+	// Per-category stage: matching (to exclude offers that describe
+	// products the catalog already has, §1) and schema reconciliation fan
+	// out across the worker pool, one task per category. Each task writes
+	// only its own offers' slots; the merge below walks input order, so
+	// output is independent of Workers.
 	res := &RuntimeResult{}
-	if !cfg.KeepMatchedIncoming {
-		// Offers matching existing products are associated with them
-		// rather than synthesized (§1); exclude them here.
-		set := offer.NewSet(enriched)
-		matches := cfg.Matcher.Run(store, set)
-		var kept []offer.Offer
-		for _, o := range enriched {
-			if _, ok := matches.ProductFor(o.ID); ok {
-				res.ExcludedMatched++
-				continue
-			}
-			kept = append(kept, o)
+	parts := partitionByCategory(enriched)
+	matcher := categoryMatcher(cfg, len(parts))
+
+	keep := make([]bool, len(enriched))
+	reconciled := make([]offer.Offer, len(enriched))
+	excluded := make([]int, len(parts))
+	rstats := make([]reconcile.Stats, len(parts))
+	runLimited(len(parts), cfg.Workers, func(pi int) {
+		part := parts[pi]
+		sub := make([]offer.Offer, len(part.indices))
+		for j, gi := range part.indices {
+			sub[j] = enriched[gi]
 		}
-		enriched = kept
+		var matches *match.MatchSet
+		if !cfg.KeepMatchedIncoming {
+			matches = matcher.Run(store, offer.NewSet(sub))
+		}
+		kept := sub[:0]
+		keptIdx := make([]int, 0, len(part.indices))
+		for j, gi := range part.indices {
+			if matches != nil {
+				if _, ok := matches.ProductFor(sub[j].ID); ok {
+					excluded[pi]++
+					continue
+				}
+			}
+			kept = append(kept, sub[j])
+			keptIdx = append(keptIdx, gi)
+		}
+		recon, st := reconcile.Offers(kept, offline.Correspondences)
+		rstats[pi] = st
+		for j, gi := range keptIdx {
+			reconciled[gi] = recon[j]
+			keep[gi] = true
+		}
+	})
+	for pi := range parts {
+		res.ExcludedMatched += excluded[pi]
+		res.Reconcile.OffersIn += rstats[pi].OffersIn
+		res.Reconcile.PairsIn += rstats[pi].PairsIn
+		res.Reconcile.PairsMapped += rstats[pi].PairsMapped
+		res.Reconcile.PairsDropped += rstats[pi].PairsDropped
+	}
+	kept := make([]offer.Offer, 0, len(enriched))
+	for i := range enriched {
+		if keep[i] {
+			kept = append(kept, reconciled[i])
+		}
 	}
 
-	reconciled, rstats := reconcile.Offers(enriched, offline.Correspondences)
-	res.Reconcile = rstats
-
-	clusters, skipped := cluster.Group(reconciled, cluster.Options{KeyAttrs: cfg.ClusterKeys})
+	// Clustering is global: key values identify a product regardless of
+	// the category the classifier assigned each offer, so clusters may
+	// span category tasks and cannot be formed per category.
+	clusters, skipped := cluster.Group(kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
 	res.SkippedNoKey = skipped
 	res.Clusters = cluster.Summarize(clusters, skipped)
 
-	res.Products = fusion.SynthesizeAll(clusters, cfg.Fusion)
+	// Value fusion fans out per cluster; slots keep cluster order.
+	products := make([]fusion.Synthesized, len(clusters))
+	runLimited(len(clusters), cfg.Workers, func(i int) {
+		products[i] = fusion.SynthesizeOne(clusters[i], cfg.Fusion)
+	})
+	res.Products = products
 	return res, nil
 }
 
@@ -249,39 +426,23 @@ func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.O
 // the pipeline tolerates crawl gaps.
 func extractSpecs(offers []offer.Offer, pages PageFetcher, cfg Config) []offer.Offer {
 	out := make([]offer.Offer, len(offers))
-	var wg sync.WaitGroup
-	chunk := (len(offers) + cfg.Workers - 1) / cfg.Workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	for start := 0; start < len(offers); start += chunk {
-		end := start + chunk
-		if end > len(offers) {
-			end = len(offers)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				o := offers[i].Clone()
-				if pages != nil {
-					if page, err := pages.Fetch(o.URL); err == nil {
-						extracted := extract.WithOptions(page, cfg.Extraction)
-						have := make(map[string]bool, len(o.Spec))
-						for _, av := range o.Spec {
-							have[av.Name] = true
-						}
-						for _, av := range extracted {
-							if !have[av.Name] {
-								o.Spec = append(o.Spec, av)
-							}
-						}
+	runLimited(len(offers), cfg.Workers, func(i int) {
+		o := offers[i].Clone()
+		if pages != nil {
+			if page, err := pages.Fetch(o.URL); err == nil {
+				extracted := extract.WithOptions(page, cfg.Extraction)
+				have := make(map[string]bool, len(o.Spec))
+				for _, av := range o.Spec {
+					have[av.Name] = true
+				}
+				for _, av := range extracted {
+					if !have[av.Name] {
+						o.Spec = append(o.Spec, av)
 					}
 				}
-				out[i] = o
 			}
-		}(start, end)
-	}
-	wg.Wait()
+		}
+		out[i] = o
+	})
 	return out
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"prodsynth/internal/match"
@@ -218,6 +219,76 @@ func TestRuntimeRequiresOffline(t *testing.T) {
 	ds := dataset(t)
 	if _, err := RunRuntime(ds.Catalog, nil, ds.IncomingOffers, nil, Config{}); err == nil {
 		t.Fatal("expected error without offline result")
+	}
+}
+
+// TestPipelineWorkerCountInvariance asserts that the per-category fan-out
+// produces identical offline matches and identical synthesized products
+// for every worker count.
+func TestPipelineWorkerCountInvariance(t *testing.T) {
+	ds := dataset(t)
+	fetcher := MapFetcher(ds.Pages)
+
+	type snapshot struct {
+		matches  []match.Match
+		products []string
+		stats    OfflineStats
+	}
+	run := func(workers int) snapshot {
+		cfg := Config{Workers: workers}
+		off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		products := make([]string, len(rt.Products))
+		for i, p := range rt.Products {
+			products[i] = p.CategoryID + "/" + p.Key + "/" + p.Spec.String()
+		}
+		return snapshot{matches: off.Matches.All(), products: products, stats: off.Stats}
+	}
+
+	base := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if got.stats != base.stats {
+			t.Errorf("Workers=%d: stats %+v, want %+v", w, got.stats, base.stats)
+		}
+		if len(got.matches) != len(base.matches) {
+			t.Fatalf("Workers=%d: %d matches, want %d", w, len(got.matches), len(base.matches))
+		}
+		for i := range base.matches {
+			if got.matches[i] != base.matches[i] {
+				t.Fatalf("Workers=%d: match %d = %+v, want %+v", w, i, got.matches[i], base.matches[i])
+			}
+		}
+		if len(got.products) != len(base.products) {
+			t.Fatalf("Workers=%d: %d products, want %d", w, len(got.products), len(base.products))
+		}
+		for i := range base.products {
+			if got.products[i] != base.products[i] {
+				t.Fatalf("Workers=%d: product %d differs:\n  got  %s\n  want %s", w, i, got.products[i], base.products[i])
+			}
+		}
+	}
+}
+
+func TestRunLimited(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {10, 1}, {10, 4}, {10, 100}, {100, 0},
+	} {
+		hits := make([]int32, tc.n)
+		runLimited(tc.n, tc.workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("n=%d workers=%d: job %d ran %d times", tc.n, tc.workers, i, h)
+			}
+		}
 	}
 }
 

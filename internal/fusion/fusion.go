@@ -22,7 +22,9 @@ import (
 )
 
 // Strategy selects a representative value from candidates. Candidates are
-// non-empty; the returned value must be one of them.
+// non-empty; the returned value must be one of them. The pipeline fuses
+// clusters in parallel, so Fuse must be safe for concurrent use — keep
+// implementations stateless, as MajorityVote and Centroid are.
 type Strategy interface {
 	Fuse(candidates []string) string
 }
@@ -151,21 +153,27 @@ type Synthesized struct {
 	OfferIDs []string
 }
 
+// SynthesizeOne fuses a single cluster into a product instance. Clusters
+// are independent, so callers may fan SynthesizeOne out across workers.
+func SynthesizeOne(cl cluster.Cluster, strategy Strategy) Synthesized {
+	ids := make([]string, len(cl.Offers))
+	for i, o := range cl.Offers {
+		ids[i] = o.ID
+	}
+	return Synthesized{
+		CategoryID: cl.CategoryID,
+		Key:        cl.Key,
+		KeyAttr:    cl.KeyAttr,
+		Spec:       FuseCluster(cl, strategy),
+		OfferIDs:   ids,
+	}
+}
+
 // SynthesizeAll fuses every cluster into a product instance.
 func SynthesizeAll(clusters []cluster.Cluster, strategy Strategy) []Synthesized {
 	out := make([]Synthesized, 0, len(clusters))
 	for _, cl := range clusters {
-		ids := make([]string, len(cl.Offers))
-		for i, o := range cl.Offers {
-			ids[i] = o.ID
-		}
-		out = append(out, Synthesized{
-			CategoryID: cl.CategoryID,
-			Key:        cl.Key,
-			KeyAttr:    cl.KeyAttr,
-			Spec:       FuseCluster(cl, strategy),
-			OfferIDs:   ids,
-		})
+		out = append(out, SynthesizeOne(cl, strategy))
 	}
 	return out
 }

@@ -89,22 +89,39 @@ func (ms *MatchSet) OffersFor(productID string) []string {
 }
 
 // Matcher finds historical offer-to-product matches.
+//
+// Per-category matching state (the inverted TitleIndex, or the token cache
+// of the linear scan) comes from a shared Registry: it is built exactly
+// once per category regardless of Workers, and stays warm across Run calls
+// against the same catalog.
 type Matcher struct {
 	// TitleThreshold is the minimum token-overlap score for a title match
 	// (default 0.6). Identifier matches are always accepted.
 	TitleThreshold float64
 	// DisableTitleMatching restricts matching to universal identifiers.
 	DisableTitleMatching bool
-	// Indexed switches title matching to the inverted TitleIndex with
-	// IDF-weighted containment scoring — the scalable path for large
-	// catalogs. The default linear scan uses unweighted containment.
-	Indexed bool
+	// LinearScan replaces the default inverted-index title matching
+	// (IDF-weighted containment, the scalable path) with an O(|products|)
+	// scan per offer using unweighted containment. It exists for ablations
+	// and tiny catalogs where index construction is not worth it.
+	LinearScan bool
 	// Workers is the parallelism for title matching (default: 4).
 	Workers int
+	// Registry caches per-category matching state across runs. Nil means
+	// DefaultRegistry, the process-wide cache.
+	Registry *Registry
+}
+
+func (m Matcher) registry() *Registry {
+	if m.Registry != nil {
+		return m.Registry
+	}
+	return DefaultRegistry
 }
 
 // Run matches every offer against the catalog and returns the match set.
-// Offers match only within their assigned category.
+// Offers match only within their assigned category. Output is identical
+// for every Workers value.
 func (m Matcher) Run(store *catalog.Store, offers *offer.Set) *MatchSet {
 	threshold := m.TitleThreshold
 	if threshold == 0 {
@@ -132,12 +149,13 @@ func (m Matcher) Run(store *catalog.Store, offers *offer.Set) *MatchSet {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			// Per-goroutine caches of per-category matching state.
-			cache := make(map[string][]productTokens)
-			indexes := make(map[string]*TitleIndex)
+			// Resolve registry entries once per category per goroutine:
+			// the shared registry takes a mutex per lookup, which is fine
+			// per category but not per offer.
+			local := make(categoryCache)
 			for i := lo; i < hi; i++ {
 				o := all[i]
-				if mt, ok := m.matchOne(store, o, cache, indexes, threshold); ok {
+				if mt, ok := m.matchOne(store, o, local, threshold); ok {
 					results[i] = mt
 					found[i] = true
 				}
@@ -160,7 +178,17 @@ type productTokens struct {
 	tokens map[string]bool
 }
 
-func (m Matcher) matchOne(store *catalog.Store, o offer.Offer, cache map[string][]productTokens, indexes map[string]*TitleIndex, threshold float64) (Match, bool) {
+// categoryState is one category's matching state resolved from the shared
+// registry; categoryCache holds resolutions local to one goroutine so the
+// registry mutex is taken once per category, not once per offer.
+type categoryState struct {
+	index  *TitleIndex
+	linear []productTokens
+}
+
+type categoryCache map[string]*categoryState
+
+func (m Matcher) matchOne(store *catalog.Store, o offer.Offer, local categoryCache, threshold float64) (Match, bool) {
 	// 1. Identifier match: UPC first, then MPN, looked up in the key index.
 	for _, keyAttr := range []string{catalog.AttrUPC, catalog.AttrMPN} {
 		if v, ok := o.Spec.Get(keyAttr); ok && v != "" {
@@ -173,15 +201,21 @@ func (m Matcher) matchOne(store *catalog.Store, o offer.Offer, cache map[string]
 		return Match{}, false
 	}
 
-	// 2a. Indexed title match: IDF-weighted containment via the inverted
-	// index, the scalable path.
-	if m.Indexed {
-		idx, ok := indexes[o.CategoryID]
-		if !ok {
-			idx = NewTitleIndex(store.ProductsInCategory(o.CategoryID))
-			indexes[o.CategoryID] = idx
+	st := local[o.CategoryID]
+	if st == nil {
+		st = &categoryState{}
+		if m.LinearScan {
+			st.linear = m.registry().linearTokens(store, o.CategoryID)
+		} else {
+			st.index = m.registry().TitleIndex(store, o.CategoryID)
 		}
-		pid, score := idx.Match(o.Title)
+		local[o.CategoryID] = st
+	}
+
+	// 2a. Indexed title match (default): IDF-weighted containment via the
+	// shared inverted index.
+	if !m.LinearScan {
+		pid, score := st.index.Match(o.Title)
 		if pid != "" && score >= threshold {
 			return Match{OfferID: o.ID, ProductID: pid, Source: "title", Score: score}, true
 		}
@@ -189,19 +223,7 @@ func (m Matcher) matchOne(store *catalog.Store, o offer.Offer, cache map[string]
 	}
 
 	// 2b. Linear-scan title match within the category.
-	prods, ok := cache[o.CategoryID]
-	if !ok {
-		for _, p := range store.ProductsInCategory(o.CategoryID) {
-			toks := make(map[string]bool)
-			for _, av := range p.Spec {
-				for _, t := range text.DefaultTokenizer.Tokenize(av.Value) {
-					toks[t] = true
-				}
-			}
-			prods = append(prods, productTokens{id: p.ID, tokens: toks})
-		}
-		cache[o.CategoryID] = prods
-	}
+	prods := st.linear
 	titleToks := text.DefaultTokenizer.Tokenize(o.Title)
 	if len(titleToks) == 0 {
 		return Match{}, false

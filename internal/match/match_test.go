@@ -249,8 +249,8 @@ func TestIndexedMatcherAgreesOnClearCases(t *testing.T) {
 		{ID: "o2", Merchant: "m", CategoryID: "cam", Title: "Canon EOS 40D EOS40D"},
 		{ID: "o3", Merchant: "m", CategoryID: "hd", Title: "nothing relevant whatsoever xyz"},
 	})
-	linear := Matcher{}.Run(st, offers)
-	indexed := Matcher{Indexed: true}.Run(st, offers)
+	linear := Matcher{LinearScan: true}.Run(st, offers)
+	indexed := Matcher{}.Run(st, offers)
 	for _, oid := range []string{"o1", "o2"} {
 		lm, lok := linear.ProductFor(oid)
 		im, iok := indexed.ProductFor(oid)

@@ -1,0 +1,136 @@
+package match
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/text"
+)
+
+// Registry is a shared, process-wide cache of per-category matching state:
+// the inverted TitleIndex and the linear-scan token cache. Before it
+// existed, every worker goroutine of every Matcher.Run call rebuilt both
+// from scratch — W workers × C categories redundant builds per run, and
+// the whole cost again on the next run. The registry builds each category
+// exactly once (sync.Once per entry) no matter how many goroutines race
+// for it, and keeps the result warm across Matcher.Run calls, so repeated
+// matching against the same catalog — the batch-synthesis and serving
+// workloads — pays the build cost only on first touch.
+//
+// Entries are validated against catalog.Store.CategoryVersion on every
+// acquisition: when Store.AddProduct bumps a category's version (as
+// System.AddToCatalog does), the stale entry is replaced on the next
+// lookup. In-flight matches keep the snapshot they started with.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[registryKey]*registryEntry
+	builds  atomic.Int64
+}
+
+type registryKey struct {
+	store    *catalog.Store
+	category string
+}
+
+// registryEntry caches one category's matching state at one store version.
+// The two representations build lazily and independently: a purely indexed
+// workload never pays for the linear token cache and vice versa.
+type registryEntry struct {
+	version uint64
+
+	idxOnce sync.Once
+	index   *TitleIndex
+
+	linOnce sync.Once
+	linear  []productTokens
+}
+
+// DefaultRegistry is the process-wide registry used by Matcher when no
+// explicit Registry is set.
+var DefaultRegistry = NewRegistry()
+
+// NewRegistry returns an empty registry. Most callers should use
+// DefaultRegistry; private registries exist for tests and for callers that
+// need independent lifecycles.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[registryKey]*registryEntry)}
+}
+
+// entry returns the live cache entry for (store, category), replacing any
+// entry built at an older store version. The comparison is strictly
+// "older": a goroutine whose version read predates a concurrent AddProduct
+// must not evict the newer entry another goroutine already installed, or
+// the two would thrash rebuilding each other's work.
+func (r *Registry) entry(store *catalog.Store, category string) *registryEntry {
+	v := store.CategoryVersion(category)
+	k := registryKey{store: store, category: category}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[k]
+	if e == nil || e.version < v {
+		e = &registryEntry{version: v}
+		r.entries[k] = e
+	}
+	return e
+}
+
+// TitleIndex returns the category's inverted title index, building it on
+// first use.
+func (r *Registry) TitleIndex(store *catalog.Store, category string) *TitleIndex {
+	e := r.entry(store, category)
+	e.idxOnce.Do(func() {
+		e.index = NewTitleIndex(store.ProductsInCategory(category))
+		r.builds.Add(1)
+	})
+	return e.index
+}
+
+// linearTokens returns the category's linear-scan token cache, building it
+// on first use.
+func (r *Registry) linearTokens(store *catalog.Store, category string) []productTokens {
+	e := r.entry(store, category)
+	e.linOnce.Do(func() {
+		for _, p := range store.ProductsInCategory(category) {
+			toks := make(map[string]bool)
+			for _, av := range p.Spec {
+				for _, t := range text.DefaultTokenizer.Tokenize(av.Value) {
+					toks[t] = true
+				}
+			}
+			e.linear = append(e.linear, productTokens{id: p.ID, tokens: toks})
+		}
+		r.builds.Add(1)
+	})
+	return e.linear
+}
+
+// Builds reports how many category builds (index or token cache) the
+// registry has performed — the regression surface for "build once per
+// category regardless of worker count".
+func (r *Registry) Builds() int64 { return r.builds.Load() }
+
+// Invalidate drops the cached entry for one (store, category) pair.
+// Version validation makes this unnecessary after Store.AddProduct; it
+// exists for callers that mutate matching-relevant state the store cannot
+// see.
+func (r *Registry) Invalidate(store *catalog.Store, category string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, registryKey{store: store, category: category})
+}
+
+// ReleaseStore drops every entry of one store, releasing the memory (and
+// the store reference) held for it. Call when a store goes out of use in a
+// long-lived process.
+func (r *Registry) ReleaseStore(store *catalog.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.entries {
+		if k.store == store {
+			delete(r.entries, k)
+		}
+	}
+}
