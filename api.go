@@ -26,6 +26,7 @@ package prodsynth
 import (
 	"errors"
 	"strconv"
+	"time"
 
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/core"
@@ -99,6 +100,25 @@ const (
 
 // NewCatalog returns an empty catalog store.
 func NewCatalog() *Catalog { return catalog.NewStore() }
+
+// MatchRegistry is the shared cache of per-category matching state (title
+// indexes and token caches). Set one on Config.Matcher.Registry to give a
+// pipeline an independent lifecycle or memory bound; leave it nil to
+// share DefaultRegistry with the rest of the process.
+type MatchRegistry = match.Registry
+
+// MatchRegistryOptions tunes a MatchRegistry: lock sharding (Shards) and
+// the LRU bound on cached category entries (MaxEntries). Zero values
+// apply defaults (8 shards, unbounded).
+type MatchRegistryOptions = match.RegistryOptions
+
+// NewMatchRegistry returns an empty match registry with the given
+// sharding and memory bounds. Matcher output is identical for every
+// option combination; the options trade lock contention and resident
+// index memory against rebuild cost on cold categories.
+func NewMatchRegistry(opts MatchRegistryOptions) *MatchRegistry {
+	return match.NewRegistryWithOptions(opts)
+}
 
 // ReleaseMatchState drops the matcher's cached per-category indexes for a
 // catalog, releasing the memory (and the catalog reference) the shared
@@ -186,8 +206,18 @@ type Result struct {
 	// clustered because no key attribute survived reconciliation.
 	OffersWithoutKey int
 	// ExcludedMatched counts incoming offers dropped because they match
-	// an existing catalog product.
+	// an existing catalog product — the run's match count against the
+	// warm indexes.
 	ExcludedMatched int
+	// Offers is the number of incoming offers the run processed.
+	Offers int
+	// Clusters is the number of offer clusters value fusion synthesized
+	// from (one synthesized product per cluster).
+	Clusters int
+	// Elapsed is the wall-clock duration of the run. In a BatchResult it
+	// makes the per-batch cost of a wave visible next to its match and
+	// fusion counts.
+	Elapsed time.Duration
 }
 
 // Synthesize runs the runtime pipeline (§4) over incoming offers:
@@ -197,6 +227,7 @@ func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error
 	if s.offline == nil {
 		return nil, ErrNotLearned
 	}
+	start := time.Now()
 	run, err := core.RunRuntime(s.store, s.offline, incoming, pages, s.cfg)
 	if err != nil {
 		return nil, err
@@ -207,15 +238,20 @@ func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error
 		PairsMapped:      run.Reconcile.PairsMapped,
 		OffersWithoutKey: len(run.SkippedNoKey),
 		ExcludedMatched:  run.ExcludedMatched,
+		Offers:           len(incoming),
+		Clusters:         run.Clusters.Clusters,
+		Elapsed:          time.Since(start),
 	}, nil
 }
 
 // BatchResult is the outcome of a SynthesizeBatches run.
 type BatchResult struct {
-	// Batches holds one Result per input batch, in input order.
+	// Batches holds one Result per input batch, in input order; each
+	// carries its own wall time and match/fusion counts.
 	Batches []*Result
 	// Total aggregates every batch: concatenated Products (batch order)
-	// and summed counters.
+	// and summed counters. Total.Elapsed sums the per-batch run times
+	// (batches run sequentially, so it is also the run's wall time).
 	Total Result
 }
 
@@ -246,6 +282,9 @@ func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*Batch
 		out.Total.PairsMapped += res.PairsMapped
 		out.Total.OffersWithoutKey += res.OffersWithoutKey
 		out.Total.ExcludedMatched += res.ExcludedMatched
+		out.Total.Offers += res.Offers
+		out.Total.Clusters += res.Clusters
+		out.Total.Elapsed += res.Elapsed
 	}
 	return out, nil
 }

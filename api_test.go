@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func marketplace(t *testing.T) *Marketplace {
@@ -202,6 +203,34 @@ func TestSynthesizeBatchesMatchesOneShot(t *testing.T) {
 	}
 	if sum != len(b1.Total.Products) {
 		t.Errorf("Total.Products = %d, want sum of batches %d", len(b1.Total.Products), sum)
+	}
+
+	// Per-batch stats: every batch reports its offer count, match/fusion
+	// counts, and a non-zero wall time; totals aggregate them.
+	var offers, clusters int
+	var elapsed time.Duration
+	for i, r := range b1.Batches {
+		if r.Offers != len(split[i]) {
+			t.Errorf("batch %d Offers = %d, want %d", i, r.Offers, len(split[i]))
+		}
+		if r.Clusters != len(r.Products) {
+			t.Errorf("batch %d Clusters = %d, want %d (one product per cluster)", i, r.Clusters, len(r.Products))
+		}
+		if r.Elapsed <= 0 {
+			t.Errorf("batch %d Elapsed = %v, want > 0", i, r.Elapsed)
+		}
+		offers += r.Offers
+		clusters += r.Clusters
+		elapsed += r.Elapsed
+	}
+	if b1.Total.Offers != offers || b1.Total.Offers != len(ds.IncomingOffers) {
+		t.Errorf("Total.Offers = %d, want %d (= %d incoming)", b1.Total.Offers, offers, len(ds.IncomingOffers))
+	}
+	if b1.Total.Clusters != clusters {
+		t.Errorf("Total.Clusters = %d, want %d", b1.Total.Clusters, clusters)
+	}
+	if b1.Total.Elapsed != elapsed {
+		t.Errorf("Total.Elapsed = %v, want summed %v", b1.Total.Elapsed, elapsed)
 	}
 }
 

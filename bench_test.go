@@ -12,9 +12,11 @@ package prodsynth
 // run against the paper's reported values.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"prodsynth/internal/catalog"
 	"prodsynth/internal/core"
 	"prodsynth/internal/experiments"
 	"prodsynth/internal/match"
@@ -303,6 +305,86 @@ func BenchmarkMatcherWarmIndex(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(set.Len())/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+}
+
+// growthBenchSetup builds a private single-category store (so catalog
+// mutation cannot leak into the shared experiment dataset) plus a batch
+// of offers against it, for the AddProduct → re-match benchmarks.
+func growthBenchSetup(b *testing.B, products, offers int) (*catalog.Store, *offer.Set) {
+	b.Helper()
+	st := catalog.NewStore()
+	cat := catalog.Category{ID: "hd", Schema: catalog.Schema{Attributes: []catalog.Attribute{
+		{Name: "Brand"}, {Name: "Model"}, {Name: catalog.AttrMPN, Kind: catalog.KindIdentifier},
+	}}}
+	if err := st.AddCategory(cat); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < products; i++ {
+		if err := st.AddProduct(catalog.Product{ID: fmt.Sprintf("p%d", i), CategoryID: "hd",
+			Spec: catalog.Spec{
+				{Name: "Brand", Value: "Seagate"},
+				{Name: "Model", Value: fmt.Sprintf("Model %d", i)},
+				{Name: catalog.AttrMPN, Value: fmt.Sprintf("MPN%07d", i)},
+			}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	offs := make([]offer.Offer, offers)
+	for i := range offs {
+		offs[i] = offer.Offer{ID: fmt.Sprintf("o%d", i), Merchant: "m", CategoryID: "hd",
+			Title: fmt.Sprintf("Seagate Model %d MPN%07d hard drive", i%products, i%products)}
+	}
+	return st, offer.NewSet(offs)
+}
+
+// BenchmarkMatcherIncrementalUpdate measures the catalog-growth steady
+// state: every iteration inserts one product (bumping the category
+// version) and re-matches a 500-offer batch, so the registry applies a
+// posting-list delta per iteration instead of re-tokenizing the 5000-
+// product category.
+func BenchmarkMatcherIncrementalUpdate(b *testing.B) {
+	st, set := growthBenchSetup(b, 5000, 500)
+	reg := match.NewRegistry()
+	m := match.Matcher{Workers: 8, Registry: reg}
+	m.Run(st, set) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.AddProduct(catalog.Product{ID: fmt.Sprintf("new%d", i), CategoryID: "hd",
+			Spec: catalog.Spec{
+				{Name: "Brand", Value: "Seagate"},
+				{Name: "Model", Value: fmt.Sprintf("New Model %d", i)},
+				{Name: catalog.AttrMPN, Value: fmt.Sprintf("NEW%07d", i)},
+			}}); err != nil {
+			b.Fatal(err)
+		}
+		m.Run(st, set)
+	}
+	b.StopTimer()
+	if reg.Deltas() < int64(b.N) {
+		b.Fatalf("Deltas = %d over %d iterations; growth did not take the incremental path", reg.Deltas(), b.N)
+	}
+}
+
+// BenchmarkMatcherRebuildAfterAdd is the same workload on a fresh
+// registry every iteration — the cost model incremental updates replace
+// (full category re-tokenization after every insertion).
+func BenchmarkMatcherRebuildAfterAdd(b *testing.B) {
+	st, set := growthBenchSetup(b, 5000, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.AddProduct(catalog.Product{ID: fmt.Sprintf("new%d", i), CategoryID: "hd",
+			Spec: catalog.Spec{
+				{Name: "Brand", Value: "Seagate"},
+				{Name: "Model", Value: fmt.Sprintf("New Model %d", i)},
+				{Name: catalog.AttrMPN, Value: fmt.Sprintf("NEW%07d", i)},
+			}}); err != nil {
+			b.Fatal(err)
+		}
+		m := match.Matcher{Workers: 8, Registry: match.NewRegistry()}
+		m.Run(st, set)
+	}
 }
 
 // benchBatches splits the experiment-scale incoming offers into n batches.

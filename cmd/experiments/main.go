@@ -7,9 +7,12 @@
 //	experiments -table2 -fig6            # selected experiments
 //	experiments -all -scale large        # laptop-scale corpus (slower)
 //	experiments -all -seed 7 -out report.txt
+//	experiments -all -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Output is text shaped like the paper's tables and figures (coverage /
-// precision series), suitable for EXPERIMENTS.md.
+// precision series), suitable for EXPERIMENTS.md. The profile flags
+// capture the whole run (marketplace generation, offline learning, and
+// every selected experiment) for go tool pprof.
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"prodsynth/internal/core"
@@ -28,7 +33,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	// All teardown (profile flushes, file closes) happens via defers in
+	// realMain, so it must return rather than os.Exit on failure.
+	os.Exit(realMain())
+}
 
+func realMain() int {
 	var (
 		all     = flag.Bool("all", false, "run every experiment")
 		table2  = flag.Bool("table2", false, "Table 2: end-to-end synthesis quality")
@@ -43,46 +53,102 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "pipeline worker pool size (0 = default)")
 		out     = flag.String("out", "", "write report here (default stdout)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 
 	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate) {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	// The heap-profile defer is registered before the CPU-profile ones,
+	// so it runs last (LIFO): the snapshot is taken after CPU profiling
+	// has stopped, and both flush even when the run fails.
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 
-	gen := scaleConfig(*scale)
-	gen.Seed = *seed
+	err := run(w, runConfig{
+		all: *all, table2: *table2, table3: *table3, table4: *table4,
+		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9, ablate: *ablate,
+		scale: *scale, seed: *seed, workers: *workers,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+type runConfig struct {
+	all, table2, table3, table4    bool
+	fig6, fig7, fig8, fig9, ablate bool
+	scale                          string
+	seed                           int64
+	workers                        int
+}
+
+func run(w io.Writer, rc runConfig) error {
+	gen := scaleConfig(rc.scale)
+	gen.Seed = rc.seed
 	start := time.Now()
-	fmt.Fprintf(w, "# prodsynth experiments — scale=%s seed=%d\n", *scale, *seed)
+	fmt.Fprintf(w, "# prodsynth experiments — scale=%s seed=%d\n", rc.scale, rc.seed)
 	fmt.Fprintf(w, "# generating marketplace: %d categories/domain, %d products/category, %d merchants\n\n",
 		gen.CategoriesPerDomain, gen.ProductsPerCategory, gen.Merchants)
 
-	env, err := experiments.Setup(gen, core.Config{Workers: *workers})
+	env, err := experiments.Setup(gen, core.Config{Workers: rc.workers})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintf(w, "# setup done in %v: %d historical offers, %d incoming offers\n\n",
 		time.Since(start).Round(time.Millisecond),
 		len(env.Dataset.HistoricalOffers), len(env.Dataset.IncomingOffers))
 
-	if *all || *table2 {
+	if rc.all || rc.table2 {
 		experiments.RenderTable2(w, experiments.Table2(env))
 	}
-	if *all || *table3 {
+	if rc.all || rc.table3 {
 		experiments.RenderTable3(w, experiments.Table3(env))
 	}
-	if *all || *table4 {
+	if rc.all || rc.table4 {
 		heavy, light := experiments.Table4(env)
 		experiments.RenderTable4(w, heavy, light)
 	}
@@ -90,10 +156,10 @@ func main() {
 		enabled bool
 		build   func(*experiments.Env) (*experiments.Figure, error)
 	}{
-		{*all || *fig6, experiments.Figure6},
-		{*all || *fig7, experiments.Figure7},
-		{*all || *fig8, experiments.Figure8},
-		{*all || *fig9, experiments.Figure9},
+		{rc.all || rc.fig6, experiments.Figure6},
+		{rc.all || rc.fig7, experiments.Figure7},
+		{rc.all || rc.fig8, experiments.Figure8},
+		{rc.all || rc.fig9, experiments.Figure9},
 	}
 	for _, f := range figures {
 		if !f.enabled {
@@ -101,16 +167,19 @@ func main() {
 		}
 		fig, err := f.build(env)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := experiments.RenderFigure(w, fig); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	if *all || *ablate {
-		runAblations(w, env)
+	if rc.all || rc.ablate {
+		if err := runAblations(w, env); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "# total %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func scaleConfig(scale string) synth.Config {
@@ -124,7 +193,7 @@ func scaleConfig(scale string) synth.Config {
 	}
 }
 
-func runAblations(w io.Writer, env *experiments.Env) {
+func runAblations(w io.Writer, env *experiments.Env) error {
 	type ablation struct {
 		name    string
 		run     func(*experiments.Env) ([]experiments.AblationRow, error)
@@ -139,8 +208,9 @@ func runAblations(w io.Writer, env *experiments.Env) {
 	} {
 		rows, err := a.run(env)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		experiments.RenderAblation(w, a.name, rows, a.metrics...)
 	}
+	return nil
 }

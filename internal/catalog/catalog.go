@@ -67,10 +67,37 @@ type Attribute struct {
 // Schema is the ordered attribute list of one category.
 type Schema struct {
 	Attributes []Attribute
+
+	// byName maps attribute name to its position in Attributes — the
+	// acceleration behind Has and Attribute, which are hot in product
+	// validation, reconciliation, and fusion. It is built lazily, when a
+	// schema first enters a Store (AddCategory), and then shared
+	// read-only by every copy of the schema; schemas constructed as plain
+	// literals fall back to the linear scan until stored.
+	byName map[string]int
+}
+
+// buildNameIndex populates byName. The first occurrence wins on duplicate
+// names, matching the linear scan's behavior.
+func (s *Schema) buildNameIndex() {
+	if s.byName != nil || len(s.Attributes) == 0 {
+		return
+	}
+	m := make(map[string]int, len(s.Attributes))
+	for i, a := range s.Attributes {
+		if _, dup := m[a.Name]; !dup {
+			m[a.Name] = i
+		}
+	}
+	s.byName = m
 }
 
 // Has reports whether the schema contains an attribute with the given name.
 func (s Schema) Has(name string) bool {
+	if s.byName != nil {
+		_, ok := s.byName[name]
+		return ok
+	}
 	for _, a := range s.Attributes {
 		if a.Name == name {
 			return true
@@ -81,6 +108,12 @@ func (s Schema) Has(name string) bool {
 
 // Attribute returns the attribute with the given name.
 func (s Schema) Attribute(name string) (Attribute, bool) {
+	if s.byName != nil {
+		if i, ok := s.byName[name]; ok {
+			return s.Attributes[i], true
+		}
+		return Attribute{}, false
+	}
 	for _, a := range s.Attributes {
 		if a.Name == name {
 			return a, true
@@ -234,6 +267,8 @@ func (st *Store) AddCategory(c Category) error {
 	}
 	cp := c
 	cp.Schema.Attributes = append([]Attribute(nil), c.Schema.Attributes...)
+	cp.Schema.byName = nil
+	cp.Schema.buildNameIndex()
 	st.categories[c.ID] = &cp
 	return nil
 }
@@ -334,7 +369,44 @@ func (st *Store) ProductByKey(key string) (Product, bool) {
 func (st *Store) ProductsInCategory(categoryID string) []Product {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	return st.productsLocked(st.byCategory[categoryID])
+}
+
+// ProductsInCategoryVersioned returns the products of one category in
+// insertion order together with the category version the snapshot
+// corresponds to, read atomically. Caches that later ask ProductsSince
+// for a delta must seed from this version, not from a separately read
+// CategoryVersion, or a concurrent insertion could slip between the two
+// reads and be double-counted or lost.
+func (st *Store) ProductsInCategoryVersioned(categoryID string) ([]Product, uint64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.productsLocked(st.byCategory[categoryID]), st.versions[categoryID]
+}
+
+// ProductsSince returns the products appended to a category after its
+// first `since` insertions — the category's append log from version
+// `since` to the returned current version. It is the incremental-update
+// surface for caches built over a category's products: on a version bump,
+// apply the delta instead of rebuilding from the full product list.
+//
+// ok is false when the delta cannot be derived: since is ahead of the
+// category's version, or the category's history is not pure appends (no
+// such mutation exists today; the check guards future ones). Callers must
+// then rebuild from ProductsInCategoryVersioned.
+func (st *Store) ProductsSince(categoryID string, since uint64) (added []Product, version uint64, ok bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v := st.versions[categoryID]
 	ids := st.byCategory[categoryID]
+	if since > v || uint64(len(ids)) != v {
+		return nil, v, false
+	}
+	return st.productsLocked(ids[since:]), v, true
+}
+
+// productsLocked clones the products with the given IDs; st.mu must be held.
+func (st *Store) productsLocked(ids []string) []Product {
 	out := make([]Product, 0, len(ids))
 	for _, id := range ids {
 		p := st.products[id]

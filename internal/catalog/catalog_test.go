@@ -271,3 +271,90 @@ func TestCategoryVersion(t *testing.T) {
 		t.Errorf("version moved on failed inserts: %d -> %d", before, got)
 	}
 }
+
+func TestProductsSince(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	catID := "computing/hard-drives"
+	add := func(id string) {
+		t.Helper()
+		err := st.AddProduct(Product{ID: id, CategoryID: catID,
+			Spec: Spec{{Name: "Brand", Value: "Seagate"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("p1")
+	add("p2")
+	add("p3")
+
+	all, v, ok := st.ProductsSince(catID, 0)
+	if !ok || v != 3 || len(all) != 3 || all[0].ID != "p1" || all[2].ID != "p3" {
+		t.Fatalf("ProductsSince(0) = %v, %d, %v", all, v, ok)
+	}
+	mid, v, ok := st.ProductsSince(catID, 1)
+	if !ok || v != 3 || len(mid) != 2 || mid[0].ID != "p2" {
+		t.Fatalf("ProductsSince(1) = %v, %d, %v", mid, v, ok)
+	}
+	empty, v, ok := st.ProductsSince(catID, 3)
+	if !ok || v != 3 || len(empty) != 0 {
+		t.Fatalf("ProductsSince(current) = %v, %d, %v", empty, v, ok)
+	}
+	if _, v, ok := st.ProductsSince(catID, 4); ok || v != 3 {
+		t.Errorf("ProductsSince(ahead) = ok with version %d", v)
+	}
+	if got, v, ok := st.ProductsSince("unknown", 0); !ok || v != 0 || len(got) != 0 {
+		t.Errorf("ProductsSince(unknown category) = %v, %d, %v", got, v, ok)
+	}
+
+	// The delta clones specs: mutating a returned product must not reach
+	// the store.
+	mid[0].Spec.Set("Brand", "MUTATED")
+	if got, _ := st.Product("p2"); func() string { v, _ := got.Spec.Get("Brand"); return v }() != "Seagate" {
+		t.Error("ProductsSince leaked store spec")
+	}
+
+	ps, pv := st.ProductsInCategoryVersioned(catID)
+	if pv != 3 || len(ps) != 3 {
+		t.Errorf("ProductsInCategoryVersioned = %d products at v%d", len(ps), pv)
+	}
+}
+
+// TestSchemaNameIndex verifies the stored schema's map-backed lookups and
+// the literal schema's linear fallback agree, including first-wins on
+// duplicate names.
+func TestSchemaNameIndex(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := st.Category("computing/hard-drives")
+	if stored.Schema.byName == nil {
+		t.Fatal("stored schema has no name index")
+	}
+	literal := hardDriveCategory().Schema
+	for _, name := range append(literal.Names(), "Missing", "") {
+		if stored.Schema.Has(name) != literal.Has(name) {
+			t.Errorf("Has(%q) disagrees between stored and literal schema", name)
+		}
+		sa, sok := stored.Schema.Attribute(name)
+		la, lok := literal.Attribute(name)
+		if sok != lok || sa != la {
+			t.Errorf("Attribute(%q): stored %+v,%v vs literal %+v,%v", name, sa, sok, la, lok)
+		}
+	}
+
+	dup := Schema{Attributes: []Attribute{
+		{Name: "X", Kind: KindCategorical},
+		{Name: "X", Kind: KindNumeric, Unit: "GB"},
+	}}
+	indexed := dup
+	indexed.buildNameIndex()
+	da, _ := dup.Attribute("X")
+	ia, _ := indexed.Attribute("X")
+	if da != ia || ia.Kind != KindCategorical {
+		t.Errorf("duplicate name: indexed %+v vs linear %+v (first should win)", ia, da)
+	}
+}

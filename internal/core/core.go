@@ -19,10 +19,11 @@
 // reconciliation — fans out across a bounded worker pool (Config.Workers),
 // one task per category, with results merged back in input order so output
 // is identical for every worker count. Matching state is shared through
-// the match package's index registry, so concurrent categories never
-// rebuild each other's indexes. Clustering stays global (clusters may span
-// categories when the category classifier errs on individual offers, §2);
-// value fusion then fans out again, one task per cluster.
+// the match package's index registry — sharded by category hash, so
+// concurrent category tasks neither rebuild each other's indexes nor
+// serialize on one registry lock. Clustering stays global (clusters may
+// span categories when the category classifier errs on individual offers,
+// §2); value fusion then fans out again, one task per cluster.
 package core
 
 import (
@@ -68,7 +69,10 @@ func (m MapFetcher) Fetch(url string) (string, error) {
 type Config struct {
 	// Extraction configures the web-page attribute extractor.
 	Extraction extract.Options
-	// Matcher configures historical offer-to-product matching.
+	// Matcher configures historical offer-to-product matching. Set
+	// Matcher.Registry to give the pipeline a private index cache with
+	// its own sharding and LRU bound (match.NewRegistryWithOptions);
+	// nil shares the process-wide default.
 	Matcher match.Matcher
 	// Features configures distributional feature computation.
 	Features correspond.FeatureOptions

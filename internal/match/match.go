@@ -92,8 +92,9 @@ func (ms *MatchSet) OffersFor(productID string) []string {
 //
 // Per-category matching state (the inverted TitleIndex, or the token cache
 // of the linear scan) comes from a shared Registry: it is built exactly
-// once per category regardless of Workers, and stays warm across Run calls
-// against the same catalog.
+// once per category regardless of Workers, stays warm across Run calls
+// against the same catalog, and follows catalog growth with incremental
+// posting-list updates instead of rebuilds.
 type Matcher struct {
 	// TitleThreshold is the minimum token-overlap score for a title match
 	// (default 0.6). Identifier matches are always accepted.
@@ -150,8 +151,8 @@ func (m Matcher) Run(store *catalog.Store, offers *offer.Set) *MatchSet {
 		go func(lo, hi int) {
 			defer wg.Done()
 			// Resolve registry entries once per category per goroutine:
-			// the shared registry takes a mutex per lookup, which is fine
-			// per category but not per offer.
+			// the shared registry takes a shard mutex per lookup, which
+			// is fine per category but not per offer.
 			local := make(categoryCache)
 			for i := lo; i < hi; i++ {
 				o := all[i]

@@ -1,0 +1,8 @@
+//go:build !race
+
+package match
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards are skipped under it (its sync.Pool instrumentation drops pooled
+// items at random, which allocates).
+const raceEnabled = false

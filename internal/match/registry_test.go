@@ -122,8 +122,13 @@ func TestRegistryInvalidationOnAddProduct(t *testing.T) {
 	if !ok || got.ProductID != "p-deskstar" {
 		t.Errorf("after AddProduct: match = %+v, %v (stale index not evicted?)", got, ok)
 	}
-	if builds := reg.Builds(); builds != 2 {
-		t.Errorf("Builds = %d, want 2 (original + rebuilt)", builds)
+	// The post-insertion state arrives as a posting-list delta, not a
+	// second cold build.
+	if builds := reg.Builds(); builds != 1 {
+		t.Errorf("Builds = %d, want 1 (insertion applies a delta, not a rebuild)", builds)
+	}
+	if deltas := reg.Deltas(); deltas != 1 {
+		t.Errorf("Deltas = %d, want 1", deltas)
 	}
 }
 
@@ -138,8 +143,8 @@ func TestRegistryInvalidateAndRelease(t *testing.T) {
 		t.Errorf("Builds after Invalidate = %d, want 2", got)
 	}
 	reg.ReleaseStore(st)
-	if len(reg.entries) != 0 {
-		t.Errorf("entries after ReleaseStore = %d, want 0", len(reg.entries))
+	if got := reg.Entries(); got != 0 {
+		t.Errorf("Entries after ReleaseStore = %d, want 0", got)
 	}
 }
 

@@ -1,0 +1,198 @@
+package text
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// Dict is an immutable token interner: a bijection between token strings
+// and dense uint32 IDs assigned in interning order. Dense IDs let callers
+// replace map-of-string structures with flat arrays indexed by token ID —
+// the matcher's inverted index keeps its posting lists and IDF weights
+// this way, so the per-token work on the match hot path is an array load
+// instead of a string-keyed map probe.
+//
+// A Dict is built through a DictBuilder and never mutated afterwards, so
+// lookups need no synchronization. Growing a vocabulary produces a new
+// Dict (see Extend); existing IDs are preserved, which keeps structures
+// indexed by the old Dict valid under the new one.
+type Dict struct {
+	ids  map[string]uint32
+	toks []string
+}
+
+// Len returns the number of interned tokens. A nil Dict is empty.
+func (d *Dict) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.toks)
+}
+
+// Token returns the token string interned as id.
+func (d *Dict) Token(id uint32) string { return d.toks[id] }
+
+// Lookup returns the ID of tok, if interned.
+func (d *Dict) Lookup(tok string) (uint32, bool) {
+	if d == nil {
+		return 0, false
+	}
+	id, ok := d.ids[tok]
+	return id, ok
+}
+
+// LookupBytes is Lookup for a token spelled as bytes. It does not
+// allocate, so match-time tokenization can probe the dictionary with a
+// reused scratch buffer.
+func (d *Dict) LookupBytes(tok []byte) (uint32, bool) {
+	if d == nil {
+		return 0, false
+	}
+	id, ok := d.ids[string(tok)]
+	return id, ok
+}
+
+// Extend returns a builder seeded with the receiver's assignments: every
+// interned token keeps its ID, and new tokens get the next dense IDs.
+// The receiver may be nil (an empty seed). The receiver is not modified
+// and stays valid for concurrent lookups while the builder grows.
+func (d *Dict) Extend() *DictBuilder {
+	if d == nil {
+		return NewDictBuilder()
+	}
+	ids := make(map[string]uint32, len(d.ids)+8)
+	for tok, id := range d.ids {
+		ids[tok] = id
+	}
+	// The token slice is shared: the builder only appends past the
+	// receiver's length, which readers of the receiver never index.
+	return &DictBuilder{ids: ids, toks: d.toks}
+}
+
+// DictBuilder accumulates a vocabulary. Not safe for concurrent use;
+// Build transfers ownership of the accumulated state, so a builder must
+// not be used again after Build.
+type DictBuilder struct {
+	ids  map[string]uint32
+	toks []string
+}
+
+// NewDictBuilder returns an empty builder.
+func NewDictBuilder() *DictBuilder {
+	return &DictBuilder{ids: make(map[string]uint32)}
+}
+
+// Len returns the number of tokens interned so far.
+func (b *DictBuilder) Len() int { return len(b.toks) }
+
+// Intern returns tok's ID, assigning the next dense ID on first sight.
+func (b *DictBuilder) Intern(tok string) uint32 {
+	if id, ok := b.ids[tok]; ok {
+		return id
+	}
+	id := uint32(len(b.toks))
+	b.ids[tok] = id
+	b.toks = append(b.toks, tok)
+	return id
+}
+
+// InternBytes is Intern for a token spelled as bytes. Only a first-seen
+// token allocates (its permanent string); repeats are allocation-free.
+func (b *DictBuilder) InternBytes(tok []byte) uint32 {
+	if id, ok := b.ids[string(tok)]; ok {
+		return id
+	}
+	s := string(tok)
+	id := uint32(len(b.toks))
+	b.ids[s] = id
+	b.toks = append(b.toks, s)
+	return id
+}
+
+// Build freezes the builder into an immutable Dict.
+func (b *DictBuilder) Build() *Dict {
+	return &Dict{ids: b.ids, toks: b.toks}
+}
+
+// TokenScanner streams the normalized tokens of one input string without
+// allocating: each Next call returns the next token as a byte slice into
+// an internal scratch buffer, valid only until the following Next call.
+// Obtain one with Tokenizer.Scanner; the zero value scans nothing.
+type TokenScanner struct {
+	t   Tokenizer
+	src string
+	pos int
+	buf []byte
+}
+
+// Scanner returns a scanner over the tokens of s, applying the
+// tokenizer's normalization. buf is an optional scratch buffer reused for
+// token assembly; pass the slice recovered from a previous scanner's
+// Buffer to amortize growth across calls.
+func (t Tokenizer) Scanner(buf []byte, s string) TokenScanner {
+	return TokenScanner{t: t, src: s, buf: buf[:0]}
+}
+
+// Next returns the next token, or ok=false at end of input. The returned
+// slice is reused by the following Next call; callers must copy it to
+// retain it.
+func (sc *TokenScanner) Next() (tok []byte, ok bool) {
+	for {
+		tok, ok = sc.next()
+		if !ok {
+			return nil, false
+		}
+		if sc.t.StopWords != nil && sc.t.StopWords[string(tok)] {
+			continue
+		}
+		return tok, true
+	}
+}
+
+// Buffer returns the (possibly grown) scratch buffer for reuse in a later
+// Scanner call.
+func (sc *TokenScanner) Buffer() []byte { return sc.buf }
+
+func (sc *TokenScanner) next() ([]byte, bool) {
+	sc.buf = sc.buf[:0]
+	var cls runeClass
+	for sc.pos < len(sc.src) {
+		r, size := utf8.DecodeRuneInString(sc.src[sc.pos:])
+		c := classify(r)
+		if c == classOther {
+			sc.pos += size
+			if len(sc.buf) > 0 {
+				return sc.buf, true
+			}
+			continue
+		}
+		if len(sc.buf) > 0 && c != cls && !sc.t.KeepAlphaNumJoined {
+			// Letter/digit boundary: emit without consuming the rune.
+			return sc.buf, true
+		}
+		cls = c
+		sc.pos += size
+		sc.buf = utf8.AppendRune(sc.buf, unicode.ToLower(r))
+	}
+	if len(sc.buf) > 0 {
+		return sc.buf, true
+	}
+	return nil, false
+}
+
+// TokenizeIDs appends the interned IDs of s's tokens to dst, in order of
+// appearance, interning first-seen tokens into b. buf is an optional byte
+// scratch for token assembly. Both buffers are returned (possibly grown)
+// so callers can reuse them across values — the index build path calls
+// this once per attribute value and allocates nothing in steady state.
+func (t Tokenizer) TokenizeIDs(b *DictBuilder, dst []uint32, buf []byte, s string) ([]uint32, []byte) {
+	sc := t.Scanner(buf, s)
+	for {
+		tok, ok := sc.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, b.InternBytes(tok))
+	}
+	return dst, sc.Buffer()
+}

@@ -1,0 +1,164 @@
+package text
+
+import (
+	"testing"
+)
+
+func TestDictInternAssignsDenseIDs(t *testing.T) {
+	b := NewDictBuilder()
+	words := []string{"seagate", "barracuda", "7200", "seagate", "gb"}
+	want := []uint32{0, 1, 2, 0, 3}
+	for i, w := range words {
+		if got := b.Intern(w); got != want[i] {
+			t.Errorf("Intern(%q) = %d, want %d", w, got, want[i])
+		}
+	}
+	d := b.Build()
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	for _, w := range []string{"seagate", "barracuda", "7200", "gb"} {
+		id, ok := d.Lookup(w)
+		if !ok || d.Token(id) != w {
+			t.Errorf("round trip %q: id=%d ok=%v token=%q", w, id, ok, d.Token(id))
+		}
+		bid, bok := d.LookupBytes([]byte(w))
+		if !bok || bid != id {
+			t.Errorf("LookupBytes(%q) = %d,%v, want %d,true", w, bid, bok, id)
+		}
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup(missing) = ok")
+	}
+}
+
+func TestDictNilIsEmpty(t *testing.T) {
+	var d *Dict
+	if d.Len() != 0 {
+		t.Errorf("nil Len = %d", d.Len())
+	}
+	if _, ok := d.Lookup("x"); ok {
+		t.Error("nil Lookup ok")
+	}
+	if _, ok := d.LookupBytes([]byte("x")); ok {
+		t.Error("nil LookupBytes ok")
+	}
+	b := d.Extend()
+	if b.Intern("a") != 0 {
+		t.Error("Extend of nil dict should start at ID 0")
+	}
+}
+
+func TestDictExtendPreservesIDs(t *testing.T) {
+	b := NewDictBuilder()
+	b.Intern("a")
+	b.Intern("b")
+	old := b.Build()
+
+	nb := old.Extend()
+	if got := nb.Intern("b"); got != 1 {
+		t.Errorf("extended Intern(b) = %d, want 1", got)
+	}
+	if got := nb.Intern("c"); got != 2 {
+		t.Errorf("extended Intern(c) = %d, want 2", got)
+	}
+	grown := nb.Build()
+
+	// The old dict is unaffected and still consistent.
+	if old.Len() != 2 {
+		t.Errorf("old Len = %d, want 2", old.Len())
+	}
+	if _, ok := old.Lookup("c"); ok {
+		t.Error("old dict sees token interned after Extend")
+	}
+	for i, w := range []string{"a", "b", "c"} {
+		id, ok := grown.Lookup(w)
+		if !ok || id != uint32(i) || grown.Token(id) != w {
+			t.Errorf("grown %q = %d,%v", w, id, ok)
+		}
+	}
+}
+
+func TestTokenizeIDsMatchesTokenize(t *testing.T) {
+	inputs := []string{
+		"Seagate Barracuda 7200.10 500GB",
+		"ATA 100 mb/s",
+		"", "  --  ", "ÜBER-Größe 42",
+	}
+	b := NewDictBuilder()
+	var ids []uint32
+	var buf []byte
+	for _, in := range inputs {
+		ids = ids[:0]
+		ids, buf = DefaultTokenizer.TokenizeIDs(b, ids, buf, in)
+		toks := DefaultTokenizer.Tokenize(in)
+		if len(ids) != len(toks) {
+			t.Fatalf("%q: %d ids vs %d tokens", in, len(ids), len(toks))
+		}
+		d := b.Build()
+		for i := range ids {
+			if d.Token(ids[i]) != toks[i] {
+				t.Errorf("%q token %d: id %d spells %q, want %q",
+					in, i, ids[i], d.Token(ids[i]), toks[i])
+			}
+		}
+	}
+}
+
+// TestScannerTokens pins the scanner against literal expected token
+// lists across the tokenizer's variants. Tokenize is implemented on top
+// of the scanner, so comparing the two would be circular — these fixed
+// expectations (together with the ones in text_test.go) are what
+// actually constrain tokenization behavior.
+func TestScannerTokens(t *testing.T) {
+	cases := []struct {
+		tk   Tokenizer
+		in   string
+		want []string
+	}{
+		{Tokenizer{}, "Hitachi Deskstar HDT725050VLA360 (500GB)",
+			[]string{"hitachi", "deskstar", "hdt", "725050", "vla", "360", "500", "gb"}},
+		{Tokenizer{}, "ata100", []string{"ata", "100"}},
+		{Tokenizer{}, "A1B2C3", []string{"a", "1", "b", "2", "c", "3"}},
+		{Tokenizer{}, "...", nil},
+		{Tokenizer{}, "", nil},
+		{Tokenizer{}, "ß ss", []string{"ß", "ss"}},
+		{Tokenizer{}, string([]byte{0xff, 'a', 0xfe, 'b'}), []string{"a", "b"}}, // invalid UTF-8 splits
+		{Tokenizer{KeepAlphaNumJoined: true}, "ata100 500GB", []string{"ata100", "500gb"}},
+		{Tokenizer{StopWords: map[string]bool{"a": true, "500": true}},
+			"A 500GB drive", []string{"gb", "drive"}},
+	}
+	for _, c := range cases {
+		var got []string
+		sc := c.tk.Scanner(nil, c.in)
+		for {
+			tok, ok := sc.Next()
+			if !ok {
+				break
+			}
+			got = append(got, string(tok))
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("%+v %q: got %v, want %v", c.tk, c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%+v %q token %d: %q, want %q", c.tk, c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestScannerReusesBuffer(t *testing.T) {
+	sc := DefaultTokenizer.Scanner(make([]byte, 0, 64), "one two three")
+	for {
+		if _, ok := sc.Next(); !ok {
+			break
+		}
+	}
+	buf := sc.Buffer()
+	if cap(buf) < 64 {
+		t.Errorf("Buffer cap = %d, want the caller's scratch back", cap(buf))
+	}
+}

@@ -35,38 +35,18 @@ var DefaultTokenizer = Tokenizer{}
 
 // Tokenize returns the normalized tokens of s, in order of appearance.
 // It never returns nil; an input with no token content yields an empty slice.
+// Allocation-sensitive callers should use Scanner or TokenizeIDs instead,
+// which stream tokens through reusable buffers.
 func (t Tokenizer) Tokenize(s string) []string {
 	tokens := make([]string, 0, 8)
-	var cur strings.Builder
-	var curClass runeClass
-
-	flush := func() {
-		if cur.Len() == 0 {
-			return
+	sc := t.Scanner(nil, s)
+	for {
+		tok, ok := sc.Next()
+		if !ok {
+			return tokens
 		}
-		tok := cur.String()
-		cur.Reset()
-		if t.StopWords != nil && t.StopWords[tok] {
-			return
-		}
-		tokens = append(tokens, tok)
+		tokens = append(tokens, string(tok))
 	}
-
-	for _, r := range s {
-		c := classify(r)
-		if c == classOther {
-			flush()
-			curClass = classOther
-			continue
-		}
-		if !t.KeepAlphaNumJoined && cur.Len() > 0 && c != curClass {
-			flush()
-		}
-		curClass = c
-		cur.WriteRune(unicode.ToLower(r))
-	}
-	flush()
-	return tokens
 }
 
 type runeClass int
