@@ -24,6 +24,7 @@
 package prodsynth
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
+	"prodsynth/internal/stream"
 	"prodsynth/internal/synth"
 )
 
@@ -218,6 +220,12 @@ type Result struct {
 	// makes the per-batch cost of a wave visible next to its match and
 	// fusion counts.
 	Elapsed time.Duration
+	// Err is set on a per-batch Result inside BatchResult (or a
+	// StreamResult) when that batch failed; the other fields are zero
+	// except Offers. A failed batch does not stop later batches. Always
+	// nil on a Result returned directly by Synthesize, which reports
+	// failure through its error return instead.
+	Err error
 }
 
 // Synthesize runs the runtime pipeline (§4) over incoming offers:
@@ -247,11 +255,15 @@ func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error
 // BatchResult is the outcome of a SynthesizeBatches run.
 type BatchResult struct {
 	// Batches holds one Result per input batch, in input order; each
-	// carries its own wall time and match/fusion counts.
+	// carries its own wall time and match/fusion counts. A batch that
+	// failed has Err set and contributes nothing but its offer count.
 	Batches []*Result
-	// Total aggregates every batch: concatenated Products (batch order)
-	// and summed counters. Total.Elapsed sums the per-batch run times
-	// (batches run sequentially, so it is also the run's wall time).
+	// Failed counts batches whose Result carries a non-nil Err.
+	Failed int
+	// Total aggregates every successful batch: concatenated Products
+	// (batch order) and summed counters. Total.Elapsed sums the
+	// per-batch run times (batches run sequentially, so it is also the
+	// run's wall time minus failed batches).
 	Total Result
 }
 
@@ -262,10 +274,13 @@ type BatchResult struct {
 // warm state; a batch containing all offers at once is equivalent to a
 // single Synthesize call. Offers are clustered within their batch: a
 // product whose offers are split across batches synthesizes once per
-// batch it appears in.
+// batch it appears in — use SynthesizeStream for cross-batch cluster
+// memory.
 //
-// Learn must have succeeded first; ErrNotLearned otherwise. An error on
-// any batch aborts the run.
+// Learn must have succeeded first; ErrNotLearned otherwise. A batch that
+// fails (e.g. under Config.StrictPages) records its error in that batch's
+// Result.Err and the run continues: later batches still execute, and the
+// returned error stays nil.
 func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*BatchResult, error) {
 	if s.offline == nil {
 		return nil, ErrNotLearned
@@ -274,7 +289,9 @@ func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*Batch
 	for _, batch := range batches {
 		res, err := s.Synthesize(batch, pages)
 		if err != nil {
-			return nil, err
+			out.Batches = append(out.Batches, &Result{Offers: len(batch), Err: err})
+			out.Failed++
+			continue
 		}
 		out.Batches = append(out.Batches, res)
 		out.Total.Products = append(out.Total.Products, res.Products...)
@@ -286,6 +303,116 @@ func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*Batch
 		out.Total.Clusters += res.Clusters
 		out.Total.Elapsed += res.Elapsed
 	}
+	return out, nil
+}
+
+// StreamOptions tunes SynthesizeStream. The zero value keeps unbounded
+// cluster memory and an unbuffered result channel.
+type StreamOptions struct {
+	// MaxOpenClusters bounds the cross-batch cluster memory: past the
+	// bound, the least recently extended clusters are forgotten (a later
+	// offer with a forgotten cluster's key synthesizes a duplicate, as a
+	// memory-less batch run would). 0 means unbounded.
+	MaxOpenClusters int
+	// MaxIdleWaves forgets clusters no wave has extended for more than
+	// this many consecutive waves — a TTL measured in waves, so behaviour
+	// is deterministic for a given wave sequence. 0 means never.
+	MaxIdleWaves int
+	// DisableClusterMemory makes every wave cluster independently,
+	// reproducing SynthesizeBatches semantics wave for wave.
+	DisableClusterMemory bool
+	// Buffer is the result channel's capacity. 0 (unbuffered) applies
+	// backpressure: the pipeline runs at most one wave ahead of the
+	// consumer (the wave whose result is being delivered). Larger values
+	// let it run further ahead.
+	Buffer int
+}
+
+// StreamResult is one emission of SynthesizeStream: the embedded Result
+// carries the wave's products and counters (or Err for a failed wave).
+type StreamResult struct {
+	Result
+	// Wave is the 0-based wave index; on the final result, the number of
+	// waves consumed.
+	Wave int
+	// OpenClusters is the cluster-memory size after the wave — the
+	// quantity StreamOptions.MaxOpenClusters bounds. Zero when cluster
+	// memory is disabled.
+	OpenClusters int
+	// Final marks the single closing result: its Products are the merged
+	// stream view (final fused state of every remembered cluster, in
+	// first-appearance order) and its counters aggregate all successful
+	// waves. For an uninterrupted stream with unbounded memory and no
+	// mid-stream catalog growth, the final Products are byte-identical
+	// to a one-shot Synthesize over the concatenated waves.
+	Final bool
+}
+
+// SynthesizeStream runs the runtime pipeline as a long-lived feed
+// consumer: offer waves are read from waves, processed in order against
+// the warm matcher state, and one StreamResult per wave is delivered on
+// the returned channel, followed by a closing Final result when waves is
+// closed. Unlike SynthesizeBatches, clusters stay open across waves in a
+// cross-batch cluster memory: an offer arriving in wave n whose key
+// matches a cluster synthesized in an earlier wave joins that cluster,
+// and the wave's result carries the product re-fused over the union of
+// evidence — the product synthesizes once, not once per wave. The memory
+// is bounded through StreamOptions and invalidated per category when
+// AddToCatalog grows the catalog mid-stream (the same version counters
+// that refresh the matcher's indexes), since such clusters' products may
+// now be matched — and excluded — against the catalog itself.
+//
+// A failed wave (e.g. under Config.StrictPages) reports its error in
+// that wave's StreamResult.Err and the stream continues. Cancelling ctx
+// stops the pipeline — between waves or between the stages of the wave
+// in flight — and closes the channel without the final result; the
+// pipeline goroutine always exits once ctx is cancelled or waves is
+// closed, even if the consumer stops reading. Learn must have succeeded
+// first; ErrNotLearned otherwise.
+func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pages PageFetcher, opts StreamOptions) (<-chan StreamResult, error) {
+	if s.offline == nil {
+		return nil, ErrNotLearned
+	}
+	// The inner channel stays unbuffered regardless of opts.Buffer: the
+	// forwarding goroutine already holds one result in flight, so any
+	// inner capacity would let the pipeline run that much further ahead
+	// than StreamOptions.Buffer promises.
+	inner := stream.Run(ctx, s.store, s.offline, waves, pages, s.cfg, stream.Options{
+		MaxOpenClusters: opts.MaxOpenClusters,
+		MaxIdleWaves:    opts.MaxIdleWaves,
+		DisableMemory:   opts.DisableClusterMemory,
+	})
+	out := make(chan StreamResult, opts.Buffer)
+	go func() {
+		defer close(out)
+		for r := range inner {
+			sr := StreamResult{
+				Wave:         r.Wave,
+				Final:        r.Final,
+				OpenClusters: r.OpenClusters,
+				Result: Result{
+					Products:         r.Products,
+					PairsDropped:     r.Reconcile.PairsDropped,
+					PairsMapped:      r.Reconcile.PairsMapped,
+					OffersWithoutKey: r.OffersWithoutKey,
+					ExcludedMatched:  r.ExcludedMatched,
+					Offers:           r.Offers,
+					Clusters:         r.Clusters,
+					Elapsed:          r.Elapsed,
+					Err:              r.Err,
+				},
+			}
+			select {
+			case out <- sr:
+			case <-ctx.Done():
+				// The consumer may be gone; drain inner (stream.Run
+				// also watches ctx, so it closes promptly) and exit.
+				for range inner {
+				}
+				return
+			}
+		}
+	}()
 	return out, nil
 }
 

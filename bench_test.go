@@ -12,6 +12,7 @@ package prodsynth
 // run against the paper's reported values.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -440,6 +441,42 @@ func BenchmarkSynthesizeBatches(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(ds.IncomingOffers))/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
 	b.ReportMetric(float64(len(res.Total.Products)), "products")
+}
+
+// BenchmarkSynthesizeStream runs the streaming API over the same 8-wave
+// split as BenchmarkSynthesizeBatches, with cross-batch cluster memory on
+// — the continuous-feed serving cost per offer, including the per-wave
+// re-fusion of extended clusters and the final merge.
+func BenchmarkSynthesizeStream(b *testing.B) {
+	ds := experimentDataset()
+	sys := benchSystem(b)
+	batches := benchBatches(ds, 8)
+	fetcher := MapFetcher(ds.Pages)
+	b.ResetTimer()
+	var merged int
+	for i := 0; i < b.N; i++ {
+		in := make(chan []Offer)
+		out, err := sys.SynthesizeStream(context.Background(), in, fetcher, StreamOptions{Buffer: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for _, w := range batches {
+				in <- w
+			}
+			close(in)
+		}()
+		for r := range out {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if r.Final {
+				merged = len(r.Products)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ds.IncomingOffers))/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+	b.ReportMetric(float64(merged), "products")
 }
 
 // BenchmarkSynthesizeOneShotCold measures one runtime pass per iteration

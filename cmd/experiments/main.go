@@ -8,6 +8,7 @@
 //	experiments -all -scale large        # laptop-scale corpus (slower)
 //	experiments -all -seed 7 -out report.txt
 //	experiments -all -cpuprofile cpu.prof -memprofile mem.prof
+//	experiments -stream 16               # replay incoming offers as a 16-wave feed
 //
 // Output is text shaped like the paper's tables and figures (coverage /
 // precision series), suitable for EXPERIMENTS.md. The profile flags
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +29,8 @@ import (
 
 	"prodsynth/internal/core"
 	"prodsynth/internal/experiments"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/stream"
 	"prodsynth/internal/synth"
 )
 
@@ -49,6 +53,7 @@ func realMain() int {
 		fig8    = flag.Bool("fig8", false, "Figure 8: baseline comparison")
 		fig9    = flag.Bool("fig9", false, "Figure 9: COMA++ delta settings")
 		ablate  = flag.Bool("ablations", false, "ablation sweeps")
+		nstream = flag.Int("stream", 0, "replay the incoming offers as a continuous feed of this many waves")
 		scale   = flag.String("scale", "medium", "corpus scale: small, medium, large")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "pipeline worker pool size (0 = default)")
@@ -59,7 +64,7 @@ func realMain() int {
 	)
 	flag.Parse()
 
-	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate) {
+	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate || *nstream > 0) {
 		flag.Usage()
 		return 2
 	}
@@ -109,7 +114,8 @@ func realMain() int {
 	err := run(w, runConfig{
 		all: *all, table2: *table2, table3: *table3, table4: *table4,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9, ablate: *ablate,
-		scale: *scale, seed: *seed, workers: *workers,
+		nstream: *nstream,
+		scale:   *scale, seed: *seed, workers: *workers,
 	})
 	if err != nil {
 		log.Print(err)
@@ -121,6 +127,7 @@ func realMain() int {
 type runConfig struct {
 	all, table2, table3, table4    bool
 	fig6, fig7, fig8, fig9, ablate bool
+	nstream                        int
 	scale                          string
 	seed                           int64
 	workers                        int
@@ -178,7 +185,75 @@ func run(w io.Writer, rc runConfig) error {
 			return err
 		}
 	}
+	if rc.nstream > 0 {
+		if err := runStreamReplay(w, env, rc.nstream); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(w, "# total %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runStreamReplay replays the dataset's incoming offers as a continuous
+// feed of n waves through the streaming pipeline with cross-batch
+// cluster memory, reports per-wave cost and cluster-memory activity, and
+// checks the merged stream output against the one-shot runtime result
+// the Env already holds — the stream≡batch equivalence, live.
+func runStreamReplay(w io.Writer, env *experiments.Env, n int) error {
+	offers := env.Dataset.IncomingOffers
+	if n > len(offers) {
+		n = len(offers)
+	}
+	// The cancel releases both the pipeline and the feeder when a wave
+	// error makes this function return early.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waves := make(chan []offer.Offer)
+	go func() {
+		defer close(waves)
+		for i := 0; i < n; i++ {
+			select {
+			case waves <- offers[i*len(offers)/n : (i+1)*len(offers)/n]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := stream.Run(ctx, env.Dataset.Catalog, env.Offline, waves,
+		core.MapFetcher(env.Dataset.Pages), env.Config, stream.Options{})
+
+	fmt.Fprintf(w, "## streaming replay — %d offers over %d waves, cross-batch cluster memory\n\n", len(offers), n)
+	fmt.Fprintf(w, "%6s %8s %9s %9s %8s %10s\n", "wave", "offers", "excluded", "clusters", "open", "elapsed")
+	var final stream.Result
+	for r := range out {
+		if r.Err != nil {
+			return fmt.Errorf("stream wave %d: %w", r.Wave, r.Err)
+		}
+		if r.Final {
+			final = r
+			continue
+		}
+		fmt.Fprintf(w, "%6d %8d %9d %9d %8d %10v\n",
+			r.Wave, r.Offers, r.ExcludedMatched, r.Clusters, r.OpenClusters, r.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "\n# merged: %d products from %d offers in %v processing time\n",
+		len(final.Products), final.Offers, final.Elapsed.Round(time.Millisecond))
+
+	oneShot := env.Runtime.Products
+	verdict := "IDENTICAL"
+	if len(final.Products) != len(oneShot) {
+		verdict = fmt.Sprintf("MISMATCH: %d streamed vs %d one-shot", len(final.Products), len(oneShot))
+	} else {
+		for i := range oneShot {
+			a, b := final.Products[i], oneShot[i]
+			if a.Key != b.Key || a.KeyAttr != b.KeyAttr || a.CategoryID != b.CategoryID ||
+				a.Spec.String() != b.Spec.String() {
+				verdict = fmt.Sprintf("MISMATCH at product %d: %s vs %s", i, a.Key, b.Key)
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "# stream ≡ one-shot synthesis: %s\n\n", verdict)
 	return nil
 }
 

@@ -41,6 +41,52 @@ type Options struct {
 	WithinCategory bool
 }
 
+// DefaultKeyAttrs returns keyAttrs, or the paper's §4 default key
+// attribute priority (UPC, then Model Part Number) when it is empty.
+func DefaultKeyAttrs(keyAttrs []string) []string {
+	if len(keyAttrs) == 0 {
+		return []string{catalog.AttrUPC, catalog.AttrMPN}
+	}
+	return keyAttrs
+}
+
+// OfferKeys returns the namespaced clustering keys of one reconciled
+// offer: for each key attribute present with a non-empty normalized value,
+// "attr \x00 value" (prefixed by the category when withinCategory). Offers
+// sharing any key belong to the same cluster; an offer with no keys cannot
+// be clustered. Group and the streaming cluster memory derive keys through
+// this one function so batch and continuous clustering agree exactly.
+func OfferKeys(o offer.Offer, keyAttrs []string, withinCategory bool) []string {
+	var keys []string
+	for _, ka := range DefaultKeyAttrs(keyAttrs) {
+		if v, ok := o.Spec.Get(ka); ok {
+			if norm := normalizeKey(v); norm != "" {
+				k := ka + "\x00" + norm
+				if withinCategory {
+					k = o.CategoryID + "\x00" + k
+				}
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// Assemble builds the Cluster for a member set already known to form one
+// cluster (offers connected through shared keys): it computes the
+// representative key, key attribute, and majority category exactly as
+// Group does. The offers slice is retained, not copied.
+func Assemble(offers []offer.Offer, keyAttrs []string) Cluster {
+	keyAttrs = DefaultKeyAttrs(keyAttrs)
+	key, keyAttr := clusterIdentity(offers, keyAttrs)
+	return Cluster{
+		Key:        key,
+		KeyAttr:    keyAttr,
+		CategoryID: majorityCategory(offers),
+		Offers:     offers,
+	}
+}
+
 // normalizeKey canonicalizes key values: trim, uppercase, drop spaces and
 // dashes so "HDT 725050-VLA360" and "hdt725050vla360" cluster together.
 func normalizeKey(v string) string {
@@ -62,28 +108,14 @@ func normalizeKey(v string) string {
 // returned in skipped. The cluster category is the majority vote of its
 // member offers (unless WithinCategory keys clusters by category too).
 func Group(offers []offer.Offer, opts Options) (clusters []Cluster, skipped []offer.Offer) {
-	keyAttrs := opts.KeyAttrs
-	if len(keyAttrs) == 0 {
-		keyAttrs = []string{catalog.AttrUPC, catalog.AttrMPN}
-	}
+	keyAttrs := DefaultKeyAttrs(opts.KeyAttrs)
 
 	// Namespaced key: attr \x00 normalized value (plus the category when
 	// WithinCategory), so UPC and MPN values never collide.
 	uf := newUnionFind()
 	offerKeys := make([][]string, len(offers))
 	for i, o := range offers {
-		var keys []string
-		for _, ka := range keyAttrs {
-			if v, ok := o.Spec.Get(ka); ok {
-				if norm := normalizeKey(v); norm != "" {
-					k := ka + "\x00" + norm
-					if opts.WithinCategory {
-						k = o.CategoryID + "\x00" + k
-					}
-					keys = append(keys, k)
-				}
-			}
-		}
+		keys := OfferKeys(o, keyAttrs, opts.WithinCategory)
 		offerKeys[i] = keys
 		for j := 1; j < len(keys); j++ {
 			uf.union(keys[0], keys[j])
@@ -109,10 +141,7 @@ func Group(offers []offer.Offer, opts Options) (clusters []Cluster, skipped []of
 
 	clusters = make([]Cluster, len(order))
 	for i, root := range order {
-		cl := byRoot[root]
-		cl.Key, cl.KeyAttr = clusterIdentity(cl.Offers, keyAttrs)
-		cl.CategoryID = majorityCategory(cl.Offers)
-		clusters[i] = *cl
+		clusters[i] = Assemble(byRoot[root].Offers, keyAttrs)
 	}
 	return clusters, skipped
 }

@@ -263,3 +263,41 @@ func TestGroupPartitionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOfferKeys(t *testing.T) {
+	o := mkOffer("o1", "hd", "hdt-725", "00 111")
+	keys := OfferKeys(o, nil, false)
+	want := []string{catalog.AttrUPC + "\x00" + "00111", catalog.AttrMPN + "\x00" + "HDT725"}
+	if len(keys) != len(want) || keys[0] != want[0] || keys[1] != want[1] {
+		t.Errorf("OfferKeys = %q, want %q", keys, want)
+	}
+	// Category namespace.
+	keys = OfferKeys(o, []string{catalog.AttrUPC}, true)
+	if len(keys) != 1 || keys[0] != "hd\x00"+catalog.AttrUPC+"\x00"+"00111" {
+		t.Errorf("within-category keys = %q", keys)
+	}
+	// No keys at all.
+	if keys := OfferKeys(mkOffer("o2", "hd", "", ""), nil, false); len(keys) != 0 {
+		t.Errorf("key-less offer produced %q", keys)
+	}
+}
+
+// TestAssembleMatchesGroup checks that Assemble computes cluster identity
+// exactly as Group does: assembling each Group cluster's member set must
+// reproduce the cluster.
+func TestAssembleMatchesGroup(t *testing.T) {
+	offers := []offer.Offer{
+		mkOffer("o1", "hd", "MPN-A", "000111"),
+		mkOffer("o2", "tv", "MPN-B", "000111"),
+		mkOffer("o3", "hd", "mpn a", ""),
+		mkOffer("o4", "hd", "ZZZ", ""),
+	}
+	clusters, _ := Group(offers, Options{})
+	for i, c := range clusters {
+		re := Assemble(c.Offers, nil)
+		if re.Key != c.Key || re.KeyAttr != c.KeyAttr || re.CategoryID != c.CategoryID {
+			t.Errorf("cluster %d: Assemble = %s/%s=%s, Group = %s/%s=%s",
+				i, re.CategoryID, re.KeyAttr, re.Key, c.CategoryID, c.KeyAttr, c.Key)
+		}
+	}
+}

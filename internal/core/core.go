@@ -101,6 +101,16 @@ type Config struct {
 	// incoming offers matching existing catalog products (§1: synthesis
 	// targets offers that cannot be matched).
 	KeepMatchedIncoming bool
+	// StrictPages makes a landing-page fetch failure fatal to a runtime
+	// run (Synthesize, a batch, a stream wave). By default the pipeline
+	// tolerates crawl gaps — an offer whose page cannot be fetched keeps
+	// its feed spec — which silently degrades synthesis quality when the
+	// crawl infrastructure is down wholesale. Serving deployments that
+	// would rather fail a batch (and retry it) than synthesize from feed
+	// specs alone set this. The offline phase (Learn) always stays
+	// lenient: one dead link in a historical corpus must not make the
+	// system unconstructable.
+	StrictPages bool
 }
 
 func (c Config) withDefaults() Config {
@@ -267,6 +277,7 @@ type OfflineStats struct {
 // RunOffline executes the offline learning phase.
 func RunOffline(store *catalog.Store, historical []offer.Offer, pages PageFetcher, cfg Config) (*OfflineResult, error) {
 	cfg = cfg.withDefaults()
+	cfg.StrictPages = false // runtime-only knob; the offline phase tolerates crawl gaps
 
 	classifier := categorize.New()
 	classifier.TrainFromCatalog(store)
@@ -274,7 +285,10 @@ func RunOffline(store *catalog.Store, historical []offer.Offer, pages PageFetche
 	copy(withCat, historical)
 	classifier.Assign(withCat)
 
-	enriched := extractSpecs(withCat, pages, cfg)
+	enriched, err := extractSpecs(withCat, pages, cfg)
+	if err != nil {
+		return nil, err
+	}
 	set := offer.NewSet(enriched)
 
 	matches := matchPerCategory(store, enriched, cfg)
@@ -336,9 +350,28 @@ type RuntimeResult struct {
 	ExcludedMatched int
 }
 
-// RunRuntime executes the runtime pipeline over incoming offers using the
-// artifacts of an offline learning run.
-func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*RuntimeResult, error) {
+// Prepared is the output of the front half of the runtime pipeline —
+// category classification, page extraction, catalog-match exclusion, and
+// schema reconciliation — before any clustering. Every stage is a pure
+// per-offer function of the catalog and the offline artifacts, so a
+// Prepared for a subset of offers is the corresponding subset of the
+// whole-run Prepared: the streaming pipeline leans on this to process
+// waves incrementally and still agree with a one-shot run.
+type Prepared struct {
+	// Kept are the reconciled survivors (offers that matched no existing
+	// catalog product), in input order, specs in catalog vocabulary.
+	Kept []offer.Offer
+	// Reconcile counts pair translation outcomes over Kept.
+	Reconcile reconcile.Stats
+	// ExcludedMatched counts incoming offers dropped because they match
+	// an existing catalog product.
+	ExcludedMatched int
+}
+
+// PrepareIncoming runs the per-offer front half of the runtime pipeline:
+// classification, extraction, match exclusion, and reconciliation. It is
+// the incremental entry point RunRuntime and the streaming pipeline share.
+func PrepareIncoming(store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*Prepared, error) {
 	cfg = cfg.withDefaults()
 	if offline == nil || offline.Correspondences == nil {
 		return nil, errors.New("core: offline result required")
@@ -350,14 +383,17 @@ func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.O
 		offline.Classifier.Assign(withCat)
 	}
 
-	enriched := extractSpecs(withCat, pages, cfg)
+	enriched, err := extractSpecs(withCat, pages, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// Per-category stage: matching (to exclude offers that describe
 	// products the catalog already has, §1) and schema reconciliation fan
 	// out across the worker pool, one task per category. Each task writes
 	// only its own offers' slots; the merge below walks input order, so
 	// output is independent of Workers.
-	res := &RuntimeResult{}
+	prep := &Prepared{}
 	parts := partitionByCategory(enriched)
 	matcher := categoryMatcher(cfg, len(parts))
 
@@ -395,11 +431,11 @@ func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.O
 		}
 	})
 	for pi := range parts {
-		res.ExcludedMatched += excluded[pi]
-		res.Reconcile.OffersIn += rstats[pi].OffersIn
-		res.Reconcile.PairsIn += rstats[pi].PairsIn
-		res.Reconcile.PairsMapped += rstats[pi].PairsMapped
-		res.Reconcile.PairsDropped += rstats[pi].PairsDropped
+		prep.ExcludedMatched += excluded[pi]
+		prep.Reconcile.OffersIn += rstats[pi].OffersIn
+		prep.Reconcile.PairsIn += rstats[pi].PairsIn
+		prep.Reconcile.PairsMapped += rstats[pi].PairsMapped
+		prep.Reconcile.PairsDropped += rstats[pi].PairsDropped
 	}
 	kept := make([]offer.Offer, 0, len(enriched))
 	for i := range enriched {
@@ -407,33 +443,64 @@ func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.O
 			kept = append(kept, reconciled[i])
 		}
 	}
+	prep.Kept = kept
+	return prep, nil
+}
 
-	// Clustering is global: key values identify a product regardless of
-	// the category the classifier assigned each offer, so clusters may
-	// span category tasks and cannot be formed per category.
-	clusters, skipped := cluster.Group(kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
-	res.SkippedNoKey = skipped
-	res.Clusters = cluster.Summarize(clusters, skipped)
-
-	// Value fusion fans out per cluster; slots keep cluster order.
+// FuseClusters fans value fusion out across the worker pool, one task per
+// cluster; slots keep cluster order. It is safe to call repeatedly on
+// overlapping cluster snapshots: fusion is a pure function of each
+// cluster's member offers, so re-fusing an extended cluster yields exactly
+// what fusing it whole would have (the streaming pipeline's contract).
+func FuseClusters(clusters []cluster.Cluster, cfg Config) []fusion.Synthesized {
+	cfg = cfg.withDefaults()
 	products := make([]fusion.Synthesized, len(clusters))
 	runLimited(len(clusters), cfg.Workers, func(i int) {
 		products[i] = fusion.SynthesizeOne(clusters[i], cfg.Fusion)
 	})
-	res.Products = products
+	return products
+}
+
+// RunRuntime executes the runtime pipeline over incoming offers using the
+// artifacts of an offline learning run.
+func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*RuntimeResult, error) {
+	cfg = cfg.withDefaults()
+	prep, err := PrepareIncoming(store, offline, incoming, pages, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &RuntimeResult{
+		Reconcile:       prep.Reconcile,
+		ExcludedMatched: prep.ExcludedMatched,
+	}
+
+	// Clustering is global: key values identify a product regardless of
+	// the category the classifier assigned each offer, so clusters may
+	// span category tasks and cannot be formed per category.
+	clusters, skipped := cluster.Group(prep.Kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
+	res.SkippedNoKey = skipped
+	res.Clusters = cluster.Summarize(clusters, skipped)
+	res.Products = FuseClusters(clusters, cfg)
 	return res, nil
 }
 
 // extractSpecs fetches each offer's landing page and merges extracted
 // attribute-value pairs into the offer spec (feed pairs win on name
 // conflict). Offers whose page cannot be fetched keep their feed spec —
-// the pipeline tolerates crawl gaps.
-func extractSpecs(offers []offer.Offer, pages PageFetcher, cfg Config) []offer.Offer {
+// the pipeline tolerates crawl gaps — unless Config.StrictPages is set,
+// in which case the first fetch failure (in offer input order, so the
+// reported error is deterministic) fails the run.
+func extractSpecs(offers []offer.Offer, pages PageFetcher, cfg Config) ([]offer.Offer, error) {
 	out := make([]offer.Offer, len(offers))
+	var errs []error
+	if cfg.StrictPages {
+		errs = make([]error, len(offers))
+	}
 	runLimited(len(offers), cfg.Workers, func(i int) {
 		o := offers[i].Clone()
 		if pages != nil {
-			if page, err := pages.Fetch(o.URL); err == nil {
+			page, err := pages.Fetch(o.URL)
+			if err == nil {
 				extracted := extract.WithOptions(page, cfg.Extraction)
 				have := make(map[string]bool, len(o.Spec))
 				for _, av := range o.Spec {
@@ -444,9 +511,16 @@ func extractSpecs(offers []offer.Offer, pages PageFetcher, cfg Config) []offer.O
 						o.Spec = append(o.Spec, av)
 					}
 				}
+			} else if errs != nil {
+				errs[i] = err
 			}
 		}
 		out[i] = o
 	})
-	return out
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: strict pages: offer %s: %w", offers[i].ID, err)
+		}
+	}
+	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"prodsynth/internal/cluster"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
 	"prodsynth/internal/synth"
@@ -212,6 +213,101 @@ func TestRuntimeExcludesMatchedIncoming(t *testing.T) {
 	if len(run2.Products) <= len(run.Products) {
 		t.Errorf("unfiltered run should synthesize more clusters: %d vs %d",
 			len(run2.Products), len(run.Products))
+	}
+}
+
+// TestPrepareIncomingComposesToRunRuntime pins the stage refactor: the
+// incremental front half plus global clustering plus fusion must equal
+// the whole-run RunRuntime exactly — and the front half of a subset of
+// offers is the corresponding subset of the whole-run front half, the
+// property the streaming pipeline is built on.
+func TestPrepareIncomingComposesToRunRuntime(t *testing.T) {
+	ds := dataset(t)
+	fetcher := MapFetcher(ds.Pages)
+	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := PrepareIncoming(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Reconcile != run.Reconcile || prep.ExcludedMatched != run.ExcludedMatched {
+		t.Errorf("front-half stats %+v/%d, want %+v/%d",
+			prep.Reconcile, prep.ExcludedMatched, run.Reconcile, run.ExcludedMatched)
+	}
+	clusters, skipped := cluster.Group(prep.Kept, cluster.Options{})
+	if len(skipped) != len(run.SkippedNoKey) {
+		t.Errorf("skipped %d, want %d", len(skipped), len(run.SkippedNoKey))
+	}
+	products := FuseClusters(clusters, Config{})
+	if len(products) != len(run.Products) {
+		t.Fatalf("%d products, want %d", len(products), len(run.Products))
+	}
+	for i := range products {
+		got := products[i].CategoryID + "/" + products[i].Key + "/" + products[i].Spec.String()
+		want := run.Products[i].CategoryID + "/" + run.Products[i].Key + "/" + run.Products[i].Spec.String()
+		if got != want {
+			t.Errorf("product %d: %s, want %s", i, got, want)
+		}
+	}
+
+	// Subset property: preparing half the offers yields the matching
+	// subset of the whole run's kept offers.
+	half := ds.IncomingOffers[:len(ds.IncomingOffers)/2]
+	sub, err := PrepareIncoming(ds.Catalog, off, half, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeKept := make(map[string]string, len(prep.Kept))
+	for _, o := range prep.Kept {
+		wholeKept[o.ID] = o.Spec.String()
+	}
+	for _, o := range sub.Kept {
+		if spec, ok := wholeKept[o.ID]; !ok || spec != o.Spec.String() {
+			t.Errorf("subset kept offer %s disagrees with whole run", o.ID)
+		}
+	}
+}
+
+// TestStrictPages pins the per-batch failure path: with StrictPages a
+// missing landing page fails the run deterministically; without, the
+// offer keeps its feed spec and the run succeeds.
+func TestStrictPages(t *testing.T) {
+	ds := dataset(t)
+	fetcher := MapFetcher(ds.Pages)
+	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ds.IncomingOffers[0].Clone()
+	bad.ID = "bad"
+	bad.URL = "missing://nowhere"
+	incoming := append([]offer.Offer{bad}, ds.IncomingOffers[1:]...)
+
+	if _, err := RunRuntime(ds.Catalog, off, incoming, fetcher, Config{}); err != nil {
+		t.Fatalf("lenient run failed: %v", err)
+	}
+	_, err = RunRuntime(ds.Catalog, off, incoming, fetcher, Config{StrictPages: true})
+	if err == nil {
+		t.Fatal("strict run tolerated a missing page")
+	}
+	if !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("err = %v, want wrapped ErrPageNotFound", err)
+	}
+
+	// The flag is runtime-only: a crawl gap in the historical corpus
+	// must not make Learn fail.
+	badHist := ds.HistoricalOffers[0].Clone()
+	badHist.ID = "bad-hist"
+	badHist.URL = "missing://nowhere"
+	historical := append([]offer.Offer{badHist}, ds.HistoricalOffers[1:]...)
+	if _, err := RunOffline(ds.Catalog, historical, fetcher, Config{StrictPages: true}); err != nil {
+		t.Errorf("offline phase failed under StrictPages: %v", err)
 	}
 }
 

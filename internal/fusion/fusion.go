@@ -115,6 +115,11 @@ func (Centroid) Fuse(candidates []string) string {
 // the given strategy. For each catalog attribute appearing in any member
 // offer, the candidate values are collected (one per offer that carries the
 // attribute) and fused. Attributes are emitted in sorted order.
+//
+// FuseCluster is a pure function of the member offers and keeps no state
+// between calls: re-fusing a cluster after it gains members — the
+// streaming pipeline extends open clusters across waves — produces
+// exactly the spec that fusing the full member list in one shot would.
 func FuseCluster(cl cluster.Cluster, strategy Strategy) catalog.Spec {
 	if strategy == nil {
 		strategy = Centroid{}

@@ -155,3 +155,40 @@ func BenchmarkCentroidFuse(b *testing.B) {
 		c.Fuse(vals)
 	}
 }
+
+// TestRefuseExtendedClusterDeterministic pins the contract the streaming
+// pipeline leans on: fusion is a pure function of a cluster's member
+// offers, so re-fusing a cluster after it gains members (cross-batch
+// cluster memory extending a wave-1 cluster in wave 2) yields exactly
+// what fusing the full cluster in one shot would have — for both
+// strategies, and stably across repeated calls.
+func TestRefuseExtendedClusterDeterministic(t *testing.T) {
+	mko := func(id string, kvs ...string) offer.Offer {
+		o := offer.Offer{ID: id, CategoryID: "hd"}
+		for i := 0; i+1 < len(kvs); i += 2 {
+			o.Spec = append(o.Spec, catalog.AttributeValue{Name: kvs[i], Value: kvs[i+1]})
+		}
+		return o
+	}
+	members := []offer.Offer{
+		mko("a", catalog.AttrUPC, "111", "Brand", "Seagate", "Capacity", "500 GB"),
+		mko("b", catalog.AttrUPC, "111", "Brand", "Seagate Inc", "Capacity", "500GB"),
+		mko("c", catalog.AttrUPC, "111", "Brand", "Seagate", "Interface", "SATA"),
+	}
+	for _, strategy := range []Strategy{Centroid{}, MajorityVote{}} {
+		grown := cluster.Cluster{Key: "111", KeyAttr: catalog.AttrUPC, CategoryID: "hd"}
+		var specs []string
+		for _, m := range members {
+			grown.Offers = append(grown.Offers, m)
+			specs = append(specs, FuseCluster(grown, strategy).String())
+		}
+		oneShot := cluster.Cluster{Key: "111", KeyAttr: catalog.AttrUPC, CategoryID: "hd", Offers: members}
+		want := FuseCluster(oneShot, strategy).String()
+		if specs[len(specs)-1] != want {
+			t.Errorf("%T: grown fusion = %s, one-shot = %s", strategy, specs[len(specs)-1], want)
+		}
+		if again := FuseCluster(oneShot, strategy).String(); again != want {
+			t.Errorf("%T: repeated fusion differs: %s vs %s", strategy, again, want)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package stream implements continuous-feed synthesis: a long-lived
+// pipeline consuming offer waves from a channel (Run) on top of a
+// cross-batch cluster memory (Memory) that keeps clusters open between
+// waves, so a product whose offers straddle waves joins its earlier
+// cluster and re-fuses with the union of evidence instead of synthesizing
+// a duplicate.
+//
+// The memory is an incremental version of cluster.Group: a persistent
+// union-find over namespaced key values plus an open-cluster table. For
+// any partitioning of an offer sequence into waves, feeding the waves
+// through an unbounded Memory and reading Final() yields byte-identical
+// clusters — same membership, same member order, same cluster order — as
+// one cluster.Group call over the concatenated sequence. The equivalence
+// holds because cluster partition is the transitive closure of key
+// sharing (independent of union order), cluster order is the arrival
+// order of each cluster's earliest member (merges keep the minimum), and
+// member order is global arrival order (tracked per offer).
+//
+// Production feeds are unbounded, so the memory is too unless bounded:
+// Options.MaxClusters caps open clusters with LRU eviction, and
+// Options.MaxIdleWaves expires clusters no wave has touched recently.
+// Eviction trades exactness for memory — a later offer sharing a key with
+// an evicted cluster opens a fresh cluster and synthesizes a duplicate,
+// exactly what a memory-less batch run would have done for every wave.
+//
+// Memory is not safe for concurrent use; Run owns one and serializes
+// waves through it.
+package stream
+
+import (
+	"container/list"
+	"sort"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/offer"
+)
+
+// MemoryOptions bounds a Memory. The zero value is unbounded.
+type MemoryOptions struct {
+	// KeyAttrs are the clustering key attributes in priority order
+	// (default UPC, then Model Part Number — cluster.DefaultKeyAttrs).
+	KeyAttrs []string
+	// MaxClusters caps the number of open clusters; 0 means unbounded.
+	// When a wave pushes the count past the cap, the least recently
+	// touched clusters are evicted (after the wave's snapshots are
+	// taken, so a wave larger than the cap still emits every cluster it
+	// touched).
+	MaxClusters int
+	// MaxIdleWaves expires clusters by age: a cluster untouched for more
+	// than MaxIdleWaves consecutive waves is evicted at the start of the
+	// next wave. 0 means never. Measured in waves, not wall time, so
+	// behaviour is deterministic for a given wave sequence.
+	MaxIdleWaves int
+}
+
+// memberOffer is one cluster member with its global arrival index, the
+// ordering that keeps merged member lists identical to batch clustering.
+type memberOffer struct {
+	seq int
+	o   offer.Offer
+}
+
+// openCluster is one cluster held open across waves.
+type openCluster struct {
+	// ord is the creation order of the cluster's earliest member —
+	// merges keep the minimum — and orders Final() output exactly like
+	// cluster.Group orders its clusters.
+	ord int
+	// root is the union-find root key currently naming this cluster.
+	root string
+	// keys are all namespaced keys unioned into the cluster; eviction
+	// deletes them from the union-find so the key space cannot grow
+	// without bound.
+	keys []string
+	// members are the offers in global arrival order.
+	members []memberOffer
+	// lastWave is the most recent wave that added a member.
+	lastWave int
+	// catVersions maps every distinct member category to the catalog
+	// version observed at the last touch — the staleness check
+	// AddToCatalog trips mid-stream. Clusters can span categories (keys
+	// are global), so growth in any member category invalidates.
+	catVersions map[string]uint64
+	elem        *list.Element
+}
+
+// Memory is the cross-batch cluster state. See the package comment.
+type Memory struct {
+	opts MemoryOptions
+
+	// parent is the persistent union-find over namespaced keys. Every
+	// key present belongs to exactly one open cluster, and every chain
+	// stays inside one cluster's key set (unions only ever link keys of
+	// clusters being merged), so evicting a cluster can delete its keys
+	// without dangling references.
+	parent map[string]string
+	open   map[string]*openCluster // by current root key
+	lru    list.List               // *openCluster; front = most recently touched
+
+	wave    int // waves seen (Add calls)
+	seq     int // offers admitted (global arrival counter)
+	nextOrd int // next cluster creation ordinal
+
+	evictionsLRU     int
+	evictionsIdle    int
+	evictionsVersion int
+}
+
+// NewMemory returns an empty cluster memory.
+func NewMemory(opts MemoryOptions) *Memory {
+	return &Memory{
+		opts:   opts,
+		parent: make(map[string]string),
+		open:   make(map[string]*openCluster),
+	}
+}
+
+// Len returns the number of open clusters.
+func (m *Memory) Len() int { return len(m.open) }
+
+// Waves returns the number of waves the memory has absorbed.
+func (m *Memory) Waves() int { return m.wave }
+
+// Evictions returns how many open clusters have been dropped, by cause:
+// LRU (MaxClusters), idle expiry (MaxIdleWaves), and catalog-version
+// invalidation.
+func (m *Memory) Evictions() (lru, idle, version int) {
+	return m.evictionsLRU, m.evictionsIdle, m.evictionsVersion
+}
+
+// rootOf walks the union-find without creating missing keys.
+func (m *Memory) rootOf(k string) (string, bool) {
+	p, ok := m.parent[k]
+	if !ok {
+		return "", false
+	}
+	for p != k {
+		k = p
+		p = m.parent[k]
+	}
+	return k, true
+}
+
+// find returns k's root, inserting k as a fresh singleton when absent,
+// with path compression.
+func (m *Memory) find(k string) string {
+	p, ok := m.parent[k]
+	if !ok {
+		m.parent[k] = k
+		return k
+	}
+	if p == k {
+		return k
+	}
+	root := m.find(p)
+	m.parent[k] = root
+	return root
+}
+
+func (m *Memory) union(a, b string) {
+	ra, rb := m.find(a), m.find(b)
+	if ra != rb {
+		m.parent[rb] = ra
+	}
+}
+
+// evict drops one open cluster: its keys leave the union-find, its entry
+// leaves the table and the LRU list.
+func (m *Memory) evict(cl *openCluster) {
+	for _, k := range cl.keys {
+		delete(m.parent, k)
+	}
+	delete(m.open, cl.root)
+	m.lru.Remove(cl.elem)
+}
+
+// expire applies the wave-start evictions: idle expiry and, when store is
+// non-nil, catalog-version invalidation. A cluster whose member-category
+// version moved since its last touch is stale: AddToCatalog committed
+// products into that category mid-stream, so the cluster's product may
+// now exist in the catalog and its next same-key offer will be matched
+// against the grown catalog (and typically excluded) rather than re-fused
+// here. versions memoizes CategoryVersion reads — one store lock per
+// distinct category per wave, however many clusters share it.
+func (m *Memory) expire(store *catalog.Store, versions map[string]uint64) {
+	if m.opts.MaxIdleWaves > 0 {
+		// The LRU is ordered by last touch, so lastWave is nondecreasing
+		// front to back: the scan stops at the first non-idle cluster.
+		for e := m.lru.Back(); e != nil; {
+			cl := e.Value.(*openCluster)
+			if m.wave-cl.lastWave <= m.opts.MaxIdleWaves {
+				break
+			}
+			prev := e.Prev()
+			m.evictionsIdle++
+			m.evict(cl)
+			e = prev
+		}
+	}
+	if store == nil {
+		return
+	}
+	var stale []*openCluster
+	for e := m.lru.Back(); e != nil; e = e.Prev() {
+		cl := e.Value.(*openCluster)
+		for cat, seen := range cl.catVersions {
+			if versionOf(store, versions, cat) != seen {
+				stale = append(stale, cl)
+				break
+			}
+		}
+	}
+	for _, cl := range stale {
+		m.evictionsVersion++
+		m.evict(cl)
+	}
+}
+
+// versionOf reads one category's version through the per-wave memo.
+func versionOf(store *catalog.Store, memo map[string]uint64, cat string) uint64 {
+	if v, ok := memo[cat]; ok {
+		return v
+	}
+	v := store.CategoryVersion(cat)
+	memo[cat] = v
+	return v
+}
+
+// Add absorbs one wave of reconciled offers and returns a snapshot of
+// every cluster the wave created or extended, ordered by cluster creation
+// (the order cluster.Group would emit them in), plus the offers that
+// carried no clustering key. Snapshots are self-contained copies: later
+// waves do not mutate them. store, when non-nil, supplies the category
+// version counters used to invalidate clusters after mid-stream catalog
+// growth; pass nil to disable invalidation.
+func (m *Memory) Add(store *catalog.Store, offers []offer.Offer) (touched []cluster.Cluster, skipped []offer.Offer) {
+	m.wave++
+	// Per-wave memo of CategoryVersion reads, shared by the staleness
+	// check and the touch records below. A version bumped concurrently
+	// mid-wave is recorded at its wave-start value, which at worst
+	// evicts the cluster one wave later than a fresh read would — the
+	// safe (conservative) direction.
+	versions := make(map[string]uint64)
+	m.expire(store, versions)
+
+	touchedSet := make(map[*openCluster]bool)
+	for _, o := range offers {
+		keys := cluster.OfferKeys(o, m.opts.KeyAttrs, false)
+		if len(keys) == 0 {
+			skipped = append(skipped, o)
+			continue
+		}
+
+		// Existing clusters this offer's keys reach, before any union.
+		var joined []*openCluster
+		seen := make(map[*openCluster]bool)
+		for _, k := range keys {
+			if root, ok := m.rootOf(k); ok {
+				if cl := m.open[root]; cl != nil && !seen[cl] {
+					seen[cl] = true
+					joined = append(joined, cl)
+				}
+			}
+		}
+		fresh := newKeys(m.parent, keys)
+
+		for j := 1; j < len(keys); j++ {
+			m.union(keys[0], keys[j])
+		}
+		root := m.find(keys[0])
+
+		var cl *openCluster
+		switch len(joined) {
+		case 0:
+			cl = &openCluster{ord: m.nextOrd, root: root}
+			m.nextOrd++
+			cl.elem = m.lru.PushFront(cl)
+			m.open[root] = cl
+		default:
+			cl = joined[0]
+			for _, other := range joined[1:] {
+				if other.ord < cl.ord {
+					cl.ord = other.ord
+				}
+				cl.keys = append(cl.keys, other.keys...)
+				cl.members = append(cl.members, other.members...)
+				delete(m.open, other.root)
+				m.lru.Remove(other.elem)
+				delete(touchedSet, other)
+			}
+			if len(joined) > 1 {
+				sort.Slice(cl.members, func(i, j int) bool {
+					return cl.members[i].seq < cl.members[j].seq
+				})
+			}
+			delete(m.open, cl.root)
+			cl.root = root
+			m.open[root] = cl
+			m.lru.MoveToFront(cl.elem)
+		}
+		cl.keys = append(cl.keys, fresh...)
+		cl.members = append(cl.members, memberOffer{seq: m.seq, o: o})
+		m.seq++
+		cl.lastWave = m.wave
+		touchedSet[cl] = true
+	}
+
+	// Snapshot the touched clusters before LRU eviction, so a wave
+	// larger than MaxClusters still reports everything it fused.
+	touchedList := make([]*openCluster, 0, len(touchedSet))
+	for cl := range touchedSet {
+		touchedList = append(touchedList, cl)
+	}
+	sort.Slice(touchedList, func(i, j int) bool { return touchedList[i].ord < touchedList[j].ord })
+	touched = make([]cluster.Cluster, len(touchedList))
+	for i, cl := range touchedList {
+		touched[i] = m.snapshot(cl)
+		if store != nil {
+			cv := make(map[string]uint64)
+			for _, mo := range cl.members {
+				if _, ok := cv[mo.o.CategoryID]; !ok {
+					cv[mo.o.CategoryID] = versionOf(store, versions, mo.o.CategoryID)
+				}
+			}
+			cl.catVersions = cv
+		}
+	}
+
+	if m.opts.MaxClusters > 0 {
+		for len(m.open) > m.opts.MaxClusters {
+			cl := m.lru.Back().Value.(*openCluster)
+			m.evictionsLRU++
+			m.evict(cl)
+		}
+	}
+	return touched, skipped
+}
+
+// Final returns a snapshot of every open cluster in creation order — the
+// merged view of the whole stream. With unbounded options this is exactly
+// the cluster.Group output over every offer ever Added (minus clusters
+// lost to catalog-version invalidation).
+func (m *Memory) Final() []cluster.Cluster {
+	all := make([]*openCluster, 0, len(m.open))
+	for _, cl := range m.open {
+		all = append(all, cl)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ord < all[j].ord })
+	out := make([]cluster.Cluster, len(all))
+	for i, cl := range all {
+		out[i] = m.snapshot(cl)
+	}
+	return out
+}
+
+// snapshot materializes one open cluster as a self-contained
+// cluster.Cluster with identity fields computed the way cluster.Group
+// computes them.
+func (m *Memory) snapshot(cl *openCluster) cluster.Cluster {
+	members := make([]offer.Offer, len(cl.members))
+	for i, mo := range cl.members {
+		members[i] = mo.o
+	}
+	return cluster.Assemble(members, m.opts.KeyAttrs)
+}
+
+// newKeys returns the keys not yet present in the union-find, preserving
+// order. Called before the keys are unioned in.
+func newKeys(parent map[string]string, keys []string) []string {
+	var fresh []string
+	for _, k := range keys {
+		if _, ok := parent[k]; !ok {
+			fresh = append(fresh, k)
+		}
+	}
+	return fresh
+}

@@ -1,0 +1,353 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/offer"
+)
+
+// mk builds one reconciled offer with alternating attr, value pairs.
+func mk(id, cat string, kvs ...string) offer.Offer {
+	o := offer.Offer{ID: id, CategoryID: cat}
+	for i := 0; i+1 < len(kvs); i += 2 {
+		o.Spec = append(o.Spec, catalog.AttributeValue{Name: kvs[i], Value: kvs[i+1]})
+	}
+	return o
+}
+
+// clusterFingerprint renders a cluster comparably: identity plus member
+// offer IDs in order.
+func clusterFingerprint(c cluster.Cluster) string {
+	ids := make([]string, len(c.Offers))
+	for i, o := range c.Offers {
+		ids[i] = o.ID
+	}
+	return fmt.Sprintf("%s/%s=%s %v", c.CategoryID, c.KeyAttr, c.Key, ids)
+}
+
+// corpus is a fixed offer sequence exercising the interesting shapes:
+// multi-offer clusters, UPC/MPN bridges that force cluster merges,
+// key-less offers, and cross-category keys.
+func corpus() []offer.Offer {
+	return []offer.Offer{
+		mk("o0", "hd", catalog.AttrUPC, "111"),
+		mk("o1", "hd", catalog.AttrMPN, "ab-1"),
+		mk("o2", "hd", catalog.AttrUPC, "222"),
+		mk("o3", "hd"),                                                 // no key: always skipped
+		mk("o4", "hd", catalog.AttrUPC, "111", catalog.AttrMPN, "AB1"), // bridges o0 and o1
+		mk("o5", "tv", catalog.AttrUPC, "333"),
+		mk("o6", "hd", catalog.AttrUPC, "2 2 2"), // normalizes to 222
+		mk("o7", "tv", catalog.AttrMPN, "xy/9"),
+		mk("o8", "hd", catalog.AttrUPC, "111"),
+		mk("o9", "tv", catalog.AttrUPC, "333", catalog.AttrMPN, "XY9"), // bridges o5 and o7
+		mk("o10", "hd", catalog.AttrMPN, "zz9"),
+		mk("o11", "hd"),                         // no key
+		mk("o12", "tv", catalog.AttrUPC, "111"), // same UPC, other category: same cluster (global keys)
+	}
+}
+
+// partitions splits offers into n contiguous waves.
+func partitions(offers []offer.Offer, n int) [][]offer.Offer {
+	if n > len(offers) {
+		n = len(offers)
+	}
+	waves := make([][]offer.Offer, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(offers)/n, (i+1)*len(offers)/n
+		waves = append(waves, offers[lo:hi])
+	}
+	return waves
+}
+
+// TestMemoryMatchesGroupAcrossPartitions is the core incremental-clustering
+// equivalence property: for every partitioning of an offer sequence into
+// waves, an unbounded Memory's Final() must be byte-identical — same
+// clusters, same member order, same cluster order — to one cluster.Group
+// call over the whole sequence, and the skipped offers must agree.
+func TestMemoryMatchesGroupAcrossPartitions(t *testing.T) {
+	offers := corpus()
+	wantClusters, wantSkipped := cluster.Group(offers, cluster.Options{})
+	want := make([]string, len(wantClusters))
+	for i, c := range wantClusters {
+		want[i] = clusterFingerprint(c)
+	}
+
+	for _, n := range []int{1, 2, 3, 7, len(offers)} {
+		mem := NewMemory(MemoryOptions{})
+		var skipped []offer.Offer
+		for _, wave := range partitions(offers, n) {
+			_, sk := mem.Add(nil, wave)
+			skipped = append(skipped, sk...)
+		}
+		got := mem.Final()
+		if len(got) != len(want) {
+			t.Fatalf("waves=%d: %d clusters, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if fp := clusterFingerprint(got[i]); fp != want[i] {
+				t.Errorf("waves=%d: cluster %d = %s, want %s", n, i, fp, want[i])
+			}
+		}
+		if len(skipped) != len(wantSkipped) {
+			t.Fatalf("waves=%d: %d skipped, want %d", n, len(skipped), len(wantSkipped))
+		}
+		for i := range skipped {
+			if skipped[i].ID != wantSkipped[i].ID {
+				t.Errorf("waves=%d: skipped %d = %s, want %s", n, i, skipped[i].ID, wantSkipped[i].ID)
+			}
+		}
+	}
+}
+
+// TestMemoryMatchesGroupRandomized fuzzes the same property over random
+// offer sequences and random (non-contiguous sizes, contiguous order)
+// partitionings.
+func TestMemoryMatchesGroupRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var offers []offer.Offer
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			var kvs []string
+			if rng.Intn(10) > 0 { // 10% key-less
+				kvs = append(kvs, catalog.AttrUPC, fmt.Sprintf("u%d", rng.Intn(8)))
+				if rng.Intn(3) == 0 {
+					kvs = append(kvs, catalog.AttrMPN, fmt.Sprintf("m%d", rng.Intn(8)))
+				}
+			}
+			offers = append(offers, mk(fmt.Sprintf("t%d-o%d", trial, i), fmt.Sprintf("c%d", rng.Intn(3)), kvs...))
+		}
+		wantClusters, _ := cluster.Group(offers, cluster.Options{})
+		want := make([]string, len(wantClusters))
+		for i, c := range wantClusters {
+			want[i] = clusterFingerprint(c)
+		}
+
+		mem := NewMemory(MemoryOptions{})
+		for lo := 0; lo < len(offers); {
+			hi := lo + 1 + rng.Intn(6)
+			if hi > len(offers) {
+				hi = len(offers)
+			}
+			mem.Add(nil, offers[lo:hi])
+			lo = hi
+		}
+		got := mem.Final()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d clusters, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if fp := clusterFingerprint(got[i]); fp != want[i] {
+				t.Fatalf("trial %d: cluster %d = %s, want %s", trial, i, fp, want[i])
+			}
+		}
+	}
+}
+
+// TestMemoryMergeAcrossWaves pins the cross-wave union: two clusters open
+// in wave 1 are merged by a wave-2 offer carrying both keys, the merged
+// cluster keeps the earliest creation slot, and the wave-2 snapshot holds
+// the union of evidence in arrival order.
+func TestMemoryMergeAcrossWaves(t *testing.T) {
+	mem := NewMemory(MemoryOptions{})
+	touched, _ := mem.Add(nil, []offer.Offer{
+		mk("a", "hd", catalog.AttrUPC, "111"),
+		mk("b", "hd", catalog.AttrMPN, "m-9"),
+	})
+	if len(touched) != 2 || mem.Len() != 2 {
+		t.Fatalf("wave 1: touched %d, open %d; want 2, 2", len(touched), mem.Len())
+	}
+
+	touched, _ = mem.Add(nil, []offer.Offer{
+		mk("c", "hd", catalog.AttrUPC, "111", catalog.AttrMPN, "M9"),
+	})
+	if len(touched) != 1 || mem.Len() != 1 {
+		t.Fatalf("wave 2: touched %d, open %d; want 1, 1", len(touched), mem.Len())
+	}
+	if fp := clusterFingerprint(touched[0]); fp != "hd/UPC=111 [a b c]" {
+		t.Errorf("merged cluster = %s, want hd/UPC=111 [a b c]", fp)
+	}
+	final := mem.Final()
+	if len(final) != 1 || clusterFingerprint(final[0]) != clusterFingerprint(touched[0]) {
+		t.Errorf("Final = %v", final)
+	}
+}
+
+// TestMemorySnapshotIsolation ensures a returned snapshot is not mutated
+// when later waves extend the same cluster.
+func TestMemorySnapshotIsolation(t *testing.T) {
+	mem := NewMemory(MemoryOptions{})
+	first, _ := mem.Add(nil, []offer.Offer{mk("a", "hd", catalog.AttrUPC, "111")})
+	mem.Add(nil, []offer.Offer{mk("b", "hd", catalog.AttrUPC, "111")})
+	if len(first[0].Offers) != 1 || first[0].Offers[0].ID != "a" {
+		t.Errorf("wave-1 snapshot mutated by wave 2: %s", clusterFingerprint(first[0]))
+	}
+}
+
+// TestMemoryLRUEviction bounds the memory and checks the least recently
+// extended cluster is forgotten: its next same-key offer opens a fresh
+// cluster (the duplicate a batch run would produce) instead of rejoining.
+func TestMemoryLRUEviction(t *testing.T) {
+	mem := NewMemory(MemoryOptions{MaxClusters: 2})
+	mem.Add(nil, []offer.Offer{mk("a", "hd", catalog.AttrUPC, "111")})
+	mem.Add(nil, []offer.Offer{mk("b", "hd", catalog.AttrUPC, "222")})
+	mem.Add(nil, []offer.Offer{mk("c", "hd", catalog.AttrUPC, "333")}) // evicts 111
+	if mem.Len() != 2 {
+		t.Fatalf("open = %d, want 2", mem.Len())
+	}
+	if lru, _, _ := mem.Evictions(); lru != 1 {
+		t.Fatalf("lru evictions = %d, want 1", lru)
+	}
+	touched, _ := mem.Add(nil, []offer.Offer{mk("d", "hd", catalog.AttrUPC, "111")})
+	if fp := clusterFingerprint(touched[0]); fp != "hd/UPC=111 [d]" {
+		t.Errorf("post-eviction cluster = %s, want fresh [d]", fp)
+	}
+
+	// A wave touching more clusters than the bound still reports them all.
+	mem2 := NewMemory(MemoryOptions{MaxClusters: 1})
+	touched, _ = mem2.Add(nil, []offer.Offer{
+		mk("x", "hd", catalog.AttrUPC, "1"),
+		mk("y", "hd", catalog.AttrUPC, "2"),
+		mk("z", "hd", catalog.AttrUPC, "3"),
+	})
+	if len(touched) != 3 {
+		t.Errorf("oversized wave touched %d clusters, want 3", len(touched))
+	}
+	if mem2.Len() != 1 {
+		t.Errorf("open = %d, want bound 1", mem2.Len())
+	}
+}
+
+// TestMemoryIdleExpiry checks the wave-TTL: clusters untouched for more
+// than MaxIdleWaves waves are dropped at the next wave start.
+func TestMemoryIdleExpiry(t *testing.T) {
+	mem := NewMemory(MemoryOptions{MaxIdleWaves: 1})
+	mem.Add(nil, []offer.Offer{mk("a", "hd", catalog.AttrUPC, "111")}) // wave 1
+	// Wave 2: 111 idle for 1 wave — within TTL, still rejoinable.
+	touched, _ := mem.Add(nil, []offer.Offer{mk("b", "hd", catalog.AttrUPC, "222")})
+	if mem.Len() != 2 {
+		t.Fatalf("after wave 2: open = %d, want 2", mem.Len())
+	}
+	// Wave 3: 111 idle for 2 waves > 1 — expired before the wave runs.
+	touched, _ = mem.Add(nil, []offer.Offer{mk("c", "hd", catalog.AttrUPC, "111")})
+	if fp := clusterFingerprint(touched[0]); fp != "hd/UPC=111 [c]" {
+		t.Errorf("expired cluster rejoined: %s", fp)
+	}
+	if _, idle, _ := mem.Evictions(); idle != 1 {
+		t.Errorf("idle evictions = %d, want 1", idle)
+	}
+}
+
+// TestMemoryVersionInvalidation checks mid-stream catalog growth: bumping
+// a category's version (what AddToCatalog does) drops that category's
+// open clusters at the next wave, while other categories' clusters stay.
+func TestMemoryVersionInvalidation(t *testing.T) {
+	store := catalog.NewStore()
+	for _, id := range []string{"hd", "tv"} {
+		if err := store.AddCategory(catalog.Category{
+			ID: id, Name: id,
+			Schema: catalog.Schema{Attributes: []catalog.Attribute{
+				{Name: catalog.AttrUPC, Kind: catalog.KindIdentifier},
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem := NewMemory(MemoryOptions{})
+	mem.Add(store, []offer.Offer{
+		mk("a", "hd", catalog.AttrUPC, "111"),
+		mk("b", "tv", catalog.AttrUPC, "222"),
+	})
+	if mem.Len() != 2 {
+		t.Fatalf("open = %d, want 2", mem.Len())
+	}
+
+	// Commit a product into hd — the mid-stream AddToCatalog.
+	if err := store.AddProduct(catalog.Product{
+		ID: "p1", CategoryID: "hd",
+		Spec: catalog.Spec{{Name: catalog.AttrUPC, Value: "999"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	touched, _ := mem.Add(store, []offer.Offer{mk("c", "hd", catalog.AttrUPC, "111")})
+	if _, _, version := mem.Evictions(); version != 1 {
+		t.Errorf("version evictions = %d, want 1 (hd cluster)", version)
+	}
+	// The hd cluster was invalidated, so "c" opens a fresh cluster; the
+	// tv cluster survives untouched.
+	if fp := clusterFingerprint(touched[0]); fp != "hd/UPC=111 [c]" {
+		t.Errorf("post-invalidation cluster = %s, want fresh [c]", fp)
+	}
+	final := mem.Final()
+	if len(final) != 2 {
+		t.Fatalf("Final = %d clusters, want 2 (fresh hd + surviving tv)", len(final))
+	}
+	if fp := clusterFingerprint(final[0]); fp != "tv/UPC=222 [b]" {
+		t.Errorf("surviving cluster = %s, want tv/UPC=222 [b]", fp)
+	}
+}
+
+// TestMemoryVersionInvalidationMinorityCategory pins that a cluster
+// spanning categories (global keys allow it) is invalidated when ANY
+// member category's version bumps — not just the majority one. The
+// cluster below is majority-hd; growth in tv must still evict it.
+func TestMemoryVersionInvalidationMinorityCategory(t *testing.T) {
+	store := catalog.NewStore()
+	for _, id := range []string{"hd", "tv"} {
+		if err := store.AddCategory(catalog.Category{
+			ID: id, Name: id,
+			Schema: catalog.Schema{Attributes: []catalog.Attribute{
+				{Name: catalog.AttrUPC, Kind: catalog.KindIdentifier},
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem := NewMemory(MemoryOptions{})
+	mem.Add(store, []offer.Offer{
+		mk("a", "hd", catalog.AttrUPC, "111"),
+		mk("b", "hd", catalog.AttrUPC, "111"),
+		mk("c", "tv", catalog.AttrUPC, "111"), // minority member
+	})
+	if mem.Len() != 1 {
+		t.Fatalf("open = %d, want 1", mem.Len())
+	}
+	if err := store.AddProduct(catalog.Product{
+		ID: "p1", CategoryID: "tv",
+		Spec: catalog.Spec{{Name: catalog.AttrUPC, Value: "999"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	touched, _ := mem.Add(store, []offer.Offer{mk("d", "hd", catalog.AttrUPC, "111")})
+	if _, _, version := mem.Evictions(); version != 1 {
+		t.Errorf("version evictions = %d, want 1 (minority-category growth)", version)
+	}
+	if fp := clusterFingerprint(touched[0]); fp != "hd/UPC=111 [d]" {
+		t.Errorf("post-invalidation cluster = %s, want fresh [d]", fp)
+	}
+}
+
+// TestMemoryEvictionReleasesKeys ensures evicted clusters release their
+// union-find keys — the memory's key space must not grow without bound
+// under a bounded cluster count.
+func TestMemoryEvictionReleasesKeys(t *testing.T) {
+	mem := NewMemory(MemoryOptions{MaxClusters: 4})
+	for i := 0; i < 100; i++ {
+		mem.Add(nil, []offer.Offer{
+			mk(fmt.Sprintf("o%d", i), "hd",
+				catalog.AttrUPC, fmt.Sprintf("u%d", i),
+				catalog.AttrMPN, fmt.Sprintf("m%d", i)),
+		})
+	}
+	if mem.Len() != 4 {
+		t.Fatalf("open = %d, want 4", mem.Len())
+	}
+	if got := len(mem.parent); got > 8 {
+		t.Errorf("union-find holds %d keys for 4 open clusters (leak)", got)
+	}
+}

@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"context"
+	"time"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/core"
+	"prodsynth/internal/fusion"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/reconcile"
+)
+
+// Options tunes a streaming run. The zero value keeps unbounded cluster
+// memory and an unbuffered output channel.
+type Options struct {
+	// MaxOpenClusters bounds the cluster memory (LRU); 0 = unbounded.
+	MaxOpenClusters int
+	// MaxIdleWaves expires clusters untouched for more than this many
+	// waves; 0 = never. See MemoryOptions.MaxIdleWaves.
+	MaxIdleWaves int
+	// DisableMemory turns cross-batch cluster memory off: every wave
+	// clusters independently, reproducing SynthesizeBatches semantics
+	// (a product split across waves synthesizes once per wave).
+	DisableMemory bool
+	// Buffer is the output channel's capacity. 0 (unbuffered) applies
+	// backpressure: the pipeline does not start wave n+1 until the
+	// consumer has taken wave n's result.
+	Buffer int
+}
+
+// Result is one emission of the streaming pipeline: per-wave results in
+// input order, then exactly one closing result with Final set.
+type Result struct {
+	// Wave is the 0-based index of the wave this result covers. On the
+	// final result it is the number of waves consumed.
+	Wave int
+	// Final marks the closing result emitted after the input channel
+	// closes: Products holds the merged view of the stream (the final
+	// fused state of every open cluster, in cluster creation order) and
+	// the counters aggregate every successful wave.
+	Final bool
+	// Err reports a failed wave. The wave contributes nothing to cluster
+	// memory or the final counters; later waves still run.
+	Err error
+	// Products are the fused products of every cluster this wave created
+	// or extended (for an extended cluster: re-fused over the union of
+	// its evidence across waves), in cluster creation order.
+	Products []fusion.Synthesized
+	// Reconcile counts the wave's pair translation outcomes.
+	Reconcile reconcile.Stats
+	// OffersWithoutKey counts reconciled offers with no clustering key.
+	OffersWithoutKey int
+	// ExcludedMatched counts offers dropped as matching the catalog.
+	ExcludedMatched int
+	// Offers is the number of offers the wave carried.
+	Offers int
+	// Clusters is the number of clusters fused (len(Products)).
+	Clusters int
+	// OpenClusters is the cluster-memory size after the wave — the
+	// quantity Options.MaxOpenClusters bounds.
+	OpenClusters int
+	// Elapsed is the wave's processing wall time. On the final result it
+	// is the total processing time (summed waves plus the final fuse),
+	// excluding time spent waiting for input.
+	Elapsed time.Duration
+}
+
+// Run starts the streaming pipeline: a goroutine that consumes offer
+// waves from waves, processes each through the shared per-offer front
+// half (core.PrepareIncoming) and the cross-batch cluster memory, and
+// emits one Result per wave, in input order, on the returned channel.
+// When waves closes, one closing Result (Final=true) carries the merged
+// stream view and aggregate counters; then the channel closes. When ctx
+// is cancelled the pipeline stops — between waves, or between the stages
+// of the wave in flight — and closes the channel without the final
+// result. Either way the goroutine exits: cancel ctx or close waves to
+// release it, even if the consumer has stopped reading.
+func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult, waves <-chan []offer.Offer, pages core.PageFetcher, cfg core.Config, opts Options) <-chan Result {
+	out := make(chan Result, opts.Buffer)
+	go func() {
+		defer close(out)
+		var mem *Memory
+		if !opts.DisableMemory {
+			mem = NewMemory(MemoryOptions{
+				KeyAttrs:     cfg.ClusterKeys,
+				MaxClusters:  opts.MaxOpenClusters,
+				MaxIdleWaves: opts.MaxIdleWaves,
+			})
+		}
+		var total Result
+		for {
+			var batch []offer.Offer
+			var ok bool
+			select {
+			case <-ctx.Done():
+				return
+			case batch, ok = <-waves:
+			}
+			if !ok {
+				final := finalResult(mem, cfg, total)
+				select {
+				case out <- final:
+				case <-ctx.Done():
+				}
+				return
+			}
+			r := runWave(ctx, store, offline, batch, pages, cfg, mem, opts, total.Wave)
+			if r.Err == nil {
+				accumulate(&total, r)
+			}
+			total.Wave++
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// runWave processes one wave. ctx is only consulted between stages: a
+// cancellation mid-stage lets the bounded worker pools drain (they hold
+// no external resources) and surfaces as the wave's Err.
+func runWave(ctx context.Context, store *catalog.Store, offline *core.OfflineResult, batch []offer.Offer, pages core.PageFetcher, cfg core.Config, mem *Memory, opts Options, wave int) Result {
+	start := time.Now()
+	r := Result{Wave: wave, Offers: len(batch)}
+
+	prep, err := core.PrepareIncoming(store, offline, batch, pages, cfg)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		r.Err = err
+		r.Elapsed = time.Since(start)
+		return r
+	}
+	r.Reconcile = prep.Reconcile
+	r.ExcludedMatched = prep.ExcludedMatched
+
+	var touched []cluster.Cluster
+	var skipped []offer.Offer
+	if mem != nil {
+		touched, skipped = mem.Add(store, prep.Kept)
+		r.OpenClusters = mem.Len()
+	} else {
+		touched, skipped = cluster.Group(prep.Kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
+	}
+	r.OffersWithoutKey = len(skipped)
+	r.Clusters = len(touched)
+
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		r.Elapsed = time.Since(start)
+		return r
+	}
+	r.Products = core.FuseClusters(touched, cfg)
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// accumulate folds one successful wave into the running totals the final
+// result reports.
+func accumulate(total *Result, r Result) {
+	total.Reconcile.OffersIn += r.Reconcile.OffersIn
+	total.Reconcile.PairsIn += r.Reconcile.PairsIn
+	total.Reconcile.PairsMapped += r.Reconcile.PairsMapped
+	total.Reconcile.PairsDropped += r.Reconcile.PairsDropped
+	total.OffersWithoutKey += r.OffersWithoutKey
+	total.ExcludedMatched += r.ExcludedMatched
+	total.Offers += r.Offers
+	total.Clusters += r.Clusters
+	total.Elapsed += r.Elapsed
+}
+
+// finalResult builds the closing emission. With cluster memory, Products
+// is the final fused state of every open cluster in creation order — for
+// an unbounded memory over an uninterrupted stream, byte-identical to a
+// one-shot run over the concatenated waves — and Clusters counts those
+// clusters. With memory disabled there is nothing to merge (every wave
+// already emitted its own clusters), so Products is nil and Clusters
+// keeps the summed per-wave count.
+func finalResult(mem *Memory, cfg core.Config, total Result) Result {
+	final := total
+	final.Final = true
+	if mem != nil {
+		start := time.Now()
+		merged := mem.Final()
+		final.Products = core.FuseClusters(merged, cfg)
+		final.Clusters = len(merged)
+		final.OpenClusters = mem.Len()
+		final.Elapsed += time.Since(start)
+	}
+	return final
+}

@@ -1,0 +1,120 @@
+package text
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzSeeds are shared starting points: ASCII, mixed alpha/digit
+// boundaries, separators, Unicode case pairs, and invalid UTF-8.
+var fuzzSeeds = []string{
+	"",
+	"500GB Seagate Barracuda",
+	"ATA 100 mb/s",
+	"Mfr. Part #: HDT-725050VLA360",
+	"ẞträße 100µF", // non-ASCII letters with case folding
+	"\xff\xfe broken \x80 utf8",
+	"ＡＢＣ１２３", // full-width letters and digits
+	"a\x00b\tc\nd",
+	"🙂emoji42😀",
+}
+
+// FuzzTokenizeIDs asserts the interned-ID tokenization path agrees with
+// the allocation-heavy reference path on arbitrary input, including
+// non-UTF-8: TokenizeIDs must produce exactly the tokens of Tokenize, in
+// order, with IDs that round-trip through the dictionary, and a frozen
+// Dict must Lookup every token to the same ID.
+func FuzzTokenizeIDs(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		want := DefaultTokenizer.Tokenize(s)
+
+		b := NewDictBuilder()
+		ids, _ := DefaultTokenizer.TokenizeIDs(b, nil, nil, s)
+		if len(ids) != len(want) {
+			t.Fatalf("TokenizeIDs returned %d tokens, Tokenize %d (input %q)", len(ids), len(want), s)
+		}
+		dict := b.Build()
+		for i, id := range ids {
+			if got := dict.Token(id); got != want[i] {
+				t.Fatalf("token %d: ID %d spells %q, Tokenize says %q (input %q)", i, id, got, want[i], s)
+			}
+			if lid, ok := dict.Lookup(want[i]); !ok || lid != id {
+				t.Fatalf("Lookup(%q) = %d,%v; interned as %d (input %q)", want[i], lid, ok, id, s)
+			}
+		}
+
+		// Tokens are always valid UTF-8, even when the input is not: the
+		// scanner decodes rune by rune and re-encodes what it keeps.
+		for _, tok := range want {
+			if !utf8.ValidString(tok) {
+				t.Fatalf("token %q not valid UTF-8 (input %q)", tok, s)
+			}
+		}
+
+		// Buffer reuse across calls must not change the output.
+		ids2, _ := DefaultTokenizer.TokenizeIDs(b, ids[:0], nil, s)
+		if len(ids2) != len(ids) {
+			t.Fatalf("reused-buffer run returned %d tokens, want %d", len(ids2), len(ids))
+		}
+		for i := range ids {
+			if ids2[i] != ids[i] {
+				t.Fatalf("reused-buffer run differs at %d: %d vs %d", i, ids2[i], ids[i])
+			}
+		}
+	})
+}
+
+// FuzzDictIntern asserts the interner is a bijection under arbitrary
+// (including non-UTF-8) token strings: Intern and InternBytes agree,
+// IDs are dense and stable, and Extend preserves every assignment.
+func FuzzDictIntern(f *testing.F) {
+	for i := 0; i+1 < len(fuzzSeeds); i++ {
+		f.Add(fuzzSeeds[i], fuzzSeeds[i+1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		bld := NewDictBuilder()
+		ida := bld.Intern(a)
+		if got := bld.InternBytes([]byte(a)); got != ida {
+			t.Fatalf("InternBytes(%q) = %d, Intern = %d", a, got, ida)
+		}
+		idb := bld.Intern(b)
+		if (a == b) != (ida == idb) {
+			t.Fatalf("Intern(%q)=%d, Intern(%q)=%d: equality mismatch", a, ida, b, idb)
+		}
+		if max := uint32(bld.Len() - 1); ida > max || idb > max {
+			t.Fatalf("IDs not dense: %d, %d with Len %d", ida, idb, bld.Len())
+		}
+		d := bld.Build()
+		if got := d.Token(ida); got != a {
+			t.Fatalf("Token(%d) = %q, want %q", ida, got, a)
+		}
+		if got, ok := d.LookupBytes([]byte(b)); !ok || got != idb {
+			t.Fatalf("LookupBytes(%q) = %d,%v, want %d", b, got, ok, idb)
+		}
+
+		// Extend keeps old assignments and appends new ones densely.
+		ext := d.Extend()
+		if got := ext.Intern(a); got != ida {
+			t.Fatalf("extended Intern(%q) = %d, want preserved %d", a, got, ida)
+		}
+		c := a + "\x00" + b
+		idc := ext.Intern(c)
+		d2 := ext.Build()
+		if got, ok := d2.Lookup(b); !ok || got != idb {
+			t.Fatalf("extended Lookup(%q) = %d,%v, want %d", b, got, ok, idb)
+		}
+		if got := d2.Token(idc); got != c {
+			t.Fatalf("extended Token(%d) = %q, want %q", idc, got, c)
+		}
+		// The original dict must be untouched by the extension.
+		if d.Len() > int(idc) {
+			t.Fatalf("base dict grew to %d after Extend", d.Len())
+		}
+		if _, ok := d.Lookup(c); ok && c != a && c != b {
+			t.Fatalf("base dict sees extension-only token %q", c)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package prodsynth
+
+// raceEnabled reports whether the race detector is active. The streaming
+// tests use it to scale concurrency and iteration counts down under the
+// detector's ~10x slowdown while keeping full coverage in plain runs.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package prodsynth
+
+const raceEnabled = true
