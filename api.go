@@ -7,14 +7,61 @@
 // vocabularies and the catalog schema from historical offer-to-product
 // matches — with an automatically constructed training set, no manual
 // labels — and then synthesizes new, structured product instances from
-// offers that match nothing in the catalog:
+// offers that match nothing in the catalog.
+//
+// The API separates the two phases of the paper's Figure 4 architecture.
+// The offline phase is a function producing an immutable, serializable
+// [Model] artifact; the runtime phase is a [System] constructed over a
+// catalog from such a Model:
 //
 //	store := prodsynth.NewCatalog()
 //	// ... add categories and known products ...
-//	sys := prodsynth.New(store, prodsynth.Config{})
-//	if err := sys.Learn(historicalOffers, pages); err != nil { ... }
-//	result, err := sys.Synthesize(incomingOffers, pages)
+//	model, err := prodsynth.Learn(ctx, store, historicalOffers, pages)
+//	if err != nil { ... }
+//	sys := prodsynth.NewSystem(store, model)
+//	result, err := sys.SynthesizeContext(ctx, incomingOffers, pages)
 //	// result.Products now holds catalog-ready product instances.
+//
+// Because a System cannot be built on the new path without a Model, "not
+// learned yet" is no longer a runtime state to guard against. Models are
+// plain values: save one with [SaveModel], warm-start a fresh process with
+// [LoadModel], and swap a re-learned model into a serving System atomically
+// with [System.Use].
+//
+// # Migrating from the v1 API
+//
+// The original API hid the learned state inside a mutable System. Those
+// entry points remain as thin deprecated shims (see compat.go), so v1 code
+// keeps compiling, but new code should use the Model-first forms:
+//
+//	v1 (deprecated)                     v2
+//	----------------------------------  ------------------------------------------
+//	sys := New(store, cfg)              model, err := Learn(ctx, store, hist, pages, WithConfig(cfg))
+//	err := sys.Learn(hist, pages)       sys := NewSystem(store, model, WithConfig(cfg))
+//	sys.Stats()                         sys.Model().Stats()   (or keep the *Model)
+//	sys.Correspondences()               sys.Model().Correspondences()
+//	res, err := sys.Synthesize(in, p)   res, err := sys.SynthesizeContext(ctx, in, p)
+//	sys.SynthesizeBatches(bs, p)        sys.SynthesizeBatchesContext(ctx, bs, p)
+//
+// Every v2 entry point is context-first: cancelling the context stops the
+// pipeline's worker pools at the next stage boundary with ctx.Err(), and
+// never leaks a goroutine.
+//
+// Warm-starting a long-lived process: learn once, save the artifact, and
+// have the daemon load it instead of re-running the offline phase —
+//
+//	// learner process
+//	model, _ := prodsynth.Learn(ctx, store, historical, pages)
+//	f, _ := os.Create("model.psmd")
+//	prodsynth.SaveModel(f, model)
+//	f.Close()
+//
+//	// serving process (same catalog contents)
+//	f, _ := os.Open("model.psmd")
+//	model, err := prodsynth.LoadModel(f)   // strict: checksum + version verified
+//	sys := prodsynth.NewSystem(store, model)
+//	// ... serve SynthesizeContext / SynthesizeStream ...
+//	sys.Use(relearned)                     // atomic hot-swap, no downtime
 //
 // The subpackages under internal implement each component of the paper's
 // Figure 4 architecture plus every substrate the evaluation needs: an HTML
@@ -24,10 +71,7 @@
 package prodsynth
 
 import (
-	"context"
 	"errors"
-	"strconv"
-	"time"
 
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/core"
@@ -35,13 +79,13 @@ import (
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
-	"prodsynth/internal/stream"
 	"prodsynth/internal/synth"
 )
 
-// ErrNotLearned is returned by Synthesize and SynthesizeBatches when Learn
-// has not succeeded first: the runtime pipeline needs the learned attribute
-// correspondences.
+// ErrNotLearned is returned by the synthesis entry points of a System that
+// holds no Model — possible only on the deprecated v1 path, where New
+// builds a System before Learn has run. Systems built with NewSystem carry
+// their Model from construction.
 var ErrNotLearned = errors.New("prodsynth: Learn must succeed before Synthesize")
 
 // Re-exported data model. These aliases are the supported public surface;
@@ -141,325 +185,3 @@ func DefaultMarketplaceConfig() MarketplaceConfig { return synth.DefaultConfig()
 // ExperimentMarketplaceConfig is the laptop-scale marketplace used to
 // regenerate the paper's tables and figures.
 func ExperimentMarketplaceConfig() MarketplaceConfig { return synth.ExperimentConfig() }
-
-// System ties the offline learning phase and the runtime synthesis
-// pipeline together over one catalog.
-type System struct {
-	store   *Catalog
-	cfg     Config
-	offline *core.OfflineResult
-}
-
-// New creates a System over a catalog. The zero Config applies the paper's
-// defaults (table extraction, UPC+title matching, all six features,
-// class-weighted logistic regression, centroid fusion, threshold 0.5).
-func New(store *Catalog, cfg Config) *System {
-	return &System{store: store, cfg: cfg}
-}
-
-// Learn runs the offline learning phase (§3) over historical offers:
-// extraction, historical matching, feature computation, automatic training
-// set construction, classifier training, and correspondence selection.
-func (s *System) Learn(historical []Offer, pages PageFetcher) error {
-	off, err := core.RunOffline(s.store, historical, pages, s.cfg)
-	if err != nil {
-		return err
-	}
-	s.offline = off
-	return nil
-}
-
-// Stats returns the offline learning statistics. Zero before Learn.
-func (s *System) Stats() OfflineStats {
-	if s.offline == nil {
-		return OfflineStats{}
-	}
-	return s.offline.Stats
-}
-
-// Correspondences returns every selected attribute correspondence.
-// Nil before Learn.
-func (s *System) Correspondences() []Correspondence {
-	if s.offline == nil {
-		return nil
-	}
-	return s.offline.Correspondences.All()
-}
-
-// ScoredCandidates returns every candidate correspondence with its
-// classifier score, best first. Nil before Learn.
-func (s *System) ScoredCandidates() []Correspondence {
-	if s.offline == nil {
-		return nil
-	}
-	return s.offline.Scored
-}
-
-// Result is the outcome of a Synthesize run.
-type Result struct {
-	// Products are the synthesized product instances.
-	Products []Synthesized
-	// PairsDropped counts extracted attribute-value pairs discarded for
-	// lack of a correspondence (the noise filter of §4).
-	PairsDropped int
-	// PairsMapped counts pairs translated into catalog vocabulary.
-	PairsMapped int
-	// OffersWithoutKey counts reconciled offers that could not be
-	// clustered because no key attribute survived reconciliation.
-	OffersWithoutKey int
-	// ExcludedMatched counts incoming offers dropped because they match
-	// an existing catalog product — the run's match count against the
-	// warm indexes.
-	ExcludedMatched int
-	// Offers is the number of incoming offers the run processed.
-	Offers int
-	// Clusters is the number of offer clusters value fusion synthesized
-	// from (one synthesized product per cluster).
-	Clusters int
-	// Elapsed is the wall-clock duration of the run. In a BatchResult it
-	// makes the per-batch cost of a wave visible next to its match and
-	// fusion counts.
-	Elapsed time.Duration
-	// Err is set on a per-batch Result inside BatchResult (or a
-	// StreamResult) when that batch failed; the other fields are zero
-	// except Offers. A failed batch does not stop later batches. Always
-	// nil on a Result returned directly by Synthesize, which reports
-	// failure through its error return instead.
-	Err error
-}
-
-// Synthesize runs the runtime pipeline (§4) over incoming offers:
-// extraction, schema reconciliation, clustering, and value fusion.
-// Learn must have succeeded first; ErrNotLearned otherwise.
-func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error) {
-	if s.offline == nil {
-		return nil, ErrNotLearned
-	}
-	start := time.Now()
-	run, err := core.RunRuntime(s.store, s.offline, incoming, pages, s.cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Products:         run.Products,
-		PairsDropped:     run.Reconcile.PairsDropped,
-		PairsMapped:      run.Reconcile.PairsMapped,
-		OffersWithoutKey: len(run.SkippedNoKey),
-		ExcludedMatched:  run.ExcludedMatched,
-		Offers:           len(incoming),
-		Clusters:         run.Clusters.Clusters,
-		Elapsed:          time.Since(start),
-	}, nil
-}
-
-// BatchResult is the outcome of a SynthesizeBatches run.
-type BatchResult struct {
-	// Batches holds one Result per input batch, in input order; each
-	// carries its own wall time and match/fusion counts. A batch that
-	// failed has Err set and contributes nothing but its offer count.
-	Batches []*Result
-	// Failed counts batches whose Result carries a non-nil Err.
-	Failed int
-	// Total aggregates every successful batch: concatenated Products
-	// (batch order) and summed counters. Total.Elapsed sums the
-	// per-batch run times (batches run sequentially, so it is also the
-	// run's wall time minus failed batches).
-	Total Result
-}
-
-// SynthesizeBatches runs the runtime pipeline over a sequence of offer
-// batches — the serving shape of the system, where offer feeds arrive in
-// waves. The learned offline state and the matcher's per-category indexes
-// are reused across batches, so every batch after the first runs against
-// warm state; a batch containing all offers at once is equivalent to a
-// single Synthesize call. Offers are clustered within their batch: a
-// product whose offers are split across batches synthesizes once per
-// batch it appears in — use SynthesizeStream for cross-batch cluster
-// memory.
-//
-// Learn must have succeeded first; ErrNotLearned otherwise. A batch that
-// fails (e.g. under Config.StrictPages) records its error in that batch's
-// Result.Err and the run continues: later batches still execute, and the
-// returned error stays nil.
-func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*BatchResult, error) {
-	if s.offline == nil {
-		return nil, ErrNotLearned
-	}
-	out := &BatchResult{Batches: make([]*Result, 0, len(batches))}
-	for _, batch := range batches {
-		res, err := s.Synthesize(batch, pages)
-		if err != nil {
-			out.Batches = append(out.Batches, &Result{Offers: len(batch), Err: err})
-			out.Failed++
-			continue
-		}
-		out.Batches = append(out.Batches, res)
-		out.Total.Products = append(out.Total.Products, res.Products...)
-		out.Total.PairsDropped += res.PairsDropped
-		out.Total.PairsMapped += res.PairsMapped
-		out.Total.OffersWithoutKey += res.OffersWithoutKey
-		out.Total.ExcludedMatched += res.ExcludedMatched
-		out.Total.Offers += res.Offers
-		out.Total.Clusters += res.Clusters
-		out.Total.Elapsed += res.Elapsed
-	}
-	return out, nil
-}
-
-// StreamOptions tunes SynthesizeStream. The zero value keeps unbounded
-// cluster memory and an unbuffered result channel.
-type StreamOptions struct {
-	// MaxOpenClusters bounds the cross-batch cluster memory: past the
-	// bound, the least recently extended clusters are forgotten (a later
-	// offer with a forgotten cluster's key synthesizes a duplicate, as a
-	// memory-less batch run would). 0 means unbounded.
-	MaxOpenClusters int
-	// MaxIdleWaves forgets clusters no wave has extended for more than
-	// this many consecutive waves — a TTL measured in waves, so behaviour
-	// is deterministic for a given wave sequence. 0 means never.
-	MaxIdleWaves int
-	// DisableClusterMemory makes every wave cluster independently,
-	// reproducing SynthesizeBatches semantics wave for wave.
-	DisableClusterMemory bool
-	// Buffer is the result channel's capacity. 0 (unbuffered) applies
-	// backpressure: the pipeline runs at most one wave ahead of the
-	// consumer (the wave whose result is being delivered). Larger values
-	// let it run further ahead.
-	Buffer int
-}
-
-// StreamResult is one emission of SynthesizeStream: the embedded Result
-// carries the wave's products and counters (or Err for a failed wave).
-type StreamResult struct {
-	Result
-	// Wave is the 0-based wave index; on the final result, the number of
-	// waves consumed.
-	Wave int
-	// OpenClusters is the cluster-memory size after the wave — the
-	// quantity StreamOptions.MaxOpenClusters bounds. Zero when cluster
-	// memory is disabled.
-	OpenClusters int
-	// Final marks the single closing result: its Products are the merged
-	// stream view (final fused state of every remembered cluster, in
-	// first-appearance order) and its counters aggregate all successful
-	// waves. For an uninterrupted stream with unbounded memory and no
-	// mid-stream catalog growth, the final Products are byte-identical
-	// to a one-shot Synthesize over the concatenated waves.
-	Final bool
-}
-
-// SynthesizeStream runs the runtime pipeline as a long-lived feed
-// consumer: offer waves are read from waves, processed in order against
-// the warm matcher state, and one StreamResult per wave is delivered on
-// the returned channel, followed by a closing Final result when waves is
-// closed. Unlike SynthesizeBatches, clusters stay open across waves in a
-// cross-batch cluster memory: an offer arriving in wave n whose key
-// matches a cluster synthesized in an earlier wave joins that cluster,
-// and the wave's result carries the product re-fused over the union of
-// evidence — the product synthesizes once, not once per wave. The memory
-// is bounded through StreamOptions and invalidated per category when
-// AddToCatalog grows the catalog mid-stream (the same version counters
-// that refresh the matcher's indexes), since such clusters' products may
-// now be matched — and excluded — against the catalog itself.
-//
-// A failed wave (e.g. under Config.StrictPages) reports its error in
-// that wave's StreamResult.Err and the stream continues. Cancelling ctx
-// stops the pipeline — between waves or between the stages of the wave
-// in flight — and closes the channel without the final result; the
-// pipeline goroutine always exits once ctx is cancelled or waves is
-// closed, even if the consumer stops reading. Learn must have succeeded
-// first; ErrNotLearned otherwise.
-func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pages PageFetcher, opts StreamOptions) (<-chan StreamResult, error) {
-	if s.offline == nil {
-		return nil, ErrNotLearned
-	}
-	// The inner channel stays unbuffered regardless of opts.Buffer: the
-	// forwarding goroutine already holds one result in flight, so any
-	// inner capacity would let the pipeline run that much further ahead
-	// than StreamOptions.Buffer promises.
-	inner := stream.Run(ctx, s.store, s.offline, waves, pages, s.cfg, stream.Options{
-		MaxOpenClusters: opts.MaxOpenClusters,
-		MaxIdleWaves:    opts.MaxIdleWaves,
-		DisableMemory:   opts.DisableClusterMemory,
-	})
-	out := make(chan StreamResult, opts.Buffer)
-	go func() {
-		defer close(out)
-		for r := range inner {
-			sr := StreamResult{
-				Wave:         r.Wave,
-				Final:        r.Final,
-				OpenClusters: r.OpenClusters,
-				Result: Result{
-					Products:         r.Products,
-					PairsDropped:     r.Reconcile.PairsDropped,
-					PairsMapped:      r.Reconcile.PairsMapped,
-					OffersWithoutKey: r.OffersWithoutKey,
-					ExcludedMatched:  r.ExcludedMatched,
-					Offers:           r.Offers,
-					Clusters:         r.Clusters,
-					Elapsed:          r.Elapsed,
-					Err:              r.Err,
-				},
-			}
-			select {
-			case out <- sr:
-			case <-ctx.Done():
-				// The consumer may be gone; drain inner (stream.Run
-				// also watches ctx, so it closes promptly) and exit.
-				for range inner {
-				}
-				return
-			}
-		}
-	}()
-	return out, nil
-}
-
-// AddReport is the outcome of an AddToCatalog run, with rejected products
-// separated by cause.
-type AddReport struct {
-	// Added counts products inserted into the catalog.
-	Added int
-	// KeyCollisions are products whose synthesized ID (prefix + cluster
-	// key) collided with an existing product ID — typically the product
-	// was already added by an earlier wave, or two synthesized products
-	// share a key. Nothing is wrong with the product itself.
-	KeyCollisions []Synthesized
-	// SchemaViolations are products rejected on their own merits: a spec
-	// attribute outside the category schema, or an unknown category.
-	SchemaViolations []Synthesized
-}
-
-// Skipped returns every rejected product (collisions then violations),
-// mirroring the pre-AddReport return value.
-func (r AddReport) Skipped() []Synthesized {
-	return append(append([]Synthesized(nil), r.KeyCollisions...), r.SchemaViolations...)
-}
-
-// AddToCatalog inserts synthesized products into the catalog as new
-// product instances, assigning IDs with the given prefix. Rejected
-// products are reported by cause: ID collisions with existing products
-// distinctly from schema violations. Insertions bump the affected
-// categories' versions, which evicts the matcher's warm indexes for those
-// categories (see Catalog.CategoryVersion) — a following Synthesize
-// observes the grown catalog.
-func (s *System) AddToCatalog(products []Synthesized, idPrefix string) AddReport {
-	var report AddReport
-	for i, p := range products {
-		id := idPrefix + "-" + p.Key
-		if p.Key == "" {
-			id = idPrefix + "-" + strconv.Itoa(i)
-		}
-		prod := Product{ID: id, CategoryID: p.CategoryID, Spec: p.Spec}
-		switch err := s.store.AddProduct(prod); {
-		case err == nil:
-			report.Added++
-		case errors.Is(err, catalog.ErrDuplicateProduct):
-			report.KeyCollisions = append(report.KeyCollisions, p)
-		default:
-			report.SchemaViolations = append(report.SchemaViolations, p)
-		}
-	}
-	return report
-}

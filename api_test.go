@@ -127,6 +127,41 @@ func TestAddToCatalogSeparatesCauses(t *testing.T) {
 	}
 }
 
+// TestAddToCatalogKeylessNoCrossCallCollision pins the fixed fallback-ID
+// scheme: products with no cluster key used to get prefix-<i> IDs, so a
+// second AddToCatalog call with the same prefix collided spuriously with
+// the first call's keyless products. The fallback now folds in the
+// catalog's product count, so every call's keyless products insert.
+func TestAddToCatalogKeylessNoCrossCallCollision(t *testing.T) {
+	store := NewCatalog()
+	if err := store.AddCategory(Category{
+		ID: "hd", Name: "Hard Drives",
+		Schema: Schema{Attributes: []Attribute{{Name: "Brand"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(store, Config{})
+	keyless := func(brand string) []Synthesized {
+		return []Synthesized{{CategoryID: "hd", Key: "", Spec: Spec{{Name: "Brand", Value: brand}}}}
+	}
+	first := sys.AddToCatalog(keyless("Seagate"), "synth")
+	if first.Added != 1 {
+		t.Fatalf("first call: %+v", first)
+	}
+	second := sys.AddToCatalog(keyless("Hitachi"), "synth")
+	if second.Added != 1 || len(second.KeyCollisions) != 0 {
+		t.Fatalf("second call with same prefix: %+v (cross-call keyless collision?)", second)
+	}
+	// Two keyless products within one call insert distinctly too.
+	third := sys.AddToCatalog(append(keyless("WD"), keyless("Toshiba")...), "synth")
+	if third.Added != 2 {
+		t.Fatalf("third call: %+v", third)
+	}
+	if got := store.NumProducts(); got != 4 {
+		t.Fatalf("catalog has %d products, want 4", got)
+	}
+}
+
 // productFingerprints renders products comparably across runs.
 func productFingerprints(products []Synthesized) []string {
 	out := make([]string, len(products))

@@ -44,7 +44,7 @@ var (
 func benchEnv(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchEnvOnce.Do(func() {
-		benchEnvVal, benchEnvErr = experiments.Setup(benchGen, core.Config{})
+		benchEnvVal, benchEnvErr = experiments.Setup(context.Background(), benchGen, core.Config{})
 	})
 	if benchEnvErr != nil {
 		b.Fatal(benchEnvErr)
@@ -186,7 +186,7 @@ func BenchmarkOfflineLearning(b *testing.B) {
 	fetcher := core.MapFetcher(ds.Pages)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{}); err != nil {
+		if _, err := core.RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -199,7 +199,7 @@ func BenchmarkRuntimePipeline(b *testing.B) {
 	fetcher := core.MapFetcher(env.Dataset.Pages)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunRuntime(env.Dataset.Catalog, env.Offline, env.Dataset.IncomingOffers, fetcher, core.Config{}); err != nil {
+		if _, err := core.RunRuntime(context.Background(), env.Dataset.Catalog, env.Offline, env.Dataset.IncomingOffers, fetcher, core.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -490,7 +490,7 @@ func BenchmarkSynthesizeOneShotCold(b *testing.B) {
 	fetcher := core.MapFetcher(ds.Pages)
 	learnCfg := core.Config{}
 	learnCfg.Matcher.Registry = match.NewRegistry()
-	offline, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, learnCfg)
+	offline, err := core.RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, learnCfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -498,7 +498,7 @@ func BenchmarkSynthesizeOneShotCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := core.Config{}
 		cfg.Matcher.Registry = match.NewRegistry()
-		if _, err := core.RunRuntime(ds.Catalog, offline, ds.IncomingOffers, fetcher, cfg); err != nil {
+		if _, err := core.RunRuntime(context.Background(), ds.Catalog, offline, ds.IncomingOffers, fetcher, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

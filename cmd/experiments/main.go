@@ -141,7 +141,7 @@ func run(w io.Writer, rc runConfig) error {
 	fmt.Fprintf(w, "# generating marketplace: %d categories/domain, %d products/category, %d merchants\n\n",
 		gen.CategoriesPerDomain, gen.ProductsPerCategory, gen.Merchants)
 
-	env, err := experiments.Setup(gen, core.Config{Workers: rc.workers})
+	env, err := experiments.Setup(context.Background(), gen, core.Config{Workers: rc.workers})
 	if err != nil {
 		return err
 	}

@@ -7,24 +7,30 @@
 //
 //	synthesize -data ./data [-out products.json] [-threshold 0.5]
 //	           [-correspondences corr.tsv] [-v]
+//	synthesize -data ./data -save-model model.psmd    # learn once, persist
+//	synthesize -data ./data -load-model model.psmd    # warm-start, skip learning
+//
+// The model flags persist the full learned artifact (correspondences,
+// classifier weights, statistics) in the versioned binary snapshot format,
+// so a learned model can be reused across invocations and machines; the
+// older -correspondences/-load TSV flags carry the correspondence set only.
 //
 // When the dataset carries ground truth, the run is graded and attribute /
 // product precision are printed (the paper's Table 2 metrics).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"prodsynth/internal/categorize"
-	"prodsynth/internal/core"
+	"prodsynth"
 	"prodsynth/internal/correspond"
 	"prodsynth/internal/dataset"
 	"prodsynth/internal/eval"
-	"prodsynth/internal/fusion"
 )
 
 type jsonProduct struct {
@@ -45,6 +51,8 @@ func main() {
 		threshold = flag.Float64("threshold", 0.5, "correspondence score threshold")
 		corrOut   = flag.String("correspondences", "", "also write learned correspondences (TSV)")
 		corrIn    = flag.String("load", "", "load correspondences from TSV and skip offline learning")
+		saveModel = flag.String("save-model", "", "write the learned model snapshot here (binary, reusable via -load-model)")
+		loadModel = flag.String("load-model", "", "load a model snapshot and skip offline learning")
 		verbose   = flag.Bool("v", false, "print pipeline statistics")
 	)
 	flag.Parse()
@@ -52,53 +60,83 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *corrIn != "" && *loadModel != "" {
+		log.Fatal("-load and -load-model are mutually exclusive")
+	}
+	if *corrIn != "" || *loadModel != "" {
+		// The threshold gates correspondence *selection*, an offline-phase
+		// decision already baked into a loaded artifact.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "threshold" {
+				log.Print("warning: -threshold has no effect with -load/-load-model; the loaded artifact's selection is fixed at learn time")
+			}
+		})
+	}
 
+	ctx := context.Background()
 	ds, err := dataset.Load(*data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.Config{ScoreThreshold: *threshold}
-	fetcher := core.MapFetcher(ds.Pages)
+	fetcher := prodsynth.MapFetcher(ds.Pages)
+	opts := []prodsynth.Option{prodsynth.WithScoreThreshold(*threshold)}
 
-	var off *core.OfflineResult
-	if *corrIn != "" {
-		set, err := loadCorrespondences(*corrIn)
+	var model *prodsynth.Model
+	switch {
+	case *loadModel != "":
+		model, err = readModel(*loadModel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		classifier := categorize.New()
-		classifier.TrainFromCatalog(ds.Catalog)
-		off = core.OfflineFromCorrespondences(set, classifier)
+		if *verbose {
+			st := model.Stats()
+			fmt.Fprintf(os.Stderr, "loaded model from %s: %d correspondences (offline learning skipped)\n",
+				*loadModel, st.Correspondences)
+		}
+	case *corrIn != "":
+		scored, err := loadCorrespondences(*corrIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = prodsynth.ModelFromCorrespondences(ds.Catalog, scored)
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "loaded %d correspondences from %s (offline learning skipped)\n",
-				set.Len(), *corrIn)
+				len(scored), *corrIn)
 		}
-	} else {
-		var err error
-		off, err = core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, cfg)
+	default:
+		model, err = prodsynth.Learn(ctx, ds.Catalog, ds.HistoricalOffers, fetcher, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *verbose {
+			st := model.Stats()
+			fmt.Fprintf(os.Stderr, "offline: %d offers, %d matched, %d candidates, training %d (%d+), %d correspondences\n",
+				st.HistoricalOffers, st.MatchedOffers, st.Candidates, st.TrainingSize, st.TrainingPositives, st.Correspondences)
+		}
 	}
-	if *verbose && *corrIn == "" {
-		st := off.Stats
-		fmt.Fprintf(os.Stderr, "offline: %d offers, %d matched, %d candidates, training %d (%d+), %d correspondences\n",
-			st.HistoricalOffers, st.MatchedOffers, st.Candidates, st.TrainingSize, st.TrainingPositives, st.Correspondences)
+	if *saveModel != "" {
+		if err := writeModel(*saveModel, model); err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "saved model snapshot to %s\n", *saveModel)
+		}
 	}
 	if *corrOut != "" {
-		if err := writeCorrespondences(*corrOut, off); err != nil {
+		if err := writeCorrespondences(*corrOut, model); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	run, err := core.RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, cfg)
+	sys := prodsynth.NewSystem(ds.Catalog, model, opts...)
+	run, err := sys.SynthesizeContext(ctx, ds.IncomingOffers, fetcher)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "runtime: %d products, %d pairs mapped, %d dropped, %d offers without key, %d matched existing\n",
-			len(run.Products), run.Reconcile.PairsMapped, run.Reconcile.PairsDropped,
-			len(run.SkippedNoKey), run.ExcludedMatched)
+			len(run.Products), run.PairsMapped, run.PairsDropped,
+			run.OffersWithoutKey, run.ExcludedMatched)
 	}
 
 	if err := writeProducts(*out, run.Products); err != nil {
@@ -112,7 +150,7 @@ func main() {
 	}
 }
 
-func writeProducts(path string, products []fusion.Synthesized) error {
+func writeProducts(path string, products []prodsynth.Synthesized) error {
 	var w *os.File
 	if path == "" {
 		w = os.Stdout
@@ -141,22 +179,51 @@ func writeProducts(path string, products []fusion.Synthesized) error {
 	return nil
 }
 
-func loadCorrespondences(path string) (*correspond.Set, error) {
+func readModel(path string) (*prodsynth.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return correspond.ReadSet(f)
+	return prodsynth.LoadModel(f)
 }
 
-func writeCorrespondences(path string, off *core.OfflineResult) error {
+func writeModel(path string, m *prodsynth.Model) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := correspond.WriteSet(f, off.Correspondences); err != nil {
+	if err := prodsynth.SaveModel(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func loadCorrespondences(path string) ([]prodsynth.Correspondence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := correspond.ReadSet(f)
+	if err != nil {
+		return nil, err
+	}
+	return set.All(), nil
+}
+
+func writeCorrespondences(path string, m *prodsynth.Model) error {
+	set := correspond.NewSet()
+	for _, sc := range m.Correspondences() {
+		set.Add(sc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := correspond.WriteSet(f, set); err != nil {
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,84 @@
+// Compat: the v1 entry points, kept as thin shims over the Model-first v2
+// API so existing callers keep compiling. Every function in this file is
+// deprecated — new code should follow the migration table in the package
+// documentation. CI enforces that each shim here keeps its "Deprecated:"
+// doc marker.
+package prodsynth
+
+import "context"
+
+// New creates a System over a catalog with no Model: the v1 lifecycle,
+// where Learn mutates the System into the learned state and synthesis
+// fails with ErrNotLearned until it has.
+//
+// Deprecated: use Learn to obtain a Model and NewSystem to build the
+// System from it, which makes the unlearned state unrepresentable.
+func New(store *Catalog, cfg Config) *System {
+	return NewSystem(store, nil, WithConfig(cfg))
+}
+
+// Learn runs the offline learning phase and installs the learned model
+// into the System.
+//
+// Deprecated: use the package-level Learn, which is context-aware and
+// returns the learned state as an immutable, serializable Model; install
+// it with System.Use or construct the System from it with NewSystem.
+func (s *System) Learn(historical []Offer, pages PageFetcher) error {
+	m, err := Learn(context.Background(), s.store, historical, pages, WithConfig(s.cfg))
+	if err != nil {
+		return err
+	}
+	s.Use(m)
+	return nil
+}
+
+// Stats returns the offline learning statistics. Zero before Learn.
+//
+// Deprecated: use Model().Stats(), or keep the *Model Learn returned.
+func (s *System) Stats() OfflineStats {
+	m := s.model.Load()
+	if m == nil {
+		return OfflineStats{}
+	}
+	return m.Stats()
+}
+
+// Correspondences returns every selected attribute correspondence.
+// Nil before Learn.
+//
+// Deprecated: use Model().Correspondences().
+func (s *System) Correspondences() []Correspondence {
+	m := s.model.Load()
+	if m == nil {
+		return nil
+	}
+	return m.Correspondences()
+}
+
+// ScoredCandidates returns every candidate correspondence with its
+// classifier score, best first. Nil before Learn.
+//
+// Deprecated: use Model().ScoredCandidates().
+func (s *System) ScoredCandidates() []Correspondence {
+	m := s.model.Load()
+	if m == nil {
+		return nil
+	}
+	return m.ScoredCandidates()
+}
+
+// Synthesize runs the runtime pipeline over incoming offers.
+// Learn must have succeeded first; ErrNotLearned otherwise.
+//
+// Deprecated: use SynthesizeContext, which honors cancellation.
+func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error) {
+	return s.SynthesizeContext(context.Background(), incoming, pages)
+}
+
+// SynthesizeBatches runs the runtime pipeline over a sequence of offer
+// batches. Learn must have succeeded first; ErrNotLearned otherwise.
+//
+// Deprecated: use SynthesizeBatchesContext, which honors cancellation.
+func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*BatchResult, error) {
+	return s.SynthesizeBatchesContext(context.Background(), batches, pages)
+}

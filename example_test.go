@@ -1,6 +1,7 @@
 package prodsynth_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -8,9 +9,10 @@ import (
 )
 
 // Example_endToEnd walks the full public API: build a catalog, learn
-// attribute correspondences from a merchant whose historical offers use the
-// catalog's own attribute names plus a merchant that renames them, then
-// synthesize a product that is missing from the catalog.
+// attribute correspondences — into an immutable Model — from a merchant
+// whose historical offers use the catalog's own attribute names plus a
+// merchant that renames them, then synthesize a product that is missing
+// from the catalog.
 func Example_endToEnd() {
 	store := prodsynth.NewCatalog()
 	err := store.AddCategory(prodsynth.Category{
@@ -67,10 +69,12 @@ func Example_endToEnd() {
 			})
 	}
 
-	sys := prodsynth.New(store, prodsynth.Config{})
-	if err := sys.Learn(historical, nil); err != nil {
+	ctx := context.Background()
+	model, err := prodsynth.Learn(ctx, store, historical, nil)
+	if err != nil {
 		log.Fatal(err)
 	}
+	sys := prodsynth.NewSystem(store, model)
 
 	// Two offers for a drive the catalog does not have.
 	incoming := []prodsynth.Offer{
@@ -83,7 +87,7 @@ func Example_endToEnd() {
 			{Name: "Part Number", Value: "TOSH-99"},
 		}},
 	}
-	res, err := sys.Synthesize(incoming, nil)
+	res, err := sys.SynthesizeContext(ctx, incoming, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	market := prodsynth.GenerateMarketplace(prodsynth.MarketplaceConfig{
 		Seed:                7,
@@ -28,14 +30,15 @@ func main() {
 		Merchants:           30,
 	})
 	pages := prodsynth.MapFetcher(market.Pages)
-	sys := prodsynth.New(market.Catalog, prodsynth.Config{})
 
-	if err := sys.Learn(market.HistoricalOffers, pages); err != nil {
+	model, err := prodsynth.Learn(ctx, market.Catalog, market.HistoricalOffers, pages)
+	if err != nil {
 		log.Fatal(err)
 	}
+	sys := prodsynth.NewSystem(market.Catalog, model)
 	fmt.Printf("catalog before synthesis: %d products\n", market.Catalog.NumProducts())
 	fmt.Printf("learned %d correspondences from %d historical offers\n\n",
-		sys.Stats().Correspondences, sys.Stats().HistoricalOffers)
+		model.Stats().Correspondences, model.Stats().HistoricalOffers)
 
 	// Split the incoming stream into two interleaved waves, so offers for
 	// the same product land in both. That is what makes wave 2
@@ -48,7 +51,7 @@ func main() {
 	}
 
 	for i, wave := range waves {
-		res, err := sys.Synthesize(wave, pages)
+		res, err := sys.SynthesizeContext(ctx, wave, pages)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -63,7 +66,7 @@ func main() {
 
 	// The loop's payoff: replaying wave 1 against the grown catalog shows
 	// its offers now match instead of requiring synthesis.
-	res, err := sys.Synthesize(waves[0], pages)
+	res, err := sys.SynthesizeContext(ctx, waves[0], pages)
 	if err != nil {
 		log.Fatal(err)
 	}

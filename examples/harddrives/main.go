@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -113,14 +114,16 @@ func main() {
 			}))
 	}
 
-	// --- Offline learning.
-	sys := prodsynth.New(store, prodsynth.Config{})
-	if err := sys.Learn(historical, pages); err != nil {
+	// --- Offline learning: the historical offers yield an immutable
+	// Model artifact; the runtime System is then built from it.
+	ctx := context.Background()
+	model, err := prodsynth.Learn(ctx, store, historical, pages)
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("learned attribute correspondences:")
-	corr := sys.Correspondences()
+	corr := model.Correspondences()
 	sort.Slice(corr, func(i, j int) bool {
 		if corr[i].Key.Merchant != corr[j].Key.Merchant {
 			return corr[i].Key.Merchant < corr[j].Key.Merchant
@@ -155,7 +158,8 @@ func main() {
 	incoming[0].Spec = nil
 	incoming[1].Spec = nil
 
-	res, err := sys.Synthesize(incoming, pages)
+	sys := prodsynth.NewSystem(store, model)
+	res, err := sys.SynthesizeContext(ctx, incoming, pages)
 	if err != nil {
 		log.Fatal(err)
 	}

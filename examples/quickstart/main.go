@@ -1,11 +1,15 @@
 // Quickstart: generate a small synthetic marketplace, learn attribute
-// correspondences from the historical offers, synthesize products from the
-// incoming offers, and print what the pipeline produced.
+// correspondences from the historical offers into an immutable Model,
+// synthesize products from the incoming offers, and print what the
+// pipeline produced — including the save/load round trip a long-lived
+// process uses to warm-start without re-learning.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +18,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// A marketplace: a catalog with known products, merchants with their
 	// own attribute vocabularies, offer feeds, and landing pages. Half
@@ -29,26 +34,41 @@ func main() {
 		market.Catalog.NumCategories(), market.Catalog.NumProducts(),
 		len(market.HistoricalOffers), len(market.IncomingOffers))
 
-	sys := prodsynth.New(market.Catalog, prodsynth.Config{})
 	pages := prodsynth.MapFetcher(market.Pages)
 
 	// Offline learning (paper §3): extract specs from landing pages,
 	// match historical offers to catalog products, compute distributional
 	// similarity features, auto-label a training set from name-identity
-	// candidates, train the classifier, select correspondences.
-	if err := sys.Learn(market.HistoricalOffers, pages); err != nil {
+	// candidates, train the classifier, select correspondences. The
+	// result is an immutable Model artifact.
+	model, err := prodsynth.Learn(ctx, market.Catalog, market.HistoricalOffers, pages)
+	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Stats()
+	st := model.Stats()
 	fmt.Printf("offline learning: %d/%d offers matched, %d candidate tuples,\n",
 		st.MatchedOffers, st.HistoricalOffers, st.Candidates)
 	fmt.Printf("  auto-labeled training set of %d (%d positive), %d correspondences selected\n\n",
 		st.TrainingSize, st.TrainingPositives, st.Correspondences)
 
+	// Models are plain values: save the artifact and warm-start from the
+	// bytes instead of re-running the offline phase. (A real deployment
+	// writes to a file; see SaveModel/LoadModel.)
+	var snapshot bytes.Buffer
+	if err := prodsynth.SaveModel(&snapshot, model); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := prodsynth.LoadModel(bytes.NewReader(snapshot.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model snapshot: %d bytes, round-trips to %d correspondences\n\n",
+		snapshot.Len(), reloaded.Stats().Correspondences)
+
 	// A few learned renamings (skipping trivial identities).
 	fmt.Println("sample learned correspondences (merchant attr -> catalog attr):")
 	shown := 0
-	for _, c := range sys.Correspondences() {
+	for _, c := range model.Correspondences() {
 		if c.MerchantAttr == c.CatalogAttr {
 			continue
 		}
@@ -59,8 +79,10 @@ func main() {
 		}
 	}
 
-	// Runtime pipeline (paper §4): extract, reconcile, cluster, fuse.
-	res, err := sys.Synthesize(market.IncomingOffers, pages)
+	// Runtime pipeline (paper §4): a System serves synthesis over the
+	// catalog with the loaded model — it cannot exist "unlearned".
+	sys := prodsynth.NewSystem(market.Catalog, reloaded)
+	res, err := sys.SynthesizeContext(ctx, market.IncomingOffers, pages)
 	if err != nil {
 		log.Fatal(err)
 	}

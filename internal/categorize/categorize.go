@@ -25,6 +25,16 @@ func New() *Classifier {
 	return &Classifier{nb: ml.NewNaiveBayes(1)}
 }
 
+// Snapshot extracts the classifier's trained state in deterministic order,
+// for serialization.
+func (c *Classifier) Snapshot() ml.NBSnapshot { return c.nb.Snapshot() }
+
+// FromSnapshot rebuilds a classifier from a snapshot taken with Snapshot.
+// The result classifies identically to the original.
+func FromSnapshot(s ml.NBSnapshot) *Classifier {
+	return &Classifier{nb: ml.NaiveBayesFromSnapshot(s)}
+}
+
 // TrainFromCatalog adds every product's attribute values as a training
 // document for its category.
 func (c *Classifier) TrainFromCatalog(store *catalog.Store) {

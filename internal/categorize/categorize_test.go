@@ -90,3 +90,21 @@ func TestClassifyUntrained(t *testing.T) {
 		t.Errorf("untrained = %q, %g", cat, p)
 	}
 }
+
+// TestClassifierSnapshotRoundTrip: a classifier rebuilt from its snapshot
+// assigns identical categories with identical confidences.
+func TestClassifierSnapshotRoundTrip(t *testing.T) {
+	c := trainedClassifier(t)
+	rebuilt := FromSnapshot(c.Snapshot())
+	for _, title := range []string{
+		"Hitachi Deskstar IDE hard drive",
+		"Canon digital camera zoom",
+		"totally unrelated words",
+	} {
+		c1, p1 := c.Classify(title)
+		c2, p2 := rebuilt.Classify(title)
+		if c1 != c2 || p1 != p2 {
+			t.Errorf("Classify(%q): original (%q, %v) vs rebuilt (%q, %v)", title, c1, p1, c2, p2)
+		}
+	}
+}

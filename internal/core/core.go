@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -136,18 +137,27 @@ func (c Config) withDefaults() Config {
 // runLimited executes jobs 0..n-1 on at most workers goroutines, pulling
 // from a shared counter so unbalanced jobs (a huge category next to tiny
 // ones) do not leave workers idle. Jobs must write only to their own slots.
-func runLimited(n, workers int, job func(i int)) {
+//
+// Cancellation is checked between jobs: once ctx is done, workers stop
+// pulling new indexes, finish the job in hand, and the call returns
+// ctx.Err(). Every worker goroutine is always joined before returning, so
+// a cancelled pool leaks nothing; callers must treat a non-nil error as
+// "results incomplete" and discard their slots.
+func runLimited(ctx context.Context, n, workers int, job func(i int)) error {
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			job(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -155,7 +165,7 @@ func runLimited(n, workers int, job func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -165,6 +175,7 @@ func runLimited(n, workers int, job func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // categorySlice names one category's offers by their positions in the
@@ -213,13 +224,13 @@ func categoryMatcher(cfg Config, parts int) match.Matcher {
 // one task per category, and merges the per-category match sets back in
 // offer input order — byte-for-byte the MatchSet a single serial Run over
 // the whole set produces.
-func matchPerCategory(store *catalog.Store, offers []offer.Offer, cfg Config) *match.MatchSet {
+func matchPerCategory(ctx context.Context, store *catalog.Store, offers []offer.Offer, cfg Config) (*match.MatchSet, error) {
 	parts := partitionByCategory(offers)
 	matcher := categoryMatcher(cfg, len(parts))
 
 	results := make([]match.Match, len(offers))
 	found := make([]bool, len(offers))
-	runLimited(len(parts), cfg.Workers, func(pi int) {
+	err := runLimited(ctx, len(parts), cfg.Workers, func(pi int) {
 		part := parts[pi]
 		sub := make([]offer.Offer, len(part.indices))
 		for j, gi := range part.indices {
@@ -233,6 +244,9 @@ func matchPerCategory(store *catalog.Store, offers []offer.Offer, cfg Config) *m
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	kept := make([]match.Match, 0, len(offers))
 	for i := range results {
@@ -240,7 +254,7 @@ func matchPerCategory(store *catalog.Store, offers []offer.Offer, cfg Config) *m
 			kept = append(kept, results[i])
 		}
 	}
-	return match.NewMatchSet(kept)
+	return match.NewMatchSet(kept), nil
 }
 
 // OfflineResult is the output of the offline learning phase.
@@ -274,10 +288,16 @@ type OfflineStats struct {
 	Correspondences   int
 }
 
-// RunOffline executes the offline learning phase.
-func RunOffline(store *catalog.Store, historical []offer.Offer, pages PageFetcher, cfg Config) (*OfflineResult, error) {
+// RunOffline executes the offline learning phase. Cancellation of ctx is
+// observed at stage boundaries and between the worker-pool jobs inside
+// each stage; on cancellation the error is ctx.Err() and every pool
+// goroutine has already been joined.
+func RunOffline(ctx context.Context, store *catalog.Store, historical []offer.Offer, pages PageFetcher, cfg Config) (*OfflineResult, error) {
 	cfg = cfg.withDefaults()
 	cfg.StrictPages = false // runtime-only knob; the offline phase tolerates crawl gaps
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	classifier := categorize.New()
 	classifier.TrainFromCatalog(store)
@@ -285,21 +305,30 @@ func RunOffline(store *catalog.Store, historical []offer.Offer, pages PageFetche
 	copy(withCat, historical)
 	classifier.Assign(withCat)
 
-	enriched, err := extractSpecs(withCat, pages, cfg)
+	enriched, err := extractSpecs(ctx, withCat, pages, cfg)
 	if err != nil {
 		return nil, err
 	}
 	set := offer.NewSet(enriched)
 
-	matches := matchPerCategory(store, enriched, cfg)
+	matches, err := matchPerCategory(ctx, store, enriched, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if matches.Len() == 0 {
 		return nil, errors.New("core: no historical offer-to-product matches; offline learning has no signal")
 	}
 
 	ft := correspond.ComputeFeatures(store, set, matches, cfg.Features)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	model, err := correspond.Train(ft, cfg.Train)
 	if err != nil {
 		return nil, fmt.Errorf("core: offline training: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	scored := model.ScoreAll(ft)
 	selected := correspond.Select(scored, cfg.ScoreThreshold)
@@ -371,10 +400,15 @@ type Prepared struct {
 // PrepareIncoming runs the per-offer front half of the runtime pipeline:
 // classification, extraction, match exclusion, and reconciliation. It is
 // the incremental entry point RunRuntime and the streaming pipeline share.
-func PrepareIncoming(store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*Prepared, error) {
+// Cancellation of ctx is observed at stage boundaries and between
+// worker-pool jobs; the error is then ctx.Err().
+func PrepareIncoming(ctx context.Context, store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*Prepared, error) {
 	cfg = cfg.withDefaults()
 	if offline == nil || offline.Correspondences == nil {
 		return nil, errors.New("core: offline result required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	withCat := make([]offer.Offer, len(incoming))
@@ -383,7 +417,7 @@ func PrepareIncoming(store *catalog.Store, offline *OfflineResult, incoming []of
 		offline.Classifier.Assign(withCat)
 	}
 
-	enriched, err := extractSpecs(withCat, pages, cfg)
+	enriched, err := extractSpecs(ctx, withCat, pages, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -401,7 +435,7 @@ func PrepareIncoming(store *catalog.Store, offline *OfflineResult, incoming []of
 	reconciled := make([]offer.Offer, len(enriched))
 	excluded := make([]int, len(parts))
 	rstats := make([]reconcile.Stats, len(parts))
-	runLimited(len(parts), cfg.Workers, func(pi int) {
+	err = runLimited(ctx, len(parts), cfg.Workers, func(pi int) {
 		part := parts[pi]
 		sub := make([]offer.Offer, len(part.indices))
 		for j, gi := range part.indices {
@@ -430,6 +464,9 @@ func PrepareIncoming(store *catalog.Store, offline *OfflineResult, incoming []of
 			keep[gi] = true
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for pi := range parts {
 		prep.ExcludedMatched += excluded[pi]
 		prep.Reconcile.OffersIn += rstats[pi].OffersIn
@@ -452,20 +489,26 @@ func PrepareIncoming(store *catalog.Store, offline *OfflineResult, incoming []of
 // overlapping cluster snapshots: fusion is a pure function of each
 // cluster's member offers, so re-fusing an extended cluster yields exactly
 // what fusing it whole would have (the streaming pipeline's contract).
-func FuseClusters(clusters []cluster.Cluster, cfg Config) []fusion.Synthesized {
+// A cancelled ctx returns ctx.Err() and no products.
+func FuseClusters(ctx context.Context, clusters []cluster.Cluster, cfg Config) ([]fusion.Synthesized, error) {
 	cfg = cfg.withDefaults()
 	products := make([]fusion.Synthesized, len(clusters))
-	runLimited(len(clusters), cfg.Workers, func(i int) {
+	err := runLimited(ctx, len(clusters), cfg.Workers, func(i int) {
 		products[i] = fusion.SynthesizeOne(clusters[i], cfg.Fusion)
 	})
-	return products
+	if err != nil {
+		return nil, err
+	}
+	return products, nil
 }
 
 // RunRuntime executes the runtime pipeline over incoming offers using the
-// artifacts of an offline learning run.
-func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*RuntimeResult, error) {
+// artifacts of an offline learning run. Cancellation of ctx is observed at
+// stage boundaries and between worker-pool jobs; the error is then
+// ctx.Err().
+func RunRuntime(ctx context.Context, store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*RuntimeResult, error) {
 	cfg = cfg.withDefaults()
-	prep, err := PrepareIncoming(store, offline, incoming, pages, cfg)
+	prep, err := PrepareIncoming(ctx, store, offline, incoming, pages, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -480,7 +523,10 @@ func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.O
 	clusters, skipped := cluster.Group(prep.Kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
 	res.SkippedNoKey = skipped
 	res.Clusters = cluster.Summarize(clusters, skipped)
-	res.Products = FuseClusters(clusters, cfg)
+	res.Products, err = FuseClusters(ctx, clusters, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -489,14 +535,16 @@ func RunRuntime(store *catalog.Store, offline *OfflineResult, incoming []offer.O
 // conflict). Offers whose page cannot be fetched keep their feed spec —
 // the pipeline tolerates crawl gaps — unless Config.StrictPages is set,
 // in which case the first fetch failure (in offer input order, so the
-// reported error is deterministic) fails the run.
-func extractSpecs(offers []offer.Offer, pages PageFetcher, cfg Config) ([]offer.Offer, error) {
+// reported error is deterministic) fails the run. Cancellation is checked
+// between offers: an in-flight Fetch is allowed to finish (PageFetcher has
+// no context), after which the pool drains and ctx.Err() is returned.
+func extractSpecs(ctx context.Context, offers []offer.Offer, pages PageFetcher, cfg Config) ([]offer.Offer, error) {
 	out := make([]offer.Offer, len(offers))
 	var errs []error
 	if cfg.StrictPages {
 		errs = make([]error, len(offers))
 	}
-	runLimited(len(offers), cfg.Workers, func(i int) {
+	poolErr := runLimited(ctx, len(offers), cfg.Workers, func(i int) {
 		o := offers[i].Clone()
 		if pages != nil {
 			page, err := pages.Fetch(o.URL)
@@ -517,6 +565,9 @@ func extractSpecs(offers []offer.Offer, pages PageFetcher, cfg Config) ([]offer.
 		}
 		out[i] = o
 	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: strict pages: offer %s: %w", offers[i].ID, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -33,7 +34,7 @@ func TestMapFetcher(t *testing.T) {
 
 func TestOfflinePhase(t *testing.T) {
 	ds := dataset(t)
-	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, MapFetcher(ds.Pages), Config{})
+	off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, MapFetcher(ds.Pages), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestOfflineNoMatchesError(t *testing.T) {
 		stripped[i] = c
 	}
 	// Without pages there are no specs at all -> no matches.
-	_, err := RunOffline(ds.Catalog, stripped, nil, cfg)
+	_, err := RunOffline(context.Background(), ds.Catalog, stripped, nil, cfg)
 	if err == nil {
 		t.Fatal("expected error with no matches")
 	}
@@ -96,11 +97,11 @@ func TestOfflineNoMatchesError(t *testing.T) {
 func TestEndToEndSynthesis(t *testing.T) {
 	ds := dataset(t)
 	fetcher := MapFetcher(ds.Pages)
-	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+	run, err := RunRuntime(context.Background(), ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,13 +190,13 @@ func tokenize(s string) []string {
 func TestRuntimeExcludesMatchedIncoming(t *testing.T) {
 	ds := dataset(t)
 	fetcher := MapFetcher(ds.Pages)
-	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Feed historical offers (which match catalog products) through the
 	// runtime: they should be excluded.
-	run, err := RunRuntime(ds.Catalog, off, ds.HistoricalOffers, fetcher, Config{})
+	run, err := RunRuntime(context.Background(), ds.Catalog, off, ds.HistoricalOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRuntimeExcludesMatchedIncoming(t *testing.T) {
 		t.Error("no incoming offers excluded despite matching catalog products")
 	}
 	// With the filter disabled they flow through.
-	run2, err := RunRuntime(ds.Catalog, off, ds.HistoricalOffers, fetcher, Config{KeepMatchedIncoming: true})
+	run2, err := RunRuntime(context.Background(), ds.Catalog, off, ds.HistoricalOffers, fetcher, Config{KeepMatchedIncoming: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,15 +225,15 @@ func TestRuntimeExcludesMatchedIncoming(t *testing.T) {
 func TestPrepareIncomingComposesToRunRuntime(t *testing.T) {
 	ds := dataset(t)
 	fetcher := MapFetcher(ds.Pages)
-	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+	run, err := RunRuntime(context.Background(), ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	prep, err := PrepareIncoming(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+	prep, err := PrepareIncoming(context.Background(), ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,10 @@ func TestPrepareIncomingComposesToRunRuntime(t *testing.T) {
 	if len(skipped) != len(run.SkippedNoKey) {
 		t.Errorf("skipped %d, want %d", len(skipped), len(run.SkippedNoKey))
 	}
-	products := FuseClusters(clusters, Config{})
+	products, err := FuseClusters(context.Background(), clusters, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(products) != len(run.Products) {
 		t.Fatalf("%d products, want %d", len(products), len(run.Products))
 	}
@@ -259,7 +263,7 @@ func TestPrepareIncomingComposesToRunRuntime(t *testing.T) {
 	// Subset property: preparing half the offers yields the matching
 	// subset of the whole run's kept offers.
 	half := ds.IncomingOffers[:len(ds.IncomingOffers)/2]
-	sub, err := PrepareIncoming(ds.Catalog, off, half, fetcher, Config{})
+	sub, err := PrepareIncoming(context.Background(), ds.Catalog, off, half, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +284,7 @@ func TestPrepareIncomingComposesToRunRuntime(t *testing.T) {
 func TestStrictPages(t *testing.T) {
 	ds := dataset(t)
 	fetcher := MapFetcher(ds.Pages)
-	off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+	off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,10 +293,10 @@ func TestStrictPages(t *testing.T) {
 	bad.URL = "missing://nowhere"
 	incoming := append([]offer.Offer{bad}, ds.IncomingOffers[1:]...)
 
-	if _, err := RunRuntime(ds.Catalog, off, incoming, fetcher, Config{}); err != nil {
+	if _, err := RunRuntime(context.Background(), ds.Catalog, off, incoming, fetcher, Config{}); err != nil {
 		t.Fatalf("lenient run failed: %v", err)
 	}
-	_, err = RunRuntime(ds.Catalog, off, incoming, fetcher, Config{StrictPages: true})
+	_, err = RunRuntime(context.Background(), ds.Catalog, off, incoming, fetcher, Config{StrictPages: true})
 	if err == nil {
 		t.Fatal("strict run tolerated a missing page")
 	}
@@ -306,14 +310,14 @@ func TestStrictPages(t *testing.T) {
 	badHist.ID = "bad-hist"
 	badHist.URL = "missing://nowhere"
 	historical := append([]offer.Offer{badHist}, ds.HistoricalOffers[1:]...)
-	if _, err := RunOffline(ds.Catalog, historical, fetcher, Config{StrictPages: true}); err != nil {
+	if _, err := RunOffline(context.Background(), ds.Catalog, historical, fetcher, Config{StrictPages: true}); err != nil {
 		t.Errorf("offline phase failed under StrictPages: %v", err)
 	}
 }
 
 func TestRuntimeRequiresOffline(t *testing.T) {
 	ds := dataset(t)
-	if _, err := RunRuntime(ds.Catalog, nil, ds.IncomingOffers, nil, Config{}); err == nil {
+	if _, err := RunRuntime(context.Background(), ds.Catalog, nil, ds.IncomingOffers, nil, Config{}); err == nil {
 		t.Fatal("expected error without offline result")
 	}
 }
@@ -332,11 +336,11 @@ func TestPipelineWorkerCountInvariance(t *testing.T) {
 	}
 	run := func(workers int) snapshot {
 		cfg := Config{Workers: workers}
-		off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, cfg)
+		off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, cfg)
+		rt, err := RunRuntime(context.Background(), ds.Catalog, off, ds.IncomingOffers, fetcher, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -377,9 +381,11 @@ func TestRunLimited(t *testing.T) {
 		{0, 4}, {1, 4}, {10, 1}, {10, 4}, {10, 100}, {100, 0},
 	} {
 		hits := make([]int32, tc.n)
-		runLimited(tc.n, tc.workers, func(i int) {
+		if err := runLimited(context.Background(), tc.n, tc.workers, func(i int) {
 			atomic.AddInt32(&hits[i], 1)
-		})
+		}); err != nil {
+			t.Fatalf("n=%d workers=%d: err = %v", tc.n, tc.workers, err)
+		}
 		for i, h := range hits {
 			if h != 1 {
 				t.Errorf("n=%d workers=%d: job %d ran %d times", tc.n, tc.workers, i, h)
@@ -388,15 +394,33 @@ func TestRunLimited(t *testing.T) {
 	}
 }
 
+// TestRunLimitedCancelled pins the pool's cancellation contract: a
+// cancelled context stops workers from pulling new jobs, the call returns
+// ctx.Err(), and jobs never run after return (the pool is joined).
+func TestRunLimitedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := runLimited(ctx, 100, 4, func(i int) { atomic.AddInt32(&ran, 1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers check ctx before each pull, so an already-cancelled pool
+	// runs nothing (serial path) or at most a handful of in-flight jobs.
+	if n := atomic.LoadInt32(&ran); n == 100 {
+		t.Errorf("all %d jobs ran despite pre-cancelled ctx", n)
+	}
+}
+
 func TestPipelineDeterministic(t *testing.T) {
 	ds := dataset(t)
 	fetcher := MapFetcher(ds.Pages)
 	run := func() ([]string, int) {
-		off, err := RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
+		off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt, err := RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
+		rt, err := RunRuntime(context.Background(), ds.Catalog, off, ds.IncomingOffers, fetcher, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -143,11 +144,11 @@ func TestPipelineEquivalenceAfterRoundTrip(t *testing.T) {
 
 	run := func(ds *synth.Dataset) []string {
 		fetcher := core.MapFetcher(ds.Pages)
-		off, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{})
+		off, err := core.RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt, err := core.RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, core.Config{})
+		rt, err := core.RunRuntime(context.Background(), ds.Catalog, off, ds.IncomingOffers, fetcher, core.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}

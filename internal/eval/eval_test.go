@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -168,11 +169,11 @@ func pipelineRun(t *testing.T) (*synth.Dataset, []fusion.Synthesized) {
 		Merchants:           24,
 	})
 	fetcher := core.MapFetcher(ds.Pages)
-	off, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{})
+	off, err := core.RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, fetcher, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := core.RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, core.Config{})
+	run, err := core.RunRuntime(context.Background(), ds.Catalog, off, ds.IncomingOffers, fetcher, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -153,11 +154,11 @@ func AblationExtraction(e *Env) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, c := range configs {
 		fetcher := core.MapFetcher(e.Dataset.Pages)
-		off, err := core.RunOffline(e.Dataset.Catalog, e.Dataset.HistoricalOffers, fetcher, c.cfg)
+		off, err := core.RunOffline(context.Background(), e.Dataset.Catalog, e.Dataset.HistoricalOffers, fetcher, c.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
 		}
-		run, err := core.RunRuntime(e.Dataset.Catalog, off, e.Dataset.IncomingOffers, fetcher, c.cfg)
+		run, err := core.RunRuntime(context.Background(), e.Dataset.Catalog, off, e.Dataset.IncomingOffers, fetcher, c.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
 		}
@@ -179,7 +180,7 @@ func (e *Env) pipelineAblation(configs []struct {
 }) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, c := range configs {
-		run, err := core.RunRuntime(e.Dataset.Catalog, e.Offline, e.Dataset.IncomingOffers,
+		run, err := core.RunRuntime(context.Background(), e.Dataset.Catalog, e.Offline, e.Dataset.IncomingOffers,
 			core.MapFetcher(e.Dataset.Pages), c.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", c.name, err)

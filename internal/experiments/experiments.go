@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -36,15 +37,16 @@ type Env struct {
 	Config  core.Config
 }
 
-// Setup generates the marketplace and runs the full pipeline.
-func Setup(gen synth.Config, pipe core.Config) (*Env, error) {
+// Setup generates the marketplace and runs the full pipeline. ctx cancels
+// the underlying offline and runtime phases.
+func Setup(ctx context.Context, gen synth.Config, pipe core.Config) (*Env, error) {
 	ds := synth.Generate(gen)
 	fetcher := core.MapFetcher(ds.Pages)
-	off, err := core.RunOffline(ds.Catalog, ds.HistoricalOffers, fetcher, pipe)
+	off, err := core.RunOffline(ctx, ds.Catalog, ds.HistoricalOffers, fetcher, pipe)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: offline phase: %w", err)
 	}
-	run, err := core.RunRuntime(ds.Catalog, off, ds.IncomingOffers, fetcher, pipe)
+	run, err := core.RunRuntime(ctx, ds.Catalog, off, ds.IncomingOffers, fetcher, pipe)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: runtime phase: %w", err)
 	}

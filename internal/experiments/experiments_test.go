@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func env(t *testing.T) *Env {
 	if sharedEnv != nil {
 		return sharedEnv
 	}
-	e, err := Setup(synth.Config{
+	e, err := Setup(context.Background(), synth.Config{
 		Seed:                13,
 		CategoriesPerDomain: 3,
 		ProductsPerCategory: 25,

@@ -264,3 +264,63 @@ func BenchmarkNaiveBayesClassify(b *testing.B) {
 		nb.Classify(toks)
 	}
 }
+
+// TestNaiveBayesSnapshotRoundTrip pins the snapshot contract: a rebuilt
+// classifier posts identical posteriors, the snapshot itself is
+// deterministic, and derived state (vocabulary, totals) is recovered.
+func TestNaiveBayesSnapshotRoundTrip(t *testing.T) {
+	nb := NewNaiveBayes(0.5)
+	nb.Train("hard-drives", []string{"hdd", "sata", "rpm", "rpm"})
+	nb.Train("hard-drives", []string{"gb", "sata"})
+	nb.Train("cameras", []string{"mp", "zoom", "lens"})
+	nb.Train("kitchen", []string{"watt", "steel"})
+
+	snap := nb.Snapshot()
+	if len(snap.Classes) != 3 || snap.Classes[0].Name != "cameras" {
+		t.Fatalf("snapshot classes = %+v (want 3, sorted)", snap.Classes)
+	}
+	rebuilt := NaiveBayesFromSnapshot(snap)
+
+	if got, want := rebuilt.Classes(), nb.Classes(); len(got) != len(want) {
+		t.Fatalf("classes %v vs %v", got, want)
+	}
+	for _, toks := range [][]string{
+		{"sata", "gb"}, {"zoom"}, {"watt", "steel", "unknown"}, {},
+	} {
+		c1, p1 := nb.Classify(toks)
+		c2, p2 := rebuilt.Classify(toks)
+		if c1 != c2 || p1 != p2 {
+			t.Errorf("tokens %v: original (%q, %v) vs rebuilt (%q, %v)", toks, c1, p1, c2, p2)
+		}
+		for _, class := range nb.Classes() {
+			if lp1, lp2 := nb.LogPosterior(class, toks), rebuilt.LogPosterior(class, toks); lp1 != lp2 {
+				t.Errorf("LogPosterior(%q, %v): %v vs %v", class, toks, lp1, lp2)
+			}
+		}
+	}
+
+	// Determinism: snapshotting the rebuilt classifier reproduces the
+	// snapshot exactly.
+	again := rebuilt.Snapshot()
+	if len(again.Classes) != len(snap.Classes) {
+		t.Fatalf("re-snapshot has %d classes, want %d", len(again.Classes), len(snap.Classes))
+	}
+	for i := range snap.Classes {
+		a, b := snap.Classes[i], again.Classes[i]
+		if a.Name != b.Name || a.Docs != b.Docs || len(a.Tokens) != len(b.Tokens) {
+			t.Fatalf("class %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Tokens {
+			if a.Tokens[j] != b.Tokens[j] {
+				t.Errorf("class %s token %d: %+v vs %+v", a.Name, j, a.Tokens[j], b.Tokens[j])
+			}
+		}
+	}
+
+	// Uniform priors survive the round trip too.
+	nb.SetUniformPriors()
+	uniform := NaiveBayesFromSnapshot(nb.Snapshot())
+	if lp1, lp2 := nb.LogPosterior("cameras", []string{"zoom"}), uniform.LogPosterior("cameras", []string{"zoom"}); lp1 != lp2 {
+		t.Errorf("uniform-prior LogPosterior: %v vs %v", lp1, lp2)
+	}
+}

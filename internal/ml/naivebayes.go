@@ -95,16 +95,19 @@ func (nb *NaiveBayes) LogPosterior(class string, tokens []string) float64 {
 }
 
 // Posterior returns the normalized posterior P(class | tokens) over all
-// classes, computed with the log-sum-exp trick.
+// classes, computed with the log-sum-exp trick. Classes are accumulated
+// in sorted order so the float summation order — and therefore every
+// returned probability, to the last ULP — is deterministic run to run.
 func (nb *NaiveBayes) Posterior(tokens []string) map[string]float64 {
 	if len(nb.classes) == 0 {
 		return nil
 	}
-	logs := make(map[string]float64, len(nb.classes))
+	classes := nb.Classes()
+	logs := make([]float64, len(classes))
 	maxLog := math.Inf(-1)
-	for class := range nb.classes {
+	for i, class := range classes {
 		lp := nb.LogPosterior(class, tokens)
-		logs[class] = lp
+		logs[i] = lp
 		if lp > maxLog {
 			maxLog = lp
 		}
@@ -114,10 +117,69 @@ func (nb *NaiveBayes) Posterior(tokens []string) map[string]float64 {
 		z += math.Exp(lp - maxLog)
 	}
 	out := make(map[string]float64, len(logs))
-	for class, lp := range logs {
-		out[class] = math.Exp(lp-maxLog) / z
+	for i, class := range classes {
+		out[class] = math.Exp(logs[i]-maxLog) / z
 	}
 	return out
+}
+
+// NBSnapshot is a deterministic, serializable view of a trained NaiveBayes
+// classifier: classes sorted by name, token counts sorted by token. A
+// snapshot round-trips exactly — NaiveBayesFromSnapshot(nb.Snapshot())
+// classifies identically to nb — because the classifier's state is nothing
+// but these counts (vocabulary, document and token totals are derived).
+type NBSnapshot struct {
+	Laplace     float64
+	ClassPriors bool
+	Classes     []NBClassSnapshot
+}
+
+// NBClassSnapshot is one class's training counts.
+type NBClassSnapshot struct {
+	Name   string
+	Docs   int
+	Tokens []NBTokenCount
+}
+
+// NBTokenCount is one token's occurrence count within a class.
+type NBTokenCount struct {
+	Token string
+	Count int
+}
+
+// Snapshot extracts the classifier's full trained state in deterministic
+// order.
+func (nb *NaiveBayes) Snapshot() NBSnapshot {
+	s := NBSnapshot{Laplace: nb.laplace, ClassPriors: nb.classPriors}
+	for _, name := range nb.Classes() {
+		c := nb.classes[name]
+		cs := NBClassSnapshot{Name: name, Docs: c.docs, Tokens: make([]NBTokenCount, 0, len(c.tokenCount))}
+		for tok, n := range c.tokenCount {
+			cs.Tokens = append(cs.Tokens, NBTokenCount{Token: tok, Count: n})
+		}
+		sort.Slice(cs.Tokens, func(i, j int) bool { return cs.Tokens[i].Token < cs.Tokens[j].Token })
+		s.Classes = append(s.Classes, cs)
+	}
+	return s
+}
+
+// NaiveBayesFromSnapshot rebuilds a classifier from a snapshot. Derived
+// state (vocabulary, totals) is recomputed, so the result is equivalent to
+// the classifier the snapshot was taken from.
+func NaiveBayesFromSnapshot(s NBSnapshot) *NaiveBayes {
+	nb := NewNaiveBayes(s.Laplace)
+	nb.classPriors = s.ClassPriors
+	for _, cs := range s.Classes {
+		c := &nbClass{docs: cs.Docs, tokenCount: make(map[string]int, len(cs.Tokens))}
+		for _, tc := range cs.Tokens {
+			c.tokenCount[tc.Token] = tc.Count
+			c.totalToken += tc.Count
+			nb.vocab[tc.Token] = true
+		}
+		nb.classes[cs.Name] = c
+		nb.totalDocs += cs.Docs
+	}
+	return nb
 }
 
 // Classify returns the argmax class and its posterior probability.

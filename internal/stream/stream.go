@@ -99,7 +99,14 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 			case batch, ok = <-waves:
 			}
 			if !ok {
-				final := finalResult(mem, cfg, total)
+				final := finalResult(ctx, mem, cfg, total)
+				if final.Err != nil {
+					// Cancelled during the closing fuse: the contract is
+					// "cancellation closes the channel without the final
+					// result", so never deliver a half-built Final (the
+					// send below could win a race against ctx.Done).
+					return
+				}
 				select {
 				case out <- final:
 				case <-ctx.Done():
@@ -131,7 +138,7 @@ func runWave(ctx context.Context, store *catalog.Store, offline *core.OfflineRes
 	start := time.Now()
 	r := Result{Wave: wave, Offers: len(batch)}
 
-	prep, err := core.PrepareIncoming(store, offline, batch, pages, cfg)
+	prep, err := core.PrepareIncoming(ctx, store, offline, batch, pages, cfg)
 	if err == nil {
 		err = ctx.Err()
 	}
@@ -154,12 +161,9 @@ func runWave(ctx context.Context, store *catalog.Store, offline *core.OfflineRes
 	r.OffersWithoutKey = len(skipped)
 	r.Clusters = len(touched)
 
-	if err := ctx.Err(); err != nil {
+	if r.Products, err = core.FuseClusters(ctx, touched, cfg); err != nil {
 		r.Err = err
-		r.Elapsed = time.Since(start)
-		return r
 	}
-	r.Products = core.FuseClusters(touched, cfg)
 	r.Elapsed = time.Since(start)
 	return r
 }
@@ -185,13 +189,20 @@ func accumulate(total *Result, r Result) {
 // clusters. With memory disabled there is nothing to merge (every wave
 // already emitted its own clusters), so Products is nil and Clusters
 // keeps the summed per-wave count.
-func finalResult(mem *Memory, cfg core.Config, total Result) Result {
+func finalResult(ctx context.Context, mem *Memory, cfg core.Config, total Result) Result {
 	final := total
 	final.Final = true
 	if mem != nil {
 		start := time.Now()
 		merged := mem.Final()
-		final.Products = core.FuseClusters(merged, cfg)
+		products, err := core.FuseClusters(ctx, merged, cfg)
+		if err != nil {
+			// Cancelled during the closing fuse: record it so Run drops
+			// the final result instead of delivering a half-built one.
+			final.Err = err
+			return final
+		}
+		final.Products = products
 		final.Clusters = len(merged)
 		final.OpenClusters = mem.Len()
 		final.Elapsed += time.Since(start)

@@ -1,0 +1,349 @@
+package prodsynth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/core"
+	"prodsynth/internal/stream"
+)
+
+// System is the runtime half of the pipeline: it ties a catalog to a
+// learned Model and serves synthesis over them. Build one with NewSystem
+// from a Model (Learn or LoadModel), so a System is never "not learned";
+// in a long-lived process, swap in a re-learned Model atomically with Use
+// while synthesis traffic is in flight.
+//
+// The deprecated v1 constructor New builds a System without a Model; only
+// on that path can the synthesis entry points return ErrNotLearned.
+type System struct {
+	store *Catalog
+	cfg   Config
+	model atomic.Pointer[Model]
+}
+
+// NewSystem creates a System serving synthesis over a catalog with a
+// learned Model. The zero Config (no options) applies the paper's
+// defaults; pass WithConfig or the finer-grained options to tune the
+// runtime pipeline.
+func NewSystem(store *Catalog, model *Model, opts ...Option) *System {
+	s := &System{store: store, cfg: buildConfig(opts)}
+	s.model.Store(model)
+	return s
+}
+
+// Use atomically swaps the System's Model: synthesis calls that started
+// before the swap finish against the old model, calls that start after it
+// use the new one. This is the hot-reload path for a serving process that
+// re-learns (or re-loads) its model without downtime. A nil model resets
+// the System to the unlearned state (ErrNotLearned).
+func (s *System) Use(model *Model) { s.model.Store(model) }
+
+// Model returns the Model the System currently serves with, or nil on the
+// deprecated v1 path before Learn.
+func (s *System) Model() *Model { return s.model.Load() }
+
+// current is the nil-guarded model fetch shared by the synthesis entry
+// points: one atomic load, so a concurrent Use cannot change the model
+// mid-call.
+func (s *System) current() (*Model, error) {
+	m := s.model.Load()
+	if m == nil {
+		return nil, ErrNotLearned
+	}
+	return m, nil
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Products are the synthesized product instances.
+	Products []Synthesized
+	// PairsDropped counts extracted attribute-value pairs discarded for
+	// lack of a correspondence (the noise filter of §4).
+	PairsDropped int
+	// PairsMapped counts pairs translated into catalog vocabulary.
+	PairsMapped int
+	// OffersWithoutKey counts reconciled offers that could not be
+	// clustered because no key attribute survived reconciliation.
+	OffersWithoutKey int
+	// ExcludedMatched counts incoming offers dropped because they match
+	// an existing catalog product — the run's match count against the
+	// warm indexes.
+	ExcludedMatched int
+	// Offers is the number of incoming offers the run processed.
+	Offers int
+	// Clusters is the number of offer clusters value fusion synthesized
+	// from (one synthesized product per cluster).
+	Clusters int
+	// Elapsed is the wall-clock duration of the run. In a BatchResult it
+	// makes the per-batch cost of a wave visible next to its match and
+	// fusion counts.
+	Elapsed time.Duration
+	// Err is set on a per-batch Result inside BatchResult (or a
+	// StreamResult) when that batch failed; the other fields are zero
+	// except Offers. A failed batch does not stop later batches. Always
+	// nil on a Result returned directly by SynthesizeContext, which
+	// reports failure through its error return instead.
+	Err error
+}
+
+// SynthesizeContext runs the runtime pipeline (§4) over incoming offers:
+// extraction, schema reconciliation, clustering, and value fusion, against
+// the System's current Model. Cancelling ctx stops the pipeline's worker
+// pools at the next stage boundary with ctx.Err() and leaks no goroutines.
+func (s *System) SynthesizeContext(ctx context.Context, incoming []Offer, pages PageFetcher) (*Result, error) {
+	m, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	return s.synthesize(ctx, m, incoming, pages)
+}
+
+// synthesize runs one batch against a pinned model — the shared core of
+// the one-shot and batch entry points.
+func (s *System) synthesize(ctx context.Context, m *Model, incoming []Offer, pages PageFetcher) (*Result, error) {
+	start := time.Now()
+	run, err := core.RunRuntime(ctx, s.store, m.offline, incoming, pages, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Products:         run.Products,
+		PairsDropped:     run.Reconcile.PairsDropped,
+		PairsMapped:      run.Reconcile.PairsMapped,
+		OffersWithoutKey: len(run.SkippedNoKey),
+		ExcludedMatched:  run.ExcludedMatched,
+		Offers:           len(incoming),
+		Clusters:         run.Clusters.Clusters,
+		Elapsed:          time.Since(start),
+	}, nil
+}
+
+// BatchResult is the outcome of a SynthesizeBatchesContext run.
+type BatchResult struct {
+	// Batches holds one Result per input batch, in input order; each
+	// carries its own wall time and match/fusion counts. A batch that
+	// failed has Err set and contributes nothing but its offer count.
+	Batches []*Result
+	// Failed counts batches whose Result carries a non-nil Err.
+	Failed int
+	// Total aggregates every successful batch: concatenated Products
+	// (batch order) and summed counters. Total.Elapsed sums the
+	// per-batch run times (batches run sequentially, so it is also the
+	// run's wall time minus failed batches).
+	Total Result
+}
+
+// SynthesizeBatchesContext runs the runtime pipeline over a sequence of
+// offer batches — the serving shape of the system, where offer feeds
+// arrive in waves. The learned model and the matcher's per-category
+// indexes are reused across batches, so every batch after the first runs
+// against warm state; a batch containing all offers at once is equivalent
+// to a single SynthesizeContext call. Offers are clustered within their
+// batch: a product whose offers are split across batches synthesizes once
+// per batch it appears in — use SynthesizeStream for cross-batch cluster
+// memory.
+//
+// The Model is pinned once for the whole run, so a concurrent Use swap
+// never splits a batch sequence across two models. A batch that fails
+// (e.g. under Config.StrictPages) records its error in that batch's
+// Result.Err and the run continues — except for ctx cancellation, which
+// stops the run and returns ctx.Err().
+func (s *System) SynthesizeBatchesContext(ctx context.Context, batches [][]Offer, pages PageFetcher) (*BatchResult, error) {
+	m, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResult{Batches: make([]*Result, 0, len(batches))}
+	for _, batch := range batches {
+		res, err := s.synthesize(ctx, m, batch, pages)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			out.Batches = append(out.Batches, &Result{Offers: len(batch), Err: err})
+			out.Failed++
+			continue
+		}
+		out.Batches = append(out.Batches, res)
+		out.Total.Products = append(out.Total.Products, res.Products...)
+		out.Total.PairsDropped += res.PairsDropped
+		out.Total.PairsMapped += res.PairsMapped
+		out.Total.OffersWithoutKey += res.OffersWithoutKey
+		out.Total.ExcludedMatched += res.ExcludedMatched
+		out.Total.Offers += res.Offers
+		out.Total.Clusters += res.Clusters
+		out.Total.Elapsed += res.Elapsed
+	}
+	return out, nil
+}
+
+// StreamOptions tunes SynthesizeStream. The zero value keeps unbounded
+// cluster memory and an unbuffered result channel.
+type StreamOptions struct {
+	// MaxOpenClusters bounds the cross-batch cluster memory: past the
+	// bound, the least recently extended clusters are forgotten (a later
+	// offer with a forgotten cluster's key synthesizes a duplicate, as a
+	// memory-less batch run would). 0 means unbounded.
+	MaxOpenClusters int
+	// MaxIdleWaves forgets clusters no wave has extended for more than
+	// this many consecutive waves — a TTL measured in waves, so behaviour
+	// is deterministic for a given wave sequence. 0 means never.
+	MaxIdleWaves int
+	// DisableClusterMemory makes every wave cluster independently,
+	// reproducing SynthesizeBatchesContext semantics wave for wave.
+	DisableClusterMemory bool
+	// Buffer is the result channel's capacity. 0 (unbuffered) applies
+	// backpressure: the pipeline runs at most one wave ahead of the
+	// consumer (the wave whose result is being delivered). Larger values
+	// let it run further ahead.
+	Buffer int
+}
+
+// StreamResult is one emission of SynthesizeStream: the embedded Result
+// carries the wave's products and counters (or Err for a failed wave).
+type StreamResult struct {
+	Result
+	// Wave is the 0-based wave index; on the final result, the number of
+	// waves consumed.
+	Wave int
+	// OpenClusters is the cluster-memory size after the wave — the
+	// quantity StreamOptions.MaxOpenClusters bounds. Zero when cluster
+	// memory is disabled.
+	OpenClusters int
+	// Final marks the single closing result: its Products are the merged
+	// stream view (final fused state of every remembered cluster, in
+	// first-appearance order) and its counters aggregate all successful
+	// waves. For an uninterrupted stream with unbounded memory and no
+	// mid-stream catalog growth, the final Products are byte-identical
+	// to a one-shot SynthesizeContext over the concatenated waves.
+	Final bool
+}
+
+// SynthesizeStream runs the runtime pipeline as a long-lived feed
+// consumer: offer waves are read from waves, processed in order against
+// the warm matcher state, and one StreamResult per wave is delivered on
+// the returned channel, followed by a closing Final result when waves is
+// closed. Unlike SynthesizeBatchesContext, clusters stay open across waves
+// in a cross-batch cluster memory: an offer arriving in wave n whose key
+// matches a cluster synthesized in an earlier wave joins that cluster,
+// and the wave's result carries the product re-fused over the union of
+// evidence — the product synthesizes once, not once per wave. The memory
+// is bounded through StreamOptions and invalidated per category when
+// AddToCatalog grows the catalog mid-stream (the same version counters
+// that refresh the matcher's indexes), since such clusters' products may
+// now be matched — and excluded — against the catalog itself.
+//
+// The stream pins the Model current when it starts; a later Use swap
+// affects subsequent calls, not a stream already in flight. A failed wave
+// (e.g. under Config.StrictPages) reports its error in that wave's
+// StreamResult.Err and the stream continues. Cancelling ctx stops the
+// pipeline — between waves or between the stages of the wave in flight —
+// and closes the channel without the final result; the pipeline goroutine
+// always exits once ctx is cancelled or waves is closed, even if the
+// consumer stops reading. A System built without a Model returns
+// ErrNotLearned.
+func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pages PageFetcher, opts StreamOptions) (<-chan StreamResult, error) {
+	m, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	// The inner channel stays unbuffered regardless of opts.Buffer: the
+	// forwarding goroutine already holds one result in flight, so any
+	// inner capacity would let the pipeline run that much further ahead
+	// than StreamOptions.Buffer promises.
+	inner := stream.Run(ctx, s.store, m.offline, waves, pages, s.cfg, stream.Options{
+		MaxOpenClusters: opts.MaxOpenClusters,
+		MaxIdleWaves:    opts.MaxIdleWaves,
+		DisableMemory:   opts.DisableClusterMemory,
+	})
+	out := make(chan StreamResult, opts.Buffer)
+	go func() {
+		defer close(out)
+		for r := range inner {
+			sr := StreamResult{
+				Wave:         r.Wave,
+				Final:        r.Final,
+				OpenClusters: r.OpenClusters,
+				Result: Result{
+					Products:         r.Products,
+					PairsDropped:     r.Reconcile.PairsDropped,
+					PairsMapped:      r.Reconcile.PairsMapped,
+					OffersWithoutKey: r.OffersWithoutKey,
+					ExcludedMatched:  r.ExcludedMatched,
+					Offers:           r.Offers,
+					Clusters:         r.Clusters,
+					Elapsed:          r.Elapsed,
+					Err:              r.Err,
+				},
+			}
+			select {
+			case out <- sr:
+			case <-ctx.Done():
+				// The consumer may be gone; drain inner (stream.Run
+				// also watches ctx, so it closes promptly) and exit.
+				for range inner {
+				}
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// AddReport is the outcome of an AddToCatalog run, with rejected products
+// separated by cause.
+type AddReport struct {
+	// Added counts products inserted into the catalog.
+	Added int
+	// KeyCollisions are products whose synthesized ID (prefix + cluster
+	// key) collided with an existing product ID — typically the product
+	// was already added by an earlier wave, or two synthesized products
+	// share a key. Nothing is wrong with the product itself.
+	KeyCollisions []Synthesized
+	// SchemaViolations are products rejected on their own merits: a spec
+	// attribute outside the category schema, or an unknown category.
+	SchemaViolations []Synthesized
+}
+
+// Skipped returns every rejected product (collisions then violations),
+// mirroring the pre-AddReport return value.
+func (r AddReport) Skipped() []Synthesized {
+	return append(append([]Synthesized(nil), r.KeyCollisions...), r.SchemaViolations...)
+}
+
+// AddToCatalog inserts synthesized products into the catalog as new
+// product instances, assigning IDs with the given prefix. Rejected
+// products are reported by cause: ID collisions with existing products
+// distinctly from schema violations. Insertions bump the affected
+// categories' versions, which evicts the matcher's warm indexes for those
+// categories (see Catalog.CategoryVersion) — a following synthesis run
+// observes the grown catalog.
+//
+// A product with no cluster key falls back to a generated ID that folds in
+// the catalog's current product count as well as the product's position in
+// the call, so repeated AddToCatalog calls with the same prefix cannot
+// collide with each other's keyless products.
+func (s *System) AddToCatalog(products []Synthesized, idPrefix string) AddReport {
+	var report AddReport
+	for i, p := range products {
+		id := idPrefix + "-" + p.Key
+		if p.Key == "" {
+			id = fmt.Sprintf("%s-nokey-%d-%d", idPrefix, s.store.NumProducts(), i)
+		}
+		prod := Product{ID: id, CategoryID: p.CategoryID, Spec: p.Spec}
+		switch err := s.store.AddProduct(prod); {
+		case err == nil:
+			report.Added++
+		case errors.Is(err, catalog.ErrDuplicateProduct):
+			report.KeyCollisions = append(report.KeyCollisions, p)
+		default:
+			report.SchemaViolations = append(report.SchemaViolations, p)
+		}
+	}
+	return report
+}
