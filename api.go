@@ -47,21 +47,31 @@
 // pipeline's worker pools at the next stage boundary with ctx.Err(), and
 // never leaks a goroutine.
 //
-// Warm-starting a long-lived process: learn once, save the artifact, and
-// have the daemon load it instead of re-running the offline phase —
+// Warm-starting a long-lived process: the catalog store persists the same
+// way the Model does ([SaveCatalog]/[LoadCatalog]), and [SaveBundle]
+// writes both halves as one artifact, so a daemon cold-starts from a
+// single file with zero catalog re-ingestion and zero re-learning —
 //
-//	// learner process
+//	// learner process: ingest the catalog, learn, persist both halves
 //	model, _ := prodsynth.Learn(ctx, store, historical, pages)
-//	f, _ := os.Create("model.psmd")
-//	prodsynth.SaveModel(f, model)
+//	f, _ := os.Create("warm.psbd")
+//	prodsynth.SaveBundle(f, store, model)
 //	f.Close()
 //
-//	// serving process (same catalog contents)
-//	f, _ := os.Open("model.psmd")
-//	model, err := prodsynth.LoadModel(f)   // strict: checksum + version verified
+//	// serving process: one load, nothing re-derived
+//	f, _ := os.Open("warm.psbd")
+//	store, model, err := prodsynth.LoadBundle(f) // strict: checksums + versions verified
 //	sys := prodsynth.NewSystem(store, model)
 //	// ... serve SynthesizeContext / SynthesizeStream ...
-//	sys.Use(relearned)                     // atomic hot-swap, no downtime
+//	sys.Use(relearned)                           // atomic hot-swap, no downtime
+//
+// A loaded catalog is behaviorally identical to the one that was saved —
+// same products and insertion order, same ProductByKey resolution, same
+// CategoryVersion counters — so ProductsSince deltas and the match
+// registry's version-driven invalidation carry straight on. The halves
+// remain independently useful: [SaveModel]/[LoadModel] move a re-learned
+// model between processes that already hold the catalog, and
+// [SaveCatalog]/[LoadCatalog] snapshot a growing catalog on its own.
 //
 // The subpackages under internal implement each component of the paper's
 // Figure 4 architecture plus every substrate the evaluation needs: an HTML

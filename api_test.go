@@ -3,6 +3,9 @@ package prodsynth
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -130,8 +133,8 @@ func TestAddToCatalogSeparatesCauses(t *testing.T) {
 // TestAddToCatalogKeylessNoCrossCallCollision pins the fixed fallback-ID
 // scheme: products with no cluster key used to get prefix-<i> IDs, so a
 // second AddToCatalog call with the same prefix collided spuriously with
-// the first call's keyless products. The fallback now folds in the
-// catalog's product count, so every call's keyless products insert.
+// the first call's keyless products. The store now reserves a unique
+// generated ID under its lock, so every call's keyless products insert.
 func TestAddToCatalogKeylessNoCrossCallCollision(t *testing.T) {
 	store := NewCatalog()
 	if err := store.AddCategory(Category{
@@ -159,6 +162,108 @@ func TestAddToCatalogKeylessNoCrossCallCollision(t *testing.T) {
 	}
 	if got := store.NumProducts(); got != 4 {
 		t.Fatalf("catalog has %d products, want 4", got)
+	}
+}
+
+// TestAddToCatalogKeylessConcurrent is the regression test for the
+// keyless-ID race: fallback IDs used to be minted from NumProducts read
+// outside the insert's critical section, so two concurrent AddToCatalog
+// calls could read the same count, collide on the generated ID, and
+// misreport perfectly valid products as KeyCollisions. IDs are now
+// reserved under the store lock; run with -race to also catch the data
+// race itself.
+func TestAddToCatalogKeylessConcurrent(t *testing.T) {
+	store := NewCatalog()
+	if err := store.AddCategory(Category{
+		ID: "hd", Name: "Hard Drives",
+		Schema: Schema{Attributes: []Attribute{{Name: "Brand"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(store, Config{})
+	// Even a single-CPU machine must interleave the racy window: spread
+	// the workers across OS threads, and release each round through a
+	// barrier so every round's AddToCatalog calls race on the same store
+	// state — the pre-fix count-outside-the-lock scheme collides quickly.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const workers, perCall, rounds = 8, 2, 2000
+	var added, collisions atomic.Int64
+	for r := 0; r < rounds; r++ {
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				batch := make([]Synthesized, perCall)
+				for i := range batch {
+					batch[i] = Synthesized{CategoryID: "hd", Key: "",
+						Spec: Spec{{Name: "Brand", Value: "Seagate"}}}
+				}
+				<-start
+				report := sys.AddToCatalog(batch, "synth")
+				added.Add(int64(report.Added))
+				collisions.Add(int64(len(report.KeyCollisions)))
+			}()
+		}
+		close(start)
+		wg.Wait()
+	}
+	want := int64(workers * perCall * rounds)
+	if added.Load() != want || collisions.Load() != 0 {
+		t.Fatalf("added %d of %d, %d spurious key collisions (keyless IDs raced?)",
+			added.Load(), want, collisions.Load())
+	}
+	if got := store.NumProducts(); int64(got) != want {
+		t.Fatalf("catalog has %d products, want %d", got, want)
+	}
+}
+
+// TestAddToCatalogReportsShadowedKeys pins the surfacing half of the
+// byKey fix at the System level: a synthesized product whose key is
+// already owned by an existing catalog product is added (distinct ID)
+// but reported in KeyShadowed, and the original keeps the key.
+func TestAddToCatalogReportsShadowedKeys(t *testing.T) {
+	store := NewCatalog()
+	if err := store.AddCategory(Category{
+		ID: "hd", Name: "Hard Drives",
+		Schema: Schema{Attributes: []Attribute{
+			{Name: "Brand"}, {Name: AttrMPN, Kind: KindIdentifier},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddProduct(Product{ID: "orig-1", CategoryID: "hd",
+		Spec: Spec{{Name: "Brand", Value: "Seagate"}, {Name: AttrMPN, Value: "MPN1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(store, Config{})
+	shadowing := Synthesized{CategoryID: "hd", Key: "MPN1", KeyAttr: AttrMPN,
+		Spec: Spec{{Name: "Brand", Value: "Hitachi"}, {Name: AttrMPN, Value: "MPN1"}}}
+	report := sys.AddToCatalog([]Synthesized{shadowing}, "synth")
+	if report.Added != 1 || len(report.KeyCollisions) != 0 || len(report.SchemaViolations) != 0 {
+		t.Fatalf("report = %+v, want 1 added and no rejections", report)
+	}
+	if len(report.KeyShadowed) != 1 || report.KeyShadowed[0].Key != "MPN1" {
+		t.Fatalf("KeyShadowed = %+v, want the MPN1 product", report.KeyShadowed)
+	}
+	if p, ok := store.ProductByKey("MPN1"); !ok || p.ID != "orig-1" {
+		t.Errorf("ProductByKey(MPN1) = %+v, %v; original must keep the key", p, ok)
+	}
+	if _, ok := store.Product("synth-MPN1"); !ok {
+		t.Error("shadowed product was not inserted under its prefixed ID")
+	}
+
+	// The keyless path surfaces shadowing the same way: an empty cluster
+	// key does not mean the spec carries no UPC/MPN.
+	keylessShadowing := Synthesized{CategoryID: "hd", Key: "",
+		Spec: Spec{{Name: "Brand", Value: "WD"}, {Name: AttrMPN, Value: "MPN1"}}}
+	report = sys.AddToCatalog([]Synthesized{keylessShadowing}, "synth")
+	if report.Added != 1 || len(report.KeyShadowed) != 1 {
+		t.Fatalf("keyless shadowing report = %+v, want 1 added and 1 shadowed", report)
+	}
+	if p, ok := store.ProductByKey("MPN1"); !ok || p.ID != "orig-1" {
+		t.Errorf("after keyless shadowing, ProductByKey(MPN1) = %+v, %v; want orig-1", p, ok)
 	}
 }
 

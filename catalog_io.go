@@ -1,0 +1,106 @@
+package prodsynth
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/core"
+	"prodsynth/internal/snapfmt"
+)
+
+// CatalogFormatVersion is the version number embedded in the binary
+// format written by SaveCatalog. LoadCatalog rejects every other version.
+const CatalogFormatVersion = catalog.SnapshotVersion
+
+// ErrBadCatalog is wrapped by every LoadCatalog error caused by the input
+// itself: bad magic, unsupported version, checksum mismatch, truncation,
+// or a payload whose indexes cannot be rebuilt consistently.
+var ErrBadCatalog = catalog.ErrBadSnapshot
+
+// SaveCatalog writes the catalog store as a versioned, checksummed binary
+// snapshot: categories with their schemas, products in per-category
+// insertion order, the per-category version counters, and the key-index
+// ownership table. The bytes are deterministic: saving the same catalog
+// twice yields identical output, so snapshots can be content-addressed
+// and diffed.
+func SaveCatalog(w io.Writer, store *Catalog) error {
+	return catalog.EncodeStore(w, store)
+}
+
+// LoadCatalog reads a snapshot written by SaveCatalog, strictly: the
+// magic, format version, payload length, and checksum are verified before
+// any field is parsed, and corrupt, truncated, or internally inconsistent
+// input returns an error wrapping ErrBadCatalog — never a panic or a
+// partial store. The loaded store is behaviorally identical to the one
+// that was saved: same products and insertion order, same ProductByKey
+// resolution, same CategoryVersion counters (so ProductsSince deltas and
+// the match registry's version-driven invalidation carry straight on).
+func LoadCatalog(r io.Reader) (*Catalog, error) {
+	return catalog.DecodeStore(r)
+}
+
+// BundleFormatVersion is the version number embedded in the binary format
+// written by SaveBundle. LoadBundle rejects every other version.
+const BundleFormatVersion = 1
+
+// ErrBadBundle is wrapped by every LoadBundle error caused by the input
+// itself — including a corrupt catalog or model half, whose errors also
+// keep wrapping ErrBadCatalog / ErrBadModel respectively.
+var ErrBadBundle = errors.New("prodsynth: invalid bundle snapshot")
+
+var bundleMagic = [4]byte{'P', 'S', 'B', 'D'}
+
+// maxBundlePayload bounds the payload length LoadBundle accepts, so a
+// corrupt header cannot demand an absurd read.
+const maxBundlePayload = 1 << 31
+
+// SaveBundle writes both halves of a warm start — the catalog store and
+// the learned Model — as one artifact: a framed outer block whose payload
+// is a catalog snapshot followed by a model snapshot. A process holding a
+// bundle cold-starts with zero catalog re-ingestion and zero re-learning
+// (see LoadBundle). The bytes are deterministic.
+func SaveBundle(w io.Writer, store *Catalog, m *Model) error {
+	if m == nil {
+		return errors.New("prodsynth: nil model")
+	}
+	var payload bytes.Buffer
+	if err := catalog.EncodeStore(&payload, store); err != nil {
+		return err
+	}
+	if err := core.EncodeOffline(&payload, m.offline); err != nil {
+		return err
+	}
+	return snapfmt.Encode(w, bundleMagic, BundleFormatVersion, maxBundlePayload, payload.Bytes())
+}
+
+// LoadBundle reads an artifact written by SaveBundle and returns both
+// halves, strictly: the outer framing and each embedded snapshot carry
+// their own magic, version, and checksum, all verified before use, and
+// any corruption returns an error wrapping ErrBadBundle — never a panic
+// or partial state. The typical serving-daemon boot is one LoadBundle
+// followed by NewSystem(store, model).
+func LoadBundle(r io.Reader) (*Catalog, *Model, error) {
+	payload, err := snapfmt.Decode(r, bundleMagic, BundleFormatVersion, maxBundlePayload, ErrBadBundle)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := snapfmt.ExpectEOF(r, ErrBadBundle); err != nil {
+		return nil, nil, err
+	}
+	br := bytes.NewReader(payload)
+	store, err := catalog.DecodeStoreFrom(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: catalog half: %w", ErrBadBundle, err)
+	}
+	off, err := core.DecodeOfflineFrom(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: model half: %w", ErrBadBundle, err)
+	}
+	if br.Len() != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing payload bytes after model half", ErrBadBundle, br.Len())
+	}
+	return store, &Model{offline: off}, nil
+}

@@ -9,11 +9,18 @@
 //	           [-correspondences corr.tsv] [-v]
 //	synthesize -data ./data -save-model model.psmd    # learn once, persist
 //	synthesize -data ./data -load-model model.psmd    # warm-start, skip learning
+//	synthesize -data ./data -save-bundle warm.psbd    # persist catalog + model
+//	synthesize -data ./data -load-bundle warm.psbd    # full warm start: zero
+//	                                                  # re-ingestion, zero re-learning
 //
 // The model flags persist the full learned artifact (correspondences,
 // classifier weights, statistics) in the versioned binary snapshot format,
 // so a learned model can be reused across invocations and machines; the
 // older -correspondences/-load TSV flags carry the correspondence set only.
+// The bundle flags additionally persist the catalog store (categories,
+// products, version counters, key index), so -load-bundle boots from the
+// single artifact alone — the dataset directory supplies only the offer
+// feed and landing pages.
 //
 // When the dataset carries ground truth, the run is graded and attribute /
 // product precision are printed (the paper's Table 2 metrics).
@@ -46,43 +53,68 @@ func main() {
 	log.SetPrefix("synthesize: ")
 
 	var (
-		data      = flag.String("data", "", "dataset directory (required)")
-		out       = flag.String("out", "", "write synthesized products JSON here (default stdout)")
-		threshold = flag.Float64("threshold", 0.5, "correspondence score threshold")
-		corrOut   = flag.String("correspondences", "", "also write learned correspondences (TSV)")
-		corrIn    = flag.String("load", "", "load correspondences from TSV and skip offline learning")
-		saveModel = flag.String("save-model", "", "write the learned model snapshot here (binary, reusable via -load-model)")
-		loadModel = flag.String("load-model", "", "load a model snapshot and skip offline learning")
-		verbose   = flag.Bool("v", false, "print pipeline statistics")
+		data       = flag.String("data", "", "dataset directory (required)")
+		out        = flag.String("out", "", "write synthesized products JSON here (default stdout)")
+		threshold  = flag.Float64("threshold", 0.5, "correspondence score threshold")
+		corrOut    = flag.String("correspondences", "", "also write learned correspondences (TSV)")
+		corrIn     = flag.String("load", "", "load correspondences from TSV and skip offline learning")
+		saveModel  = flag.String("save-model", "", "write the learned model snapshot here (binary, reusable via -load-model)")
+		loadModel  = flag.String("load-model", "", "load a model snapshot and skip offline learning")
+		saveBundle = flag.String("save-bundle", "", "write catalog + model as one bundle artifact (reusable via -load-bundle)")
+		loadBundle = flag.String("load-bundle", "", "load a catalog + model bundle: skip catalog re-ingestion and offline learning")
+		verbose    = flag.Bool("v", false, "print pipeline statistics")
 	)
 	flag.Parse()
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *corrIn != "" && *loadModel != "" {
-		log.Fatal("-load and -load-model are mutually exclusive")
+	loaders := 0
+	for _, f := range []string{*corrIn, *loadModel, *loadBundle} {
+		if f != "" {
+			loaders++
+		}
 	}
-	if *corrIn != "" || *loadModel != "" {
+	if loaders > 1 {
+		log.Fatal("-load, -load-model, and -load-bundle are mutually exclusive")
+	}
+	if loaders > 0 {
 		// The threshold gates correspondence *selection*, an offline-phase
 		// decision already baked into a loaded artifact.
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "threshold" {
-				log.Print("warning: -threshold has no effect with -load/-load-model; the loaded artifact's selection is fixed at learn time")
+				log.Print("warning: -threshold has no effect with -load/-load-model/-load-bundle; the loaded artifact's selection is fixed at learn time")
 			}
 		})
 	}
 
 	ctx := context.Background()
-	ds, err := dataset.Load(*data)
+	load := dataset.Load
+	if *loadBundle != "" {
+		// The catalog arrives from the bundle; skip re-ingesting the
+		// dataset's copy and read only the offer feeds, pages, and truth.
+		load = dataset.LoadWorkload
+	}
+	ds, err := load(*data)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fetcher := prodsynth.MapFetcher(ds.Pages)
 	opts := []prodsynth.Option{prodsynth.WithScoreThreshold(*threshold)}
 
+	store := ds.Catalog
 	var model *prodsynth.Model
 	switch {
+	case *loadBundle != "":
+		store, model, err = readBundle(*loadBundle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			st := model.Stats()
+			fmt.Fprintf(os.Stderr, "loaded bundle from %s: %d categories, %d products, %d correspondences (catalog ingestion and offline learning skipped)\n",
+				*loadBundle, store.NumCategories(), store.NumProducts(), st.Correspondences)
+		}
 	case *loadModel != "":
 		model, err = readModel(*loadModel)
 		if err != nil {
@@ -98,13 +130,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		model = prodsynth.ModelFromCorrespondences(ds.Catalog, scored)
+		model = prodsynth.ModelFromCorrespondences(store, scored)
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "loaded %d correspondences from %s (offline learning skipped)\n",
 				len(scored), *corrIn)
 		}
 	default:
-		model, err = prodsynth.Learn(ctx, ds.Catalog, ds.HistoricalOffers, fetcher, opts...)
+		model, err = prodsynth.Learn(ctx, store, ds.HistoricalOffers, fetcher, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -122,13 +154,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "saved model snapshot to %s\n", *saveModel)
 		}
 	}
+	if *saveBundle != "" {
+		if err := writeBundle(*saveBundle, store, model); err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "saved catalog+model bundle to %s\n", *saveBundle)
+		}
+	}
 	if *corrOut != "" {
 		if err := writeCorrespondences(*corrOut, model); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	sys := prodsynth.NewSystem(ds.Catalog, model, opts...)
+	sys := prodsynth.NewSystem(store, model, opts...)
 	run, err := sys.SynthesizeContext(ctx, ds.IncomingOffers, fetcher)
 	if err != nil {
 		log.Fatal(err)
@@ -177,6 +217,27 @@ func writeProducts(path string, products []prodsynth.Synthesized) error {
 		}
 	}
 	return nil
+}
+
+func readBundle(path string) (*prodsynth.Catalog, *prodsynth.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return prodsynth.LoadBundle(f)
+}
+
+func writeBundle(path string, store *prodsynth.Catalog, m *prodsynth.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := prodsynth.SaveBundle(f, store, m); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func readModel(path string) (*prodsynth.Model, error) {

@@ -1,8 +1,9 @@
 // Quickstart: generate a small synthetic marketplace, learn attribute
 // correspondences from the historical offers into an immutable Model,
 // synthesize products from the incoming offers, and print what the
-// pipeline produced — including the save/load round trip a long-lived
-// process uses to warm-start without re-learning.
+// pipeline produced — including the model save/load round trip and the
+// catalog+model bundle a long-lived process uses to warm-start without
+// re-ingesting or re-learning anything.
 //
 //	go run ./examples/quickstart
 package main
@@ -101,9 +102,23 @@ func main() {
 		fmt.Println()
 	}
 
-	// Finally, grow the catalog with the synthesized products.
+	// Grow the catalog with the synthesized products.
 	report := sys.AddToCatalog(res.Products, "synth")
-	fmt.Printf("catalog grew to %d products (+%d, %d key collisions, %d schema violations)\n",
+	fmt.Printf("catalog grew to %d products (+%d, %d key collisions, %d key shadowed, %d schema violations)\n\n",
 		market.Catalog.NumProducts(), report.Added,
-		len(report.KeyCollisions), len(report.SchemaViolations))
+		len(report.KeyCollisions), len(report.KeyShadowed), len(report.SchemaViolations))
+
+	// Finally, the full warm start: one bundle artifact carries the grown
+	// catalog AND the model, so another process boots with zero catalog
+	// re-ingestion and zero re-learning — LoadBundle then NewSystem.
+	var bundle bytes.Buffer
+	if err := prodsynth.SaveBundle(&bundle, market.Catalog, reloaded); err != nil {
+		log.Fatal(err)
+	}
+	store2, model2, err := prodsynth.LoadBundle(bytes.NewReader(bundle.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bundle snapshot: %d bytes; a fresh process loads %d categories, %d products, %d correspondences\n",
+		bundle.Len(), store2.NumCategories(), store2.NumProducts(), model2.Stats().Correspondences)
 }

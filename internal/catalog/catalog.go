@@ -242,8 +242,9 @@ type Store struct {
 	categories map[string]*Category
 	products   map[string]*Product
 	byCategory map[string][]string // category ID -> product IDs (insertion order)
-	byKey      map[string]string   // key value -> product ID
+	byKey      map[string]string   // key value -> product ID (first insertion wins)
 	versions   map[string]uint64   // category ID -> mutation counter
+	autoSeq    uint64              // next candidate suffix for AddProductAutoID
 }
 
 // NewStore returns an empty catalog store.
@@ -303,33 +304,92 @@ func (st *Store) NumCategories() int {
 	return len(st.categories)
 }
 
+// AddOutcome reports non-fatal conditions observed while inserting a
+// product — conditions that do not reject the product but that the caller
+// may want to surface.
+type AddOutcome struct {
+	// KeyShadowedBy is the ID of the product that already owns the new
+	// product's UPC/MPN key: the new product is stored and reachable by
+	// ID and category, but ProductByKey resolves the key to the earlier
+	// product (first insertion wins, matching Schema.buildNameIndex).
+	// Empty when the key was free or the product has no key.
+	KeyShadowedBy string
+}
+
 // AddProduct inserts a product. The product's category must exist and every
 // spec attribute must belong to the category schema; this enforces the §2
-// invariant that product specs conform to their category.
+// invariant that product specs conform to their category. Use
+// AddProductOutcome to also learn whether the product's key was shadowed
+// by an earlier product.
 func (st *Store) AddProduct(p Product) error {
+	_, err := st.AddProductOutcome(p)
+	return err
+}
+
+// AddProductOutcome inserts a product like AddProduct and additionally
+// reports non-fatal outcomes: a duplicate UPC/MPN key does not overwrite
+// the key index (the earlier product keeps owning the key) and is
+// surfaced through AddOutcome.KeyShadowedBy instead of silently skewing
+// later ProductByKey lookups.
+func (st *Store) AddProductOutcome(p Product) (AddOutcome, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.addProductLocked(p)
+}
+
+// AddProductAutoID inserts a product under a generated ID of the form
+// "<prefix>-nokey-<n>", chosen while holding the store lock so that
+// concurrent callers can never mint the same ID — the reservation and
+// the insertion are one critical section. The chosen n is a per-store
+// sequence that skips IDs already in use (e.g. after a snapshot load),
+// so a generated ID never collides with an existing product. Returns the
+// assigned ID; p.ID is ignored.
+func (st *Store) AddProductAutoID(prefix string, p Product) (string, AddOutcome, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		id := fmt.Sprintf("%s-nokey-%d", prefix, st.autoSeq)
+		st.autoSeq++
+		if _, taken := st.products[id]; taken {
+			continue
+		}
+		p.ID = id
+		out, err := st.addProductLocked(p)
+		if err != nil {
+			return "", AddOutcome{}, err
+		}
+		return id, out, nil
+	}
+}
+
+// addProductLocked validates and inserts a product; st.mu must be held.
+func (st *Store) addProductLocked(p Product) (AddOutcome, error) {
 	cat, ok := st.categories[p.CategoryID]
 	if !ok {
-		return fmt.Errorf("%w: %s (product %s)", ErrUnknownCategory, p.CategoryID, p.ID)
+		return AddOutcome{}, fmt.Errorf("%w: %s (product %s)", ErrUnknownCategory, p.CategoryID, p.ID)
 	}
 	if _, dup := st.products[p.ID]; dup {
-		return fmt.Errorf("%w: %s", ErrDuplicateProduct, p.ID)
+		return AddOutcome{}, fmt.Errorf("%w: %s", ErrDuplicateProduct, p.ID)
 	}
 	for _, av := range p.Spec {
 		if !cat.Schema.Has(av.Name) {
-			return fmt.Errorf("%w: %q not in schema of %s", ErrSchemaViolation, av.Name, p.CategoryID)
+			return AddOutcome{}, fmt.Errorf("%w: %q not in schema of %s", ErrSchemaViolation, av.Name, p.CategoryID)
 		}
 	}
+	var out AddOutcome
 	cp := p
 	cp.Spec = p.Spec.Clone()
 	st.products[p.ID] = &cp
 	st.byCategory[p.CategoryID] = append(st.byCategory[p.CategoryID], p.ID)
 	if key, ok := cp.Key(); ok {
-		st.byKey[key] = p.ID
+		if owner, dup := st.byKey[key]; dup {
+			out.KeyShadowedBy = owner
+		} else {
+			st.byKey[key] = p.ID
+		}
 	}
 	st.versions[p.CategoryID]++
-	return nil
+	return out, nil
 }
 
 // CategoryVersion returns the category's mutation counter: it starts at 0
@@ -354,7 +414,9 @@ func (st *Store) Product(id string) (Product, bool) {
 	return cp, true
 }
 
-// ProductByKey returns the product whose UPC or MPN equals key.
+// ProductByKey returns the product whose UPC or MPN equals key. When
+// several products were inserted with the same key, the first insertion
+// owns it (later ones are reported shadowed by AddProductOutcome).
 func (st *Store) ProductByKey(key string) (Product, bool) {
 	st.mu.RLock()
 	id, ok := st.byKey[key]

@@ -223,6 +223,102 @@ func TestStoreConcurrent(t *testing.T) {
 	}
 }
 
+// TestAddProductKeyFirstWins is the regression test for the byKey
+// clobbering bug: inserting a second product with an already-used UPC/MPN
+// key used to overwrite the key index, making the first product
+// unreachable via ProductByKey. The first insertion must keep the key and
+// the collision must be surfaced to the caller.
+func TestAddProductKeyFirstWins(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	catID := "computing/hard-drives"
+	first := Product{ID: "p1", CategoryID: catID,
+		Spec: Spec{{Name: "Brand", Value: "Seagate"}, {Name: AttrMPN, Value: "ST3500"}}}
+	out, err := st.AddProductOutcome(first)
+	if err != nil || out.KeyShadowedBy != "" {
+		t.Fatalf("first insert: outcome %+v, err %v", out, err)
+	}
+	second := Product{ID: "p2", CategoryID: catID,
+		Spec: Spec{{Name: "Brand", Value: "Hitachi"}, {Name: AttrMPN, Value: "ST3500"}}}
+	out, err = st.AddProductOutcome(second)
+	if err != nil {
+		t.Fatalf("duplicate-key insert must succeed, got %v", err)
+	}
+	if out.KeyShadowedBy != "p1" {
+		t.Errorf("KeyShadowedBy = %q, want p1", out.KeyShadowedBy)
+	}
+	got, ok := st.ProductByKey("ST3500")
+	if !ok || got.ID != "p1" {
+		t.Errorf("ProductByKey = %+v, %v; first insertion must keep the key", got, ok)
+	}
+	// Both products are stored; the version counter saw both inserts.
+	if _, ok := st.Product("p2"); !ok {
+		t.Error("shadowed product p2 not stored")
+	}
+	if v := st.CategoryVersion(catID); v != 2 {
+		t.Errorf("CategoryVersion = %d, want 2", v)
+	}
+	// A UPC product does not shadow an MPN product: different keys.
+	third := Product{ID: "p3", CategoryID: catID,
+		Spec: Spec{{Name: AttrUPC, Value: "505174"}}}
+	if out, err := st.AddProductOutcome(third); err != nil || out.KeyShadowedBy != "" {
+		t.Errorf("distinct-key insert: outcome %+v, err %v", out, err)
+	}
+}
+
+// TestAddProductAutoID pins the locked ID reservation: generated IDs are
+// unique under concurrency, skip IDs already in use, and failed inserts
+// reserve nothing visible.
+func TestAddProductAutoID(t *testing.T) {
+	st := NewStore()
+	if err := st.AddCategory(hardDriveCategory()); err != nil {
+		t.Fatal(err)
+	}
+	catID := "computing/hard-drives"
+	// Pre-claim the first candidate ID by hand; the generator must skip it.
+	if err := st.AddProduct(Product{ID: "synth-nokey-0", CategoryID: catID,
+		Spec: Spec{{Name: "Brand", Value: "Seagate"}}}); err != nil {
+		t.Fatal(err)
+	}
+	id, out, err := st.AddProductAutoID("synth", Product{CategoryID: catID,
+		Spec: Spec{{Name: "Brand", Value: "Hitachi"}}})
+	if err != nil || out.KeyShadowedBy != "" {
+		t.Fatalf("AddProductAutoID: %v, %+v", err, out)
+	}
+	if id == "synth-nokey-0" {
+		t.Fatalf("generated ID %q collides with existing product", id)
+	}
+	if _, ok := st.Product(id); !ok {
+		t.Fatalf("product %q not stored", id)
+	}
+	// Rejections surface unchanged.
+	if _, _, err := st.AddProductAutoID("synth", Product{CategoryID: "nope"}); !errors.Is(err, ErrUnknownCategory) {
+		t.Errorf("unknown category err = %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, _, err := st.AddProductAutoID("synth", Product{CategoryID: catID,
+					Spec: Spec{{Name: "Brand", Value: "WD"}}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := st.NumProducts(), 2+8*50; got != want {
+		t.Errorf("NumProducts = %d, want %d (concurrent auto-IDs collided?)", got, want)
+	}
+}
+
 func TestAttributeKindString(t *testing.T) {
 	if KindNumeric.String() != "numeric" || KindCategorical.String() != "categorical" ||
 		KindText.String() != "text" || KindIdentifier.String() != "identifier" {

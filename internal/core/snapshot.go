@@ -5,15 +5,8 @@
 // decode (magic, version, length and checksum are all verified before any
 // payload field is parsed), and stable across Go versions — a model saved
 // by one process warm-starts another without re-running the offline phase.
-//
-// Layout (all integers little-endian):
-//
-//	magic   "PSMD" (4 bytes)
-//	version uint32 (SnapshotVersion)
-//	length  uint64 (payload byte count)
-//	crc32   uint32 (IEEE, over the payload)
-//	payload (sections: stats, correspondences, scored candidates,
-//	         classifier weights, category classifier counts)
+// The framing (magic + version + length + CRC32 header) and the payload
+// codec are shared with the catalog snapshot through internal/snapfmt.
 //
 // The payload holds everything the runtime pipeline consumes — the
 // correspondence set, the trained logistic-regression weights, the scored
@@ -24,19 +17,15 @@
 package core
 
 import (
-	"bytes"
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
 	"sort"
 
 	"prodsynth/internal/categorize"
 	"prodsynth/internal/correspond"
 	"prodsynth/internal/ml"
 	"prodsynth/internal/offer"
+	"prodsynth/internal/snapfmt"
 )
 
 // SnapshotVersion is the on-disk format version written by EncodeOffline.
@@ -61,24 +50,13 @@ func EncodeOffline(w io.Writer, off *OfflineResult) error {
 	if off == nil {
 		return errors.New("core: nil offline result")
 	}
-	var p payloadWriter
-	p.stats(off.Stats)
-	p.correspondences(off.Correspondences)
-	p.scored(off.Scored)
-	p.logistic(off.Model)
-	p.classifier(off.Classifier)
-
-	payload := p.buf.Bytes()
-	header := make([]byte, 0, 20)
-	header = append(header, snapshotMagic[:]...)
-	header = binary.LittleEndian.AppendUint32(header, SnapshotVersion)
-	header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
-	header = binary.LittleEndian.AppendUint32(header, crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(header); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+	var p snapfmt.Writer
+	writeStats(&p, off.Stats)
+	writeCorrespondences(&p, off.Correspondences)
+	writeScored(&p, off.Scored)
+	writeLogistic(&p, off.Model)
+	writeClassifier(&p, off.Classifier)
+	return snapfmt.Encode(w, snapshotMagic, SnapshotVersion, maxSnapshotPayload, p.Bytes())
 }
 
 // DecodeOffline parses a snapshot written by EncodeOffline, strictly: any
@@ -86,114 +64,58 @@ func EncodeOffline(w io.Writer, off *OfflineResult) error {
 // checksum mismatch, truncated or trailing bytes — is an error wrapping
 // ErrBadSnapshot, never a panic or a partially filled result.
 func DecodeOffline(r io.Reader) (*OfflineResult, error) {
-	header := make([]byte, 20)
-	if _, err := io.ReadFull(r, header); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadSnapshot, err)
-		}
-		return nil, err // genuine reader I/O failure, not a format error
-	}
-	if !bytes.Equal(header[:4], snapshotMagic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, header[:4])
-	}
-	if v := binary.LittleEndian.Uint32(header[4:8]); v != SnapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrBadSnapshot, v, SnapshotVersion)
-	}
-	length := binary.LittleEndian.Uint64(header[8:16])
-	if length > maxSnapshotPayload {
-		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadSnapshot, length)
-	}
-	sum := binary.LittleEndian.Uint32(header[16:20])
-
-	// Read through a limited ReadAll rather than a trusted-length alloc,
-	// so a forged length cannot force a giant allocation. ReadAll never
-	// returns io.EOF, so any error here is a genuine reader failure —
-	// short input surfaces as the length mismatch below instead.
-	payload, err := io.ReadAll(io.LimitReader(r, int64(length)))
+	off, err := DecodeOfflineFrom(r)
 	if err != nil {
 		return nil, err
 	}
-	if uint64(len(payload)) != length {
-		return nil, fmt.Errorf("%w: truncated payload: %d of %d bytes", ErrBadSnapshot, len(payload), length)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch: %08x != %08x", ErrBadSnapshot, got, sum)
-	}
-	// io.ReadFull rather than a bare Read: a reader may legally return
-	// (0, nil), which would let trailing bytes slip past a single Read.
-	switch _, err := io.ReadFull(r, make([]byte, 1)); err {
-	case io.EOF:
-		// clean end of input
-	case nil:
-		return nil, fmt.Errorf("%w: trailing data after payload", ErrBadSnapshot)
-	default:
-		return nil, err // genuine reader I/O failure, not a format error
-	}
-
-	d := payloadReader{buf: payload}
-	off := &OfflineResult{}
-	off.Stats = d.stats()
-	off.Correspondences = d.correspondences()
-	off.Scored = d.scored()
-	off.Model = d.logistic()
-	off.Classifier = d.classifier()
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.pos != len(d.buf) {
-		return nil, fmt.Errorf("%w: %d unparsed payload bytes", ErrBadSnapshot, len(d.buf)-d.pos)
+	if err := snapfmt.ExpectEOF(r, ErrBadSnapshot); err != nil {
+		return nil, err
 	}
 	return off, nil
 }
 
-// payloadWriter accumulates the payload. bytes.Buffer writes cannot fail.
-type payloadWriter struct {
-	buf bytes.Buffer
-}
-
-func (p *payloadWriter) u32(v uint32) {
-	p.buf.Write(binary.LittleEndian.AppendUint32(nil, v))
-}
-
-func (p *payloadWriter) u64(v uint64) {
-	p.buf.Write(binary.LittleEndian.AppendUint64(nil, v))
-}
-
-func (p *payloadWriter) f64(v float64) { p.u64(math.Float64bits(v)) }
-
-func (p *payloadWriter) bool(v bool) {
-	if v {
-		p.buf.WriteByte(1)
-	} else {
-		p.buf.WriteByte(0)
+// DecodeOfflineFrom parses exactly one snapshot block and leaves the
+// reader positioned after it — the entry point for composite artifacts
+// (the catalog+model bundle) where another block follows. DecodeOffline
+// is this plus a trailing-data check.
+func DecodeOfflineFrom(r io.Reader) (*OfflineResult, error) {
+	payload, err := snapfmt.Decode(r, snapshotMagic, SnapshotVersion, maxSnapshotPayload, ErrBadSnapshot)
+	if err != nil {
+		return nil, err
 	}
+	d := snapfmt.NewReader(payload, ErrBadSnapshot)
+	off := &OfflineResult{}
+	off.Stats = readStats(d)
+	off.Correspondences = readCorrespondences(d)
+	off.Scored = readScored(d)
+	off.Model = readLogistic(d)
+	off.Classifier = readClassifier(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return off, nil
 }
 
-func (p *payloadWriter) str(s string) {
-	p.u32(uint32(len(s)))
-	p.buf.WriteString(s)
+func writeRecord(p *snapfmt.Writer, sc correspond.Scored) {
+	p.Str(sc.Key.Merchant)
+	p.Str(sc.Key.CategoryID)
+	p.Str(sc.MerchantAttr)
+	p.Str(sc.CatalogAttr)
+	p.F64(sc.Score)
 }
 
-func (p *payloadWriter) record(sc correspond.Scored) {
-	p.str(sc.Key.Merchant)
-	p.str(sc.Key.CategoryID)
-	p.str(sc.MerchantAttr)
-	p.str(sc.CatalogAttr)
-	p.f64(sc.Score)
+func writeStats(p *snapfmt.Writer, st OfflineStats) {
+	p.U64(uint64(st.HistoricalOffers))
+	p.U64(uint64(st.MatchedOffers))
+	p.U64(uint64(st.Candidates))
+	p.U64(uint64(st.TrainingSize))
+	p.U64(uint64(st.TrainingPositives))
+	p.U64(uint64(st.Correspondences))
 }
 
-func (p *payloadWriter) stats(st OfflineStats) {
-	p.u64(uint64(st.HistoricalOffers))
-	p.u64(uint64(st.MatchedOffers))
-	p.u64(uint64(st.Candidates))
-	p.u64(uint64(st.TrainingSize))
-	p.u64(uint64(st.TrainingPositives))
-	p.u64(uint64(st.Correspondences))
-}
-
-func (p *payloadWriter) correspondences(set *correspond.Set) {
+func writeCorrespondences(p *snapfmt.Writer, set *correspond.Set) {
 	if set == nil {
-		p.u32(0)
+		p.U32(0)
 		return
 	}
 	all := set.All()
@@ -207,227 +129,139 @@ func (p *payloadWriter) correspondences(set *correspond.Set) {
 		}
 		return a.MerchantAttr < b.MerchantAttr
 	})
-	p.u32(uint32(len(all)))
+	p.U32(uint32(len(all)))
 	for _, sc := range all {
-		p.record(sc)
+		writeRecord(p, sc)
 	}
 }
 
-func (p *payloadWriter) scored(scored []correspond.Scored) {
-	p.u32(uint32(len(scored)))
+func writeScored(p *snapfmt.Writer, scored []correspond.Scored) {
+	p.U32(uint32(len(scored)))
 	for _, sc := range scored {
-		p.record(sc)
+		writeRecord(p, sc)
 	}
 }
 
-func (p *payloadWriter) logistic(m *correspond.Model) {
+func writeLogistic(p *snapfmt.Writer, m *correspond.Model) {
 	if m == nil || m.LR == nil {
-		p.bool(false)
+		p.Bool(false)
 		return
 	}
-	p.bool(true)
-	p.u64(uint64(m.TrainingSize))
-	p.u64(uint64(m.TrainingPositives))
-	p.f64(m.LR.Bias)
-	p.u32(uint32(len(m.LR.Weights)))
+	p.Bool(true)
+	p.U64(uint64(m.TrainingSize))
+	p.U64(uint64(m.TrainingPositives))
+	p.F64(m.LR.Bias)
+	p.U32(uint32(len(m.LR.Weights)))
 	for _, w := range m.LR.Weights {
-		p.f64(w)
+		p.F64(w)
 	}
 }
 
-func (p *payloadWriter) classifier(c *categorize.Classifier) {
+func writeClassifier(p *snapfmt.Writer, c *categorize.Classifier) {
 	if c == nil {
-		p.bool(false)
+		p.Bool(false)
 		return
 	}
-	p.bool(true)
+	p.Bool(true)
 	snap := c.Snapshot()
-	p.f64(snap.Laplace)
-	p.bool(snap.ClassPriors)
-	p.u32(uint32(len(snap.Classes)))
+	p.F64(snap.Laplace)
+	p.Bool(snap.ClassPriors)
+	p.U32(uint32(len(snap.Classes)))
 	for _, cls := range snap.Classes {
-		p.str(cls.Name)
-		p.u64(uint64(cls.Docs))
-		p.u32(uint32(len(cls.Tokens)))
+		p.Str(cls.Name)
+		p.U64(uint64(cls.Docs))
+		p.U32(uint32(len(cls.Tokens)))
 		for _, tc := range cls.Tokens {
-			p.str(tc.Token)
-			p.u64(uint64(tc.Count))
+			p.Str(tc.Token)
+			p.U64(uint64(tc.Count))
 		}
 	}
-}
-
-// payloadReader is a strict bounds-checked cursor over the payload. The
-// first failure latches err and turns every later read into a no-op, so
-// section decoders can run unconditionally and the error is checked once.
-type payloadReader struct {
-	buf []byte
-	pos int
-	err error
-}
-
-func (d *payloadReader) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: "+format, append([]any{ErrBadSnapshot}, args...)...)
-	}
-}
-
-func (d *payloadReader) take(n int) []byte {
-	if d.err != nil {
-		return nil
-	}
-	if n < 0 || len(d.buf)-d.pos < n {
-		d.fail("truncated at byte %d (need %d more)", d.pos, n)
-		return nil
-	}
-	b := d.buf[d.pos : d.pos+n]
-	d.pos += n
-	return b
-}
-
-func (d *payloadReader) u32() uint32 {
-	b := d.take(4)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(b)
-}
-
-func (d *payloadReader) u64() uint64 {
-	b := d.take(8)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(b)
-}
-
-func (d *payloadReader) int(what string) int {
-	v := d.u64()
-	if v > math.MaxInt64 {
-		d.fail("%s out of range: %d", what, v)
-		return 0
-	}
-	return int(int64(v))
-}
-
-func (d *payloadReader) f64() float64 { return math.Float64frombits(d.u64()) }
-
-func (d *payloadReader) bool() bool {
-	b := d.take(1)
-	if b == nil {
-		return false
-	}
-	switch b[0] {
-	case 0:
-		return false
-	case 1:
-		return true
-	default:
-		d.fail("invalid bool byte %d at %d", b[0], d.pos-1)
-		return false
-	}
-}
-
-func (d *payloadReader) str() string {
-	n := d.u32()
-	return string(d.take(int(n)))
-}
-
-// count reads an element count and sanity-checks it against the bytes
-// remaining (minSize is the smallest possible encoding of one element), so
-// a forged count cannot drive a huge preallocation.
-func (d *payloadReader) count(what string, minSize int) int {
-	n := int(d.u32())
-	if d.err == nil && n*minSize > len(d.buf)-d.pos {
-		d.fail("%s count %d exceeds remaining payload", what, n)
-		return 0
-	}
-	return n
 }
 
 // minRecordSize is four empty strings (4 bytes length each) + a float64.
 const minRecordSize = 4*4 + 8
 
-func (d *payloadReader) record() correspond.Scored {
+func readRecord(d *snapfmt.Reader) correspond.Scored {
 	return correspond.Scored{
 		Candidate: correspond.Candidate{
-			Key:          offer.SchemaKey{Merchant: d.str(), CategoryID: d.str()},
-			MerchantAttr: d.str(),
-			CatalogAttr:  d.str(),
+			Key:          offer.SchemaKey{Merchant: d.Str(), CategoryID: d.Str()},
+			MerchantAttr: d.Str(),
+			CatalogAttr:  d.Str(),
 		},
-		Score: d.f64(),
+		Score: d.F64(),
 	}
 }
 
-func (d *payloadReader) stats() OfflineStats {
+func readStats(d *snapfmt.Reader) OfflineStats {
 	return OfflineStats{
-		HistoricalOffers:  d.int("stats.HistoricalOffers"),
-		MatchedOffers:     d.int("stats.MatchedOffers"),
-		Candidates:        d.int("stats.Candidates"),
-		TrainingSize:      d.int("stats.TrainingSize"),
-		TrainingPositives: d.int("stats.TrainingPositives"),
-		Correspondences:   d.int("stats.Correspondences"),
+		HistoricalOffers:  d.Int("stats.HistoricalOffers"),
+		MatchedOffers:     d.Int("stats.MatchedOffers"),
+		Candidates:        d.Int("stats.Candidates"),
+		TrainingSize:      d.Int("stats.TrainingSize"),
+		TrainingPositives: d.Int("stats.TrainingPositives"),
+		Correspondences:   d.Int("stats.Correspondences"),
 	}
 }
 
-func (d *payloadReader) correspondences() *correspond.Set {
-	n := d.count("correspondences", minRecordSize)
+func readCorrespondences(d *snapfmt.Reader) *correspond.Set {
+	n := d.Count("correspondences", minRecordSize)
 	set := correspond.NewSet()
-	for i := 0; i < n && d.err == nil; i++ {
-		set.Add(d.record())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		set.Add(readRecord(d))
 	}
 	return set
 }
 
-func (d *payloadReader) scored() []correspond.Scored {
-	n := d.count("scored candidates", minRecordSize)
+func readScored(d *snapfmt.Reader) []correspond.Scored {
+	n := d.Count("scored candidates", minRecordSize)
 	if n == 0 {
 		return nil
 	}
 	out := make([]correspond.Scored, 0, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		out = append(out, d.record())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, readRecord(d))
 	}
 	return out
 }
 
-func (d *payloadReader) logistic() *correspond.Model {
-	if !d.bool() {
+func readLogistic(d *snapfmt.Reader) *correspond.Model {
+	if !d.Bool() {
 		return nil
 	}
 	m := &correspond.Model{
-		TrainingSize:      d.int("model.TrainingSize"),
-		TrainingPositives: d.int("model.TrainingPositives"),
+		TrainingSize:      d.Int("model.TrainingSize"),
+		TrainingPositives: d.Int("model.TrainingPositives"),
 	}
-	bias := d.f64()
-	n := d.count("classifier weights", 8)
+	bias := d.F64()
+	n := d.Count("classifier weights", 8)
 	weights := make([]float64, 0, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		weights = append(weights, d.f64())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		weights = append(weights, d.F64())
 	}
 	m.LR = &ml.Logistic{Weights: weights, Bias: bias}
 	return m
 }
 
-func (d *payloadReader) classifier() *categorize.Classifier {
-	if !d.bool() {
+func readClassifier(d *snapfmt.Reader) *categorize.Classifier {
+	if !d.Bool() {
 		return nil
 	}
 	snap := ml.NBSnapshot{
-		Laplace:     d.f64(),
-		ClassPriors: d.bool(),
+		Laplace:     d.F64(),
+		ClassPriors: d.Bool(),
 	}
 	// Smallest class: empty name (4) + docs (8) + token count (4).
-	nClasses := d.count("classifier classes", 16)
-	for i := 0; i < nClasses && d.err == nil; i++ {
-		cls := ml.NBClassSnapshot{Name: d.str(), Docs: d.int("class docs")}
+	nClasses := d.Count("classifier classes", 16)
+	for i := 0; i < nClasses && d.Err() == nil; i++ {
+		cls := ml.NBClassSnapshot{Name: d.Str(), Docs: d.Int("class docs")}
 		// Smallest token entry: empty token (4) + count (8).
-		nTokens := d.count("class tokens", 12)
-		for j := 0; j < nTokens && d.err == nil; j++ {
-			cls.Tokens = append(cls.Tokens, ml.NBTokenCount{Token: d.str(), Count: d.int("token count")})
+		nTokens := d.Count("class tokens", 12)
+		for j := 0; j < nTokens && d.Err() == nil; j++ {
+			cls.Tokens = append(cls.Tokens, ml.NBTokenCount{Token: d.Str(), Count: d.Int("token count")})
 		}
 		snap.Classes = append(snap.Classes, cls)
 	}
-	if d.err != nil {
+	if d.Err() != nil {
 		return nil
 	}
 	return categorize.FromSnapshot(snap)

@@ -237,13 +237,26 @@ func writeJSON(path string, v any) error {
 // Load reads a dataset directory back into memory. The ground truth is
 // loaded when present; ds.Truth is nil otherwise.
 func Load(dir string) (*synth.Dataset, error) {
+	ds, err := LoadWorkload(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := loadCatalog(ds, filepath.Join(dir, CatalogFile)); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// LoadWorkload reads everything except the catalog: the offer feeds, the
+// landing pages, and the ground truth. ds.Catalog is left empty — the
+// path for consumers whose catalog arrives from elsewhere (a catalog or
+// bundle snapshot), where re-ingesting the dataset's copy would be pure
+// waste.
+func LoadWorkload(dir string) (*synth.Dataset, error) {
 	ds := &synth.Dataset{
 		Catalog:  catalog.NewStore(),
 		Universe: make(map[string]catalog.Product),
 		Pages:    make(map[string]string),
-	}
-	if err := loadCatalog(ds, filepath.Join(dir, CatalogFile)); err != nil {
-		return nil, err
 	}
 	var err error
 	if ds.HistoricalOffers, err = loadFeed(filepath.Join(dir, HistoricalFile)); err != nil {

@@ -1,0 +1,255 @@
+// Package snapfmt is the shared framing and payload codec behind every
+// on-disk snapshot artifact: the learned model (internal/core), the
+// catalog store (internal/catalog), and the combined bundle (the root
+// package). Each artifact is one framed block — a magic + version +
+// length + CRC32 header over a deterministic little-endian payload —
+// written through a Writer and parsed through a strict bounds-checked
+// Reader that latches its first failure.
+//
+// Layout of one block (all integers little-endian):
+//
+//	magic   (4 bytes, per artifact kind)
+//	version uint32
+//	length  uint64 (payload byte count)
+//	crc32   uint32 (IEEE, over the payload)
+//	payload
+//
+// Blocks are self-delimiting, so artifacts can be concatenated: the
+// bundle embeds a catalog block and a model block back to back. Decode
+// reads exactly one block and leaves the reader positioned after it;
+// ExpectEOF asserts a clean end of input where nothing may follow.
+package snapfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const headerSize = 20
+
+// Encode frames the payload under the given magic and format version and
+// writes the block to w. maxPayload must be the same limit the artifact's
+// decoder enforces: a payload past it is rejected here, at save time,
+// rather than producing an artifact every later Decode refuses to load.
+func Encode(w io.Writer, magic [4]byte, version uint32, maxPayload uint64, payload []byte) error {
+	if uint64(len(payload)) > maxPayload {
+		return fmt.Errorf("snapfmt: payload %d bytes exceeds the %q format limit %d — artifact would be unloadable", len(payload), magic[:], maxPayload)
+	}
+	header := make([]byte, 0, headerSize)
+	header = append(header, magic[:]...)
+	header = binary.LittleEndian.AppendUint32(header, version)
+	header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
+	header = binary.LittleEndian.AppendUint32(header, crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Decode reads one framed block from r, strictly: wrong magic, a version
+// other than version, a length past maxPayload, and any length or
+// checksum mismatch all error wrapping baseErr, never a panic or a
+// partial payload. Genuine reader I/O failures pass through unwrapped.
+// Decode consumes exactly the block and nothing after it.
+func Decode(r io.Reader, magic [4]byte, version uint32, maxPayload uint64, baseErr error) ([]byte, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated header: %v", baseErr, err)
+		}
+		return nil, err // genuine reader I/O failure, not a format error
+	}
+	if !bytes.Equal(header[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", baseErr, header[:4])
+	}
+	if v := binary.LittleEndian.Uint32(header[4:8]); v != version {
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", baseErr, v, version)
+	}
+	length := binary.LittleEndian.Uint64(header[8:16])
+	if length > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", baseErr, length)
+	}
+	sum := binary.LittleEndian.Uint32(header[16:20])
+
+	// Read through a limited ReadAll rather than a trusted-length alloc,
+	// so a forged length cannot force a giant allocation. ReadAll never
+	// returns io.EOF, so any error here is a genuine reader failure —
+	// short input surfaces as the length mismatch below instead.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(length)))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: truncated payload: %d of %d bytes", baseErr, len(payload), length)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch: %08x != %08x", baseErr, got, sum)
+	}
+	return payload, nil
+}
+
+// ExpectEOF fails with baseErr if r still has bytes — the trailing-data
+// check for artifacts where the block must be the whole input.
+func ExpectEOF(r io.Reader, baseErr error) error {
+	// io.ReadFull rather than a bare Read: a reader may legally return
+	// (0, nil), which would let trailing bytes slip past a single Read.
+	switch _, err := io.ReadFull(r, make([]byte, 1)); err {
+	case io.EOF:
+		return nil // clean end of input
+	case nil:
+		return fmt.Errorf("%w: trailing data after payload", baseErr)
+	default:
+		return err // genuine reader I/O failure, not a format error
+	}
+}
+
+// Writer accumulates a payload. bytes.Buffer writes cannot fail, so the
+// emit methods return nothing; the same logical state always encodes to
+// the same bytes.
+type Writer struct {
+	buf bytes.Buffer
+}
+
+// Bytes returns the accumulated payload.
+func (p *Writer) Bytes() []byte { return p.buf.Bytes() }
+
+func (p *Writer) U32(v uint32) {
+	p.buf.Write(binary.LittleEndian.AppendUint32(nil, v))
+}
+
+func (p *Writer) U64(v uint64) {
+	p.buf.Write(binary.LittleEndian.AppendUint64(nil, v))
+}
+
+func (p *Writer) F64(v float64) { p.U64(math.Float64bits(v)) }
+
+func (p *Writer) Bool(v bool) {
+	if v {
+		p.buf.WriteByte(1)
+	} else {
+		p.buf.WriteByte(0)
+	}
+}
+
+func (p *Writer) Str(s string) {
+	p.U32(uint32(len(s)))
+	p.buf.WriteString(s)
+}
+
+// Reader is a strict bounds-checked cursor over a payload. The first
+// failure latches err and turns every later read into a no-op, so
+// section decoders can run unconditionally and the error is checked once
+// (Err, or Finish which also rejects unparsed leftover bytes). Every
+// failure wraps the base error given to NewReader.
+type Reader struct {
+	buf  []byte
+	pos  int
+	err  error
+	base error
+}
+
+// NewReader returns a Reader over payload whose failures wrap baseErr.
+func NewReader(payload []byte, baseErr error) *Reader {
+	return &Reader{buf: payload, base: baseErr}
+}
+
+// Err returns the latched failure, if any.
+func (d *Reader) Err() error { return d.err }
+
+// Fail latches a failure wrapping the base error; the first one wins.
+func (d *Reader) Fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{d.base}, args...)...)
+	}
+}
+
+// Finish returns the latched failure, or an error if payload bytes
+// remain unparsed.
+func (d *Reader) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("%w: %d unparsed payload bytes", d.base, len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+func (d *Reader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.pos < n {
+		d.Fail("truncated at byte %d (need %d more)", d.pos, n)
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *Reader) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *Reader) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads a u64 and rejects values that do not fit an int.
+func (d *Reader) Int(what string) int {
+	v := d.U64()
+	if v > math.MaxInt64 {
+		d.Fail("%s out of range: %d", what, v)
+		return 0
+	}
+	return int(int64(v))
+}
+
+func (d *Reader) F64() float64 { return math.Float64frombits(d.U64()) }
+
+func (d *Reader) Bool() bool {
+	b := d.take(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.Fail("invalid bool byte %d at %d", b[0], d.pos-1)
+		return false
+	}
+}
+
+func (d *Reader) Str() string {
+	n := d.U32()
+	return string(d.take(int(n)))
+}
+
+// Count reads an element count and sanity-checks it against the bytes
+// remaining (minSize is the smallest possible encoding of one element),
+// so a forged count cannot drive a huge preallocation.
+func (d *Reader) Count(what string, minSize int) int {
+	n := int(d.U32())
+	if d.err == nil && n*minSize > len(d.buf)-d.pos {
+		d.Fail("%s count %d exceeds remaining payload", what, n)
+		return 0
+	}
+	return n
+}

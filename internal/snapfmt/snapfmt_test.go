@@ -1,0 +1,79 @@
+package snapfmt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+var testMagic = [4]byte{'T', 'E', 'S', 'T'}
+
+var errBad = errors.New("test: bad block")
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payload := []byte("hello snapshot payload")
+	var buf bytes.Buffer
+	if err := Encode(&buf, testMagic, 3, 1<<20, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()), testMagic, 3, 1<<20, errBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: %q != %q", got, payload)
+	}
+}
+
+// TestEncodeRejectsOversizedPayload pins the save-time half of the size
+// limit: a payload the decoder would refuse must not be writable in the
+// first place, or the artifact is silently unrecoverable.
+func TestEncodeRejectsOversizedPayload(t *testing.T) {
+	payload := make([]byte, 100)
+	var buf bytes.Buffer
+	err := Encode(&buf, testMagic, 1, 99, payload)
+	if err == nil {
+		t.Fatal("oversized payload encoded without error")
+	}
+	if !strings.Contains(err.Error(), "unloadable") {
+		t.Errorf("err = %v, want the unloadable-artifact explanation", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("failed Encode wrote %d bytes", buf.Len())
+	}
+	// At the limit exactly, the block must encode and decode.
+	if err := Encode(&buf, testMagic, 1, 100, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes()), testMagic, 1, 100, errBad); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeLeavesReaderAtBlockEnd pins the self-delimiting property the
+// bundle depends on: two blocks decode back to back from one reader.
+func TestDecodeLeavesReaderAtBlockEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, testMagic, 1, 1<<10, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&buf, testMagic, 1, 1<<10, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	a, err := Decode(r, testMagic, 1, 1<<10, errBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(r, testMagic, 1, 1<<10, errBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != "first" || string(b) != "second" {
+		t.Fatalf("blocks = %q, %q", a, b)
+	}
+	if err := ExpectEOF(r, errBad); err != nil {
+		t.Fatal(err)
+	}
+}

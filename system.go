@@ -3,7 +3,6 @@ package prodsynth
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -308,6 +307,11 @@ type AddReport struct {
 	// SchemaViolations are products rejected on their own merits: a spec
 	// attribute outside the category schema, or an unknown category.
 	SchemaViolations []Synthesized
+	// KeyShadowed are products that were added (they count in Added)
+	// whose UPC/MPN key was already owned by a different catalog product:
+	// Catalog.ProductByKey keeps resolving the key to the earlier product,
+	// so these products are reachable by ID and category only.
+	KeyShadowed []Synthesized
 }
 
 // Skipped returns every rejected product (collisions then violations),
@@ -324,21 +328,42 @@ func (r AddReport) Skipped() []Synthesized {
 // categories (see Catalog.CategoryVersion) — a following synthesis run
 // observes the grown catalog.
 //
-// A product with no cluster key falls back to a generated ID that folds in
-// the catalog's current product count as well as the product's position in
-// the call, so repeated AddToCatalog calls with the same prefix cannot
-// collide with each other's keyless products.
+// A product with no cluster key gets an ID reserved by the store itself
+// (Catalog.AddProductAutoID) inside the insertion's critical section, so
+// concurrent AddToCatalog calls — and repeated calls with the same prefix
+// — can never mint colliding keyless IDs or misreport a valid product as
+// a key collision. Keyed and generated IDs share the prefix namespace: a
+// cluster key that is literally of the form "nokey-<n>" can collide with
+// a previously generated ID and is then reported under KeyCollisions like
+// any other ID collision.
 func (s *System) AddToCatalog(products []Synthesized, idPrefix string) AddReport {
 	var report AddReport
-	for i, p := range products {
-		id := idPrefix + "-" + p.Key
+	for _, p := range products {
 		if p.Key == "" {
-			id = fmt.Sprintf("%s-nokey-%d-%d", idPrefix, s.store.NumProducts(), i)
+			prod := Product{CategoryID: p.CategoryID, Spec: p.Spec}
+			// The generated ID cannot collide, so any failure is a
+			// schema-or-category rejection. The spec may still carry a
+			// UPC/MPN that duplicates an existing key (the cluster key is
+			// empty, not necessarily the spec), so shadowing is surfaced
+			// here exactly as on the keyed path.
+			switch _, out, err := s.store.AddProductAutoID(idPrefix, prod); {
+			case err != nil:
+				report.SchemaViolations = append(report.SchemaViolations, p)
+			default:
+				report.Added++
+				if out.KeyShadowedBy != "" {
+					report.KeyShadowed = append(report.KeyShadowed, p)
+				}
+			}
+			continue
 		}
-		prod := Product{ID: id, CategoryID: p.CategoryID, Spec: p.Spec}
-		switch err := s.store.AddProduct(prod); {
+		prod := Product{ID: idPrefix + "-" + p.Key, CategoryID: p.CategoryID, Spec: p.Spec}
+		switch out, err := s.store.AddProductOutcome(prod); {
 		case err == nil:
 			report.Added++
+			if out.KeyShadowedBy != "" {
+				report.KeyShadowed = append(report.KeyShadowed, p)
+			}
 		case errors.Is(err, catalog.ErrDuplicateProduct):
 			report.KeyCollisions = append(report.KeyCollisions, p)
 		default:
