@@ -47,6 +47,20 @@
 // pipeline's worker pools at the next stage boundary with ctx.Err(), and
 // never leaks a goroutine.
 //
+// # Pipeline
+//
+// Internally every entry point composes the same pull-based iterator
+// stages (classify → extract → match/reconcile → cluster → fuse); a
+// stage computes only when the consumer pulls, and parallel stages
+// preserve input order, so results are byte-identical for every
+// [Config.Workers] and [WithStageBuffer] setting. [System.SynthesizeStream]
+// additionally pipelines across waves — wave n+1 is prepared while wave
+// n fuses — and reports [StreamResult.Sealed] events when the cross-batch
+// cluster memory decides a cluster can no longer grow: the signal that a
+// provisional product is final and safe to commit downstream. See
+// README.md ("Pipeline architecture") for the stage diagram, buffer and
+// backpressure semantics, and a ClusterSealed consumer recipe.
+//
 // Warm-starting a long-lived process: the catalog store persists the same
 // way the Model does ([SaveCatalog]/[LoadCatalog]), and [SaveBundle]
 // writes both halves as one artifact, so a daemon cold-starts from a

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/core"
 	"prodsynth/internal/experiments"
+	"prodsynth/internal/fusion"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
 	"prodsynth/internal/synth"
@@ -476,6 +478,137 @@ func BenchmarkSynthesizeStream(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(ds.IncomingOffers))/(b.Elapsed().Seconds()/float64(b.N)), "offers/s")
+	b.ReportMetric(float64(merged), "products")
+}
+
+// delayFetcher simulates crawl latency: every Fetch sleeps before serving
+// from the in-memory map — the workload shape where wave preparation is
+// fetch-bound and cross-wave pipelining has something to overlap.
+type delayFetcher struct {
+	inner MapFetcher
+	d     time.Duration
+}
+
+func (f delayFetcher) Fetch(url string) (string, error) {
+	time.Sleep(f.d)
+	return f.inner.Fetch(url)
+}
+
+// delayStrategy simulates an expensive fusion strategy (every Fuse call
+// sleeps), so the fuse stage carries real wall time for the prepare stage
+// of the next wave to hide.
+type delayStrategy struct {
+	inner fusion.Strategy
+	d     time.Duration
+}
+
+func (s delayStrategy) Fuse(candidates []string) string {
+	time.Sleep(s.d)
+	return s.inner.Fuse(candidates)
+}
+
+// pipelinedBenchSetup learns a System over the small test marketplace
+// (fast fetcher — learning cost is not the subject) and returns the slow
+// fetcher + slow fusion configuration the pipelined benchmarks stream
+// with.
+var (
+	pipeBenchOnce sync.Once
+	pipeBenchDS   *synth.Dataset
+	pipeBenchErr  error
+)
+
+func pipelinedBenchDataset(b *testing.B) *synth.Dataset {
+	b.Helper()
+	pipeBenchOnce.Do(func() {
+		pipeBenchDS = synth.Generate(synth.Config{
+			Seed:                21,
+			CategoriesPerDomain: 2,
+			ProductsPerCategory: 20,
+			Merchants:           20,
+		})
+	})
+	if pipeBenchErr != nil {
+		b.Fatal(pipeBenchErr)
+	}
+	return pipeBenchDS
+}
+
+// benchStreamSlow runs the slow-fetcher workload once through
+// SynthesizeStream and returns the merged product count. 16 waves, so
+// the pipeline has many prepare/fuse pairs to overlap and the
+// un-overlappable ends (the first prepare, the final merge fuse) are a
+// small fraction of the run.
+func benchStreamSlow(b *testing.B, sys *System, ds *synth.Dataset, fetcher PageFetcher) int {
+	b.Helper()
+	waves := benchBatches(ds, 16)
+	in := make(chan []Offer)
+	out, err := sys.SynthesizeStream(context.Background(), in, fetcher, StreamOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for _, w := range waves {
+			in <- w
+		}
+		close(in)
+	}()
+	merged := 0
+	for r := range out {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		if r.Final {
+			merged = len(r.Products)
+		}
+	}
+	return merged
+}
+
+// BenchmarkSynthesizeStreamPipelined measures the streaming pipeline on a
+// slow-fetcher, slow-fusion workload — 16 waves where wave preparation
+// (page fetches) and cluster fusion both carry real wall time, so a
+// pipelined runtime can overlap wave n+1's prepare with wave n's fuse.
+// Compare against BenchmarkSynthesizeStreamBarrier, which runs the same
+// workload with cross-wave pipelining disabled (the pre-pipeline
+// execution model: each wave fully fuses before the next is touched).
+func BenchmarkSynthesizeStreamPipelined(b *testing.B) {
+	ds := pipelinedBenchDataset(b)
+	model, err := Learn(context.Background(), ds.Catalog, ds.HistoricalOffers, MapFetcher(ds.Pages))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Fusion: delayStrategy{inner: fusion.Centroid{}, d: 200 * time.Microsecond}}
+	sys := NewSystem(ds.Catalog, model, WithConfig(cfg))
+	fetcher := delayFetcher{inner: MapFetcher(ds.Pages), d: 5 * time.Millisecond}
+	benchStreamSlow(b, sys, ds, fetcher) // warm the match indexes
+	b.ResetTimer()
+	var merged int
+	for i := 0; i < b.N; i++ {
+		merged = benchStreamSlow(b, sys, ds, fetcher)
+	}
+	b.ReportMetric(float64(merged), "products")
+}
+
+// BenchmarkSynthesizeStreamBarrier is the pipelining baseline: the exact
+// workload of BenchmarkSynthesizeStreamPipelined with cross-wave
+// pipelining disabled (Config.StageBuffer < 0), so each wave fully fuses
+// before the next wave's prepare starts. The delta between the two is the
+// wall time pipelining hides.
+func BenchmarkSynthesizeStreamBarrier(b *testing.B) {
+	ds := pipelinedBenchDataset(b)
+	model, err := Learn(context.Background(), ds.Catalog, ds.HistoricalOffers, MapFetcher(ds.Pages))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Fusion: delayStrategy{inner: fusion.Centroid{}, d: 200 * time.Microsecond}}
+	sys := NewSystem(ds.Catalog, model, WithConfig(cfg), WithStageBuffer(-1))
+	fetcher := delayFetcher{inner: MapFetcher(ds.Pages), d: 5 * time.Millisecond}
+	benchStreamSlow(b, sys, ds, fetcher) // warm the match indexes
+	b.ResetTimer()
+	var merged int
+	for i := 0; i < b.N; i++ {
+		merged = benchStreamSlow(b, sys, ds, fetcher)
+	}
 	b.ReportMetric(float64(merged), "products")
 }
 

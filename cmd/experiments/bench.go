@@ -1,0 +1,232 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"prodsynth/internal/core"
+	"prodsynth/internal/experiments"
+	"prodsynth/internal/fusion"
+	"prodsynth/internal/offer"
+	"prodsynth/internal/pipe"
+	"prodsynth/internal/stream"
+)
+
+// The pipeline benchmark replays the incoming offers on a slow-fetch
+// workload (benchFetchDelay per page, spread across the worker pool) so
+// the prepare stage has real latency for cross-wave pipelining to hide.
+// benchWaves matches BenchmarkSynthesizeStreamPipelined in bench_test.go:
+// enough prepare/fuse pairs that the un-overlappable first prepare and
+// last fuse are a small fraction of the run.
+// benchFuseDelay gives value fusion real latency too (think: a dedupe
+// service call per attribute) — without it the fuse stage is nearly
+// free and cross-wave overlap has nothing to hide.
+const (
+	benchWaves      = 16
+	benchFetchDelay = 5 * time.Millisecond
+	benchFuseDelay  = 200 * time.Microsecond
+)
+
+// benchMode is one measured configuration in the report. PrepareMS and
+// FuseMS are the per-stage wall-time sums across waves (stream modes
+// only); in pipelined mode they overlap, so they add up to more than
+// ns_per_op when the overlap is doing its job.
+type benchMode struct {
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	OffersPerSec float64 `json:"offers_per_sec"`
+	Products     int     `json:"products"`
+	PrepareMS    float64 `json:"prepare_ms,omitempty"`
+	FuseMS       float64 `json:"fuse_ms,omitempty"`
+}
+
+// benchReport is the machine-readable shape written to -benchjson. The
+// batch mode is one-shot RunRuntime; stream_pipelined is the wave feed
+// with the default stage buffer (prepare overlaps fuse); stream_barrier
+// forces StageBuffer=-1, the pre-pipelining serial execution model, so
+// pipelined_speedup_x isolates what the overlap buys on this workload.
+type benchReport struct {
+	GeneratedAt        string    `json:"generated_at"`
+	Scale              string    `json:"scale"`
+	Seed               int64     `json:"seed"`
+	Offers             int       `json:"offers"`
+	Waves              int       `json:"waves"`
+	FetchDelayMS       float64   `json:"fetch_delay_ms"`
+	Batch              benchMode `json:"batch"`
+	StreamPipelined    benchMode `json:"stream_pipelined"`
+	StreamBarrier      benchMode `json:"stream_barrier"`
+	PipelinedSpeedupX  float64   `json:"pipelined_speedup_x"`
+	PeakInFlightOffers int       `json:"peak_in_flight_offers"`
+}
+
+// slowFetcher adds crawl latency in front of the in-memory page map.
+type slowFetcher struct {
+	inner core.MapFetcher
+	d     time.Duration
+}
+
+func (f slowFetcher) Fetch(url string) (string, error) {
+	time.Sleep(f.d)
+	return f.inner.Fetch(url)
+}
+
+// slowStrategy adds per-attribute latency in front of the configured
+// fusion strategy.
+type slowStrategy struct {
+	inner fusion.Strategy
+	d     time.Duration
+}
+
+func (s slowStrategy) Fuse(candidates []string) string {
+	time.Sleep(s.d)
+	return s.inner.Fuse(candidates)
+}
+
+// measure runs fn once and reports wall time plus the run's Mallocs
+// delta. One iteration keeps the CI smoke cheap; the Go benchmarks in
+// bench_test.go are the high-iteration companion.
+func measure(fn func() (int, error)) (benchMode, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	products, err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchMode{}, err
+	}
+	return benchMode{
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		Products:    products,
+	}, nil
+}
+
+// runBenchPipeline measures batch vs stream (pipelined and barrier) on
+// the env's incoming offers and writes the JSON report to path, echoing
+// a summary to w.
+func runBenchPipeline(w io.Writer, env *experiments.Env, rc runConfig, path string) error {
+	ctx := context.Background()
+	offers := env.Dataset.IncomingOffers
+	fetcher := slowFetcher{inner: core.MapFetcher(env.Dataset.Pages), d: benchFetchDelay}
+	cfg := env.Config
+	inner := cfg.Fusion
+	if inner == nil {
+		inner = fusion.Centroid{}
+	}
+	cfg.Fusion = slowStrategy{inner: inner, d: benchFuseDelay}
+	rep := benchReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Scale:        rc.scale,
+		Seed:         rc.seed,
+		Offers:       len(offers),
+		Waves:        benchWaves,
+		FetchDelayMS: float64(benchFetchDelay) / float64(time.Millisecond),
+	}
+
+	var err error
+	rep.Batch, err = measure(func() (int, error) {
+		run, err := core.RunRuntime(ctx, env.Dataset.Catalog, env.Offline, offers, fetcher, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return len(run.Products), nil
+	})
+	if err != nil {
+		return fmt.Errorf("bench batch: %w", err)
+	}
+
+	var gauge pipe.Gauge
+	var final stream.Result
+	rep.StreamPipelined, err = measure(func() (n int, err error) {
+		n, final, err = benchStreamOnce(ctx, env, offers, fetcher, cfg, &gauge)
+		return n, err
+	})
+	if err != nil {
+		return fmt.Errorf("bench stream pipelined: %w", err)
+	}
+	rep.PeakInFlightOffers = gauge.Peak()
+	rep.StreamPipelined.PrepareMS = float64(final.PrepareElapsed) / float64(time.Millisecond)
+	rep.StreamPipelined.FuseMS = float64(final.FuseElapsed) / float64(time.Millisecond)
+
+	barrierCfg := cfg
+	barrierCfg.StageBuffer = -1
+	rep.StreamBarrier, err = measure(func() (n int, err error) {
+		n, final, err = benchStreamOnce(ctx, env, offers, fetcher, barrierCfg, nil)
+		return n, err
+	})
+	if err != nil {
+		return fmt.Errorf("bench stream barrier: %w", err)
+	}
+	rep.StreamBarrier.PrepareMS = float64(final.PrepareElapsed) / float64(time.Millisecond)
+	rep.StreamBarrier.FuseMS = float64(final.FuseElapsed) / float64(time.Millisecond)
+
+	for _, m := range []*benchMode{&rep.Batch, &rep.StreamPipelined, &rep.StreamBarrier} {
+		m.OffersPerSec = float64(len(offers)) / (float64(m.NsPerOp) / float64(time.Second))
+	}
+	if rep.StreamPipelined.NsPerOp > 0 {
+		rep.PipelinedSpeedupX = float64(rep.StreamBarrier.NsPerOp) / float64(rep.StreamPipelined.NsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## pipeline benchmark — %d offers, %d waves, %v fetch delay → %s\n\n",
+		len(offers), benchWaves, benchFetchDelay, path)
+	fmt.Fprintf(w, "%-18s %12s %14s %12s\n", "mode", "ms/op", "allocs/op", "offers/sec")
+	for _, row := range []struct {
+		name string
+		m    benchMode
+	}{
+		{"batch", rep.Batch},
+		{"stream pipelined", rep.StreamPipelined},
+		{"stream barrier", rep.StreamBarrier},
+	} {
+		fmt.Fprintf(w, "%-18s %12.1f %14d %12.1f\n",
+			row.name, float64(row.m.NsPerOp)/1e6, row.m.AllocsPerOp, row.m.OffersPerSec)
+	}
+	fmt.Fprintf(w, "\n# pipelined speedup over barrier: %.2fx; peak in-flight offers: %d\n\n",
+		rep.PipelinedSpeedupX, rep.PeakInFlightOffers)
+	return nil
+}
+
+// benchStreamOnce drives one full stream replay and returns the merged
+// product count plus the final result's per-stage wall-time sums.
+func benchStreamOnce(ctx context.Context, env *experiments.Env, offers []offer.Offer, fetcher core.PageFetcher, cfg core.Config, gauge *pipe.Gauge) (int, stream.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	waves := make(chan []offer.Offer)
+	go func() {
+		defer close(waves)
+		for i := 0; i < benchWaves; i++ {
+			select {
+			case waves <- offers[i*len(offers)/benchWaves : (i+1)*len(offers)/benchWaves]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := stream.Run(ctx, env.Dataset.Catalog, env.Offline, waves, fetcher, cfg, stream.Options{InFlight: gauge})
+	products := 0
+	var final stream.Result
+	for r := range out {
+		if r.Err != nil {
+			return 0, final, fmt.Errorf("wave %d: %w", r.Wave, r.Err)
+		}
+		if r.Final {
+			final = r
+			products = len(r.Products)
+		}
+	}
+	return products, final, nil
+}

@@ -44,27 +44,28 @@ func main() {
 
 func realMain() int {
 	var (
-		all     = flag.Bool("all", false, "run every experiment")
-		table2  = flag.Bool("table2", false, "Table 2: end-to-end synthesis quality")
-		table3  = flag.Bool("table3", false, "Table 3: per top-level category")
-		table4  = flag.Bool("table4", false, "Table 4: recall by offer-set size")
-		fig6    = flag.Bool("fig6", false, "Figure 6: classifier vs single features")
-		fig7    = flag.Bool("fig7", false, "Figure 7: with vs without historical matches")
-		fig8    = flag.Bool("fig8", false, "Figure 8: baseline comparison")
-		fig9    = flag.Bool("fig9", false, "Figure 9: COMA++ delta settings")
-		ablate  = flag.Bool("ablations", false, "ablation sweeps")
-		nstream = flag.Int("stream", 0, "replay the incoming offers as a continuous feed of this many waves")
-		scale   = flag.String("scale", "medium", "corpus scale: small, medium, large")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "pipeline worker pool size (0 = default)")
-		out     = flag.String("out", "", "write report here (default stdout)")
+		all       = flag.Bool("all", false, "run every experiment")
+		table2    = flag.Bool("table2", false, "Table 2: end-to-end synthesis quality")
+		table3    = flag.Bool("table3", false, "Table 3: per top-level category")
+		table4    = flag.Bool("table4", false, "Table 4: recall by offer-set size")
+		fig6      = flag.Bool("fig6", false, "Figure 6: classifier vs single features")
+		fig7      = flag.Bool("fig7", false, "Figure 7: with vs without historical matches")
+		fig8      = flag.Bool("fig8", false, "Figure 8: baseline comparison")
+		fig9      = flag.Bool("fig9", false, "Figure 9: COMA++ delta settings")
+		ablate    = flag.Bool("ablations", false, "ablation sweeps")
+		nstream   = flag.Int("stream", 0, "replay the incoming offers as a continuous feed of this many waves")
+		benchjson = flag.String("benchjson", "", "measure batch vs stream (pipelined and barrier) and write a JSON report here")
+		scale     = flag.String("scale", "medium", "corpus scale: small, medium, large")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "pipeline worker pool size (0 = default)")
+		out       = flag.String("out", "", "write report here (default stdout)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 
-	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate || *nstream > 0) {
+	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate || *nstream > 0 || *benchjson != "") {
 		flag.Usage()
 		return 2
 	}
@@ -114,8 +115,8 @@ func realMain() int {
 	err := run(w, runConfig{
 		all: *all, table2: *table2, table3: *table3, table4: *table4,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9, ablate: *ablate,
-		nstream: *nstream,
-		scale:   *scale, seed: *seed, workers: *workers,
+		nstream: *nstream, benchjson: *benchjson,
+		scale: *scale, seed: *seed, workers: *workers,
 	})
 	if err != nil {
 		log.Print(err)
@@ -128,6 +129,7 @@ type runConfig struct {
 	all, table2, table3, table4    bool
 	fig6, fig7, fig8, fig9, ablate bool
 	nstream                        int
+	benchjson                      string
 	scale                          string
 	seed                           int64
 	workers                        int
@@ -190,6 +192,11 @@ func run(w io.Writer, rc runConfig) error {
 			return err
 		}
 	}
+	if rc.benchjson != "" {
+		if err := runBenchPipeline(w, env, rc, rc.benchjson); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(w, "# total %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
@@ -223,21 +230,28 @@ func runStreamReplay(w io.Writer, env *experiments.Env, n int) error {
 		core.MapFetcher(env.Dataset.Pages), env.Config, stream.Options{})
 
 	fmt.Fprintf(w, "## streaming replay — %d offers over %d waves, cross-batch cluster memory\n\n", len(offers), n)
-	fmt.Fprintf(w, "%6s %8s %9s %9s %8s %10s\n", "wave", "offers", "excluded", "clusters", "open", "elapsed")
+	fmt.Fprintf(w, "%6s %8s %9s %9s %8s %7s %10s %10s %10s\n",
+		"wave", "offers", "excluded", "clusters", "open", "sealed", "prepare", "fuse", "elapsed")
 	var final stream.Result
+	sealed := 0
 	for r := range out {
 		if r.Err != nil {
 			return fmt.Errorf("stream wave %d: %w", r.Wave, r.Err)
 		}
+		sealed += len(r.Sealed)
 		if r.Final {
 			final = r
 			continue
 		}
-		fmt.Fprintf(w, "%6d %8d %9d %9d %8d %10v\n",
-			r.Wave, r.Offers, r.ExcludedMatched, r.Clusters, r.OpenClusters, r.Elapsed.Round(time.Microsecond))
+		fmt.Fprintf(w, "%6d %8d %9d %9d %8d %7d %10v %10v %10v\n",
+			r.Wave, r.Offers, r.ExcludedMatched, r.Clusters, r.OpenClusters, len(r.Sealed),
+			r.PrepareElapsed.Round(time.Microsecond), r.FuseElapsed.Round(time.Microsecond),
+			r.Elapsed.Round(time.Microsecond))
 	}
-	fmt.Fprintf(w, "\n# merged: %d products from %d offers in %v processing time\n",
-		len(final.Products), final.Offers, final.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "\n# merged: %d products from %d offers in %v processing time (prepare %v, fuse %v)\n",
+		len(final.Products), final.Offers, final.Elapsed.Round(time.Millisecond),
+		final.PrepareElapsed.Round(time.Millisecond), final.FuseElapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "# sealed clusters: %d total (%d at close)\n", sealed, len(final.Sealed))
 
 	oneShot := env.Runtime.Products
 	verdict := "IDENTICAL"

@@ -42,6 +42,7 @@ import (
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
+	"prodsynth/internal/pipe"
 	"prodsynth/internal/reconcile"
 )
 
@@ -112,6 +113,17 @@ type Config struct {
 	// lenient: one dead link in a historical corpus must not make the
 	// system unconstructable.
 	StrictPages bool
+	// StageBuffer is the bounded buffer depth between the streaming
+	// pipeline's wave-level stages (prepare → fuse). 0, the default, is
+	// an unbuffered handoff: wave n+1's prepare still overlaps wave n's
+	// fuse, but prepare never runs more than one wave ahead. Positive
+	// depths let prepare run that many additional waves ahead (more
+	// overlap, more prepared waves held in memory). A negative value
+	// disables cross-wave pipelining entirely — each wave fully fuses
+	// before the next wave's prepare starts (the pre-pipelining barrier
+	// execution; useful as a baseline and for strict memory bounds).
+	// Output is byte-identical for every value.
+	StageBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -399,9 +411,13 @@ type Prepared struct {
 
 // PrepareIncoming runs the per-offer front half of the runtime pipeline:
 // classification, extraction, match exclusion, and reconciliation. It is
-// the incremental entry point RunRuntime and the streaming pipeline share.
-// Cancellation of ctx is observed at stage boundaries and between
-// worker-pool jobs; the error is then ctx.Err().
+// the incremental entry point RunRuntime and the streaming pipeline share,
+// expressed as a drain of the composable stages in stage.go:
+//
+//	ClassifyStage → ExtractStage → [gather] → per-category match+reconcile
+//
+// Cancellation of ctx is observed at every stage pull; the error is then
+// ctx.Err().
 func PrepareIncoming(ctx context.Context, store *catalog.Store, offline *OfflineResult, incoming []offer.Offer, pages PageFetcher, cfg Config) (*Prepared, error) {
 	cfg = cfg.withDefaults()
 	if offline == nil || offline.Correspondences == nil {
@@ -411,95 +427,23 @@ func PrepareIncoming(ctx context.Context, store *catalog.Store, offline *Offline
 		return nil, err
 	}
 
-	withCat := make([]offer.Offer, len(incoming))
-	copy(withCat, incoming)
-	if offline.Classifier != nil {
-		offline.Classifier.Assign(withCat)
-	}
-
-	enriched, err := extractSpecs(ctx, withCat, pages, cfg)
+	perOffer := ExtractStage(pages, cfg)(ClassifyStage(offline)(pipe.FromSlice(incoming)))
+	enriched, err := pipe.Collect(ctx, perOffer)
 	if err != nil {
 		return nil, err
 	}
-
-	// Per-category stage: matching (to exclude offers that describe
-	// products the catalog already has, §1) and schema reconciliation fan
-	// out across the worker pool, one task per category. Each task writes
-	// only its own offers' slots; the merge below walks input order, so
-	// output is independent of Workers.
-	prep := &Prepared{}
-	parts := partitionByCategory(enriched)
-	matcher := categoryMatcher(cfg, len(parts))
-
-	keep := make([]bool, len(enriched))
-	reconciled := make([]offer.Offer, len(enriched))
-	excluded := make([]int, len(parts))
-	rstats := make([]reconcile.Stats, len(parts))
-	err = runLimited(ctx, len(parts), cfg.Workers, func(pi int) {
-		part := parts[pi]
-		sub := make([]offer.Offer, len(part.indices))
-		for j, gi := range part.indices {
-			sub[j] = enriched[gi]
-		}
-		var matches *match.MatchSet
-		if !cfg.KeepMatchedIncoming {
-			matches = matcher.Run(store, offer.NewSet(sub))
-		}
-		kept := sub[:0]
-		keptIdx := make([]int, 0, len(part.indices))
-		for j, gi := range part.indices {
-			if matches != nil {
-				if _, ok := matches.ProductFor(sub[j].ID); ok {
-					excluded[pi]++
-					continue
-				}
-			}
-			kept = append(kept, sub[j])
-			keptIdx = append(keptIdx, gi)
-		}
-		recon, st := reconcile.Offers(kept, offline.Correspondences)
-		rstats[pi] = st
-		for j, gi := range keptIdx {
-			reconciled[gi] = recon[j]
-			keep[gi] = true
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	for pi := range parts {
-		prep.ExcludedMatched += excluded[pi]
-		prep.Reconcile.OffersIn += rstats[pi].OffersIn
-		prep.Reconcile.PairsIn += rstats[pi].PairsIn
-		prep.Reconcile.PairsMapped += rstats[pi].PairsMapped
-		prep.Reconcile.PairsDropped += rstats[pi].PairsDropped
-	}
-	kept := make([]offer.Offer, 0, len(enriched))
-	for i := range enriched {
-		if keep[i] {
-			kept = append(kept, reconciled[i])
-		}
-	}
-	prep.Kept = kept
-	return prep, nil
+	return matchReconcile(ctx, store, offline, enriched, cfg)
 }
 
-// FuseClusters fans value fusion out across the worker pool, one task per
-// cluster; slots keep cluster order. It is safe to call repeatedly on
-// overlapping cluster snapshots: fusion is a pure function of each
-// cluster's member offers, so re-fusing an extended cluster yields exactly
-// what fusing it whole would have (the streaming pipeline's contract).
-// A cancelled ctx returns ctx.Err() and no products.
+// FuseClusters drains FuseStage over the clusters: value fusion fans out
+// across the worker pool, one task per cluster, results in cluster order.
+// It is safe to call repeatedly on overlapping cluster snapshots: fusion
+// is a pure function of each cluster's member offers, so re-fusing an
+// extended cluster yields exactly what fusing it whole would have (the
+// streaming pipeline's contract). A cancelled ctx returns ctx.Err() and
+// no products.
 func FuseClusters(ctx context.Context, clusters []cluster.Cluster, cfg Config) ([]fusion.Synthesized, error) {
-	cfg = cfg.withDefaults()
-	products := make([]fusion.Synthesized, len(clusters))
-	err := runLimited(ctx, len(clusters), cfg.Workers, func(i int) {
-		products[i] = fusion.SynthesizeOne(clusters[i], cfg.Fusion)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return products, nil
+	return pipe.Collect(ctx, FuseStage(cfg)(pipe.FromSlice(clusters)))
 }
 
 // RunRuntime executes the runtime pipeline over incoming offers using the
@@ -530,12 +474,13 @@ func RunRuntime(ctx context.Context, store *catalog.Store, offline *OfflineResul
 	return res, nil
 }
 
-// extractSpecs fetches each offer's landing page and merges extracted
-// attribute-value pairs into the offer spec (feed pairs win on name
-// conflict). Offers whose page cannot be fetched keep their feed spec —
-// the pipeline tolerates crawl gaps — unless Config.StrictPages is set,
-// in which case the first fetch failure (in offer input order, so the
-// reported error is deterministic) fails the run. Cancellation is checked
+// extractSpecs is the offline phase's bulk extraction: it fetches each
+// offer's landing page and merges extracted attribute-value pairs into the
+// offer spec (feed pairs win on name conflict), sharing the per-offer body
+// (extractOne) with the runtime ExtractStage. Offers whose page cannot be
+// fetched keep their feed spec — the offline phase always tolerates crawl
+// gaps — unless Config.StrictPages is set, in which case the first fetch
+// failure in offer input order fails the run. Cancellation is checked
 // between offers: an in-flight Fetch is allowed to finish (PageFetcher has
 // no context), after which the pool drains and ctx.Err() is returned.
 func extractSpecs(ctx context.Context, offers []offer.Offer, pages PageFetcher, cfg Config) ([]offer.Offer, error) {
@@ -545,32 +490,19 @@ func extractSpecs(ctx context.Context, offers []offer.Offer, pages PageFetcher, 
 		errs = make([]error, len(offers))
 	}
 	poolErr := runLimited(ctx, len(offers), cfg.Workers, func(i int) {
-		o := offers[i].Clone()
-		if pages != nil {
-			page, err := pages.Fetch(o.URL)
-			if err == nil {
-				extracted := extract.WithOptions(page, cfg.Extraction)
-				have := make(map[string]bool, len(o.Spec))
-				for _, av := range o.Spec {
-					have[av.Name] = true
-				}
-				for _, av := range extracted {
-					if !have[av.Name] {
-						o.Spec = append(o.Spec, av)
-					}
-				}
-			} else if errs != nil {
-				errs[i] = err
-			}
+		o, err := extractOne(offers[i], pages, cfg)
+		if err != nil {
+			errs[i] = err
+			return
 		}
 		out[i] = o
 	})
 	if poolErr != nil {
 		return nil, poolErr
 	}
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: strict pages: offer %s: %w", offers[i].ID, err)
+			return nil, err
 		}
 	}
 	return out, nil

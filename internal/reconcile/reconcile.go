@@ -25,6 +25,17 @@ type Stats struct {
 	PairsDropped int
 }
 
+// Add folds other into s, field by field. Every aggregation site (batch
+// reconciliation, the per-category merge in core, the per-wave running
+// totals in stream) goes through here, so a newly added counter field has
+// exactly one place to be wired in.
+func (s *Stats) Add(other Stats) {
+	s.OffersIn += other.OffersIn
+	s.PairsIn += other.PairsIn
+	s.PairsMapped += other.PairsMapped
+	s.PairsDropped += other.PairsDropped
+}
+
 // Offer reconciles a single offer's spec, returning the translated spec.
 // When two merchant attributes map to the same catalog attribute, the first
 // pair in spec order wins.
@@ -59,10 +70,7 @@ func Offers(offers []offer.Offer, set *correspond.Set) ([]offer.Offer, Stats) {
 	out := make([]offer.Offer, len(offers))
 	for i, o := range offers {
 		spec, st := Offer(o, set)
-		total.OffersIn += st.OffersIn
-		total.PairsIn += st.PairsIn
-		total.PairsMapped += st.PairsMapped
-		total.PairsDropped += st.PairsDropped
+		total.Add(st)
 		ro := o.Clone()
 		ro.Spec = spec
 		out[i] = ro

@@ -54,6 +54,63 @@ type MemoryOptions struct {
 	MaxIdleWaves int
 }
 
+// SealReason says why a cluster was sealed — why the cross-batch memory
+// decided it can no longer grow.
+type SealReason uint8
+
+const (
+	// SealClose: the stream's input closed; every cluster still open is
+	// sealed with its final fused state in the closing result.
+	SealClose SealReason = iota + 1
+	// SealLRU: the cluster was the least recently touched when the open
+	// set exceeded MaxClusters.
+	SealLRU
+	// SealIdle: no wave touched the cluster for more than MaxIdleWaves
+	// consecutive waves.
+	SealIdle
+	// SealInvalidated: the catalog grew mid-stream in one of the cluster's
+	// member categories, so the cluster's product may now exist in the
+	// catalog; the cluster is dropped rather than extended. Unlike the
+	// other reasons this does not promise the product is absent from the
+	// catalog — only that this cluster will never re-fuse.
+	SealInvalidated
+)
+
+// String names the reason for logs and experiment output.
+func (r SealReason) String() string {
+	switch r {
+	case SealClose:
+		return "close"
+	case SealLRU:
+		return "lru"
+	case SealIdle:
+		return "idle"
+	case SealInvalidated:
+		return "invalidated"
+	default:
+		return "unknown"
+	}
+}
+
+// Evicted records one sealed cluster: the moment the memory decided it
+// can no longer grow, with the membership snapshot taken at that moment.
+// ID is the cluster's creation ordinal — unique for the lifetime of one
+// Memory (ordinals are never reused; a merge keeps the minimum and
+// retires the others, which therefore never seal), so each ID seals at
+// most once across all reasons.
+type Evicted struct {
+	// ID is the cluster's creation ordinal (the order Final() and wave
+	// snapshots emit clusters in).
+	ID int
+	// Wave is the 0-based wave during which the eviction happened; for
+	// Close entries it is the total number of waves absorbed.
+	Wave int
+	// Reason says why the cluster sealed.
+	Reason SealReason
+	// Cluster is the membership snapshot at seal time.
+	Cluster cluster.Cluster
+}
+
 // memberOffer is one cluster member with its global arrival index, the
 // ordering that keeps merged member lists identical to batch clustering.
 type memberOffer struct {
@@ -105,6 +162,10 @@ type Memory struct {
 	evictionsLRU     int
 	evictionsIdle    int
 	evictionsVersion int
+
+	// pending are the clusters evicted since the last DrainEvicted call,
+	// snapshotted at eviction time — the seal events the stream surfaces.
+	pending []Evicted
 }
 
 // NewMemory returns an empty cluster memory.
@@ -166,13 +227,46 @@ func (m *Memory) union(a, b string) {
 }
 
 // evict drops one open cluster: its keys leave the union-find, its entry
-// leaves the table and the LRU list.
-func (m *Memory) evict(cl *openCluster) {
+// leaves the table and the LRU list, and a seal record with the cluster's
+// final membership snapshot is queued for DrainEvicted.
+func (m *Memory) evict(cl *openCluster, reason SealReason) {
 	for _, k := range cl.keys {
 		delete(m.parent, k)
 	}
 	delete(m.open, cl.root)
 	m.lru.Remove(cl.elem)
+	m.pending = append(m.pending, Evicted{
+		ID:      cl.ord,
+		Wave:    m.wave - 1, // m.wave is 1-based during Add; results are 0-based
+		Reason:  reason,
+		Cluster: m.snapshot(cl),
+	})
+}
+
+// DrainEvicted returns the seal records queued since the last call and
+// clears the queue. The stream pipeline drains after every Add, so each
+// wave's result carries exactly the clusters that wave sealed.
+func (m *Memory) DrainEvicted() []Evicted {
+	out := m.pending
+	m.pending = nil
+	return out
+}
+
+// CloseAll returns a seal record for every cluster still open, in creation
+// order — the close-path counterpart of DrainEvicted, used for the stream's
+// final result. It does not mutate the memory: the snapshots are the same
+// clusters Final() returns, paired with their IDs and SealClose.
+func (m *Memory) CloseAll() []Evicted {
+	all := make([]*openCluster, 0, len(m.open))
+	for _, cl := range m.open {
+		all = append(all, cl)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ord < all[j].ord })
+	out := make([]Evicted, len(all))
+	for i, cl := range all {
+		out[i] = Evicted{ID: cl.ord, Wave: m.wave, Reason: SealClose, Cluster: m.snapshot(cl)}
+	}
+	return out
 }
 
 // expire applies the wave-start evictions: idle expiry and, when store is
@@ -194,7 +288,7 @@ func (m *Memory) expire(store *catalog.Store, versions map[string]uint64) {
 			}
 			prev := e.Prev()
 			m.evictionsIdle++
-			m.evict(cl)
+			m.evict(cl, SealIdle)
 			e = prev
 		}
 	}
@@ -213,7 +307,7 @@ func (m *Memory) expire(store *catalog.Store, versions map[string]uint64) {
 	}
 	for _, cl := range stale {
 		m.evictionsVersion++
-		m.evict(cl)
+		m.evict(cl, SealInvalidated)
 	}
 }
 
@@ -331,7 +425,7 @@ func (m *Memory) Add(store *catalog.Store, offers []offer.Offer) (touched []clus
 		for len(m.open) > m.opts.MaxClusters {
 			cl := m.lru.Back().Value.(*openCluster)
 			m.evictionsLRU++
-			m.evict(cl)
+			m.evict(cl, SealLRU)
 		}
 	}
 	return touched, skipped

@@ -351,3 +351,116 @@ func TestMemoryEvictionReleasesKeys(t *testing.T) {
 		t.Errorf("union-find holds %d keys for 4 open clusters (leak)", got)
 	}
 }
+
+// TestMemorySealRecords covers the eviction-side seal records: each evict
+// path queues exactly one Evicted entry with the right reason and the
+// membership snapshot at eviction time, DrainEvicted clears the queue, and
+// CloseAll pairs 1:1 with Final().
+func TestMemorySealRecords(t *testing.T) {
+	t.Run("lru", func(t *testing.T) {
+		mem := NewMemory(MemoryOptions{MaxClusters: 1})
+		mem.Add(nil, []offer.Offer{mk("o0", "hd", catalog.AttrUPC, "111")})
+		if ev := mem.DrainEvicted(); len(ev) != 0 {
+			t.Fatalf("nothing should seal under the cap, got %v", ev)
+		}
+		mem.Add(nil, []offer.Offer{mk("o1", "hd", catalog.AttrUPC, "222")})
+		ev := mem.DrainEvicted()
+		if len(ev) != 1 || ev[0].Reason != SealLRU || ev[0].ID != 0 || ev[0].Wave != 1 {
+			t.Fatalf("lru seal = %+v", ev)
+		}
+		if got := clusterFingerprint(ev[0].Cluster); got != "hd/UPC=111 [o0]" {
+			t.Fatalf("sealed snapshot = %q", got)
+		}
+		if ev := mem.DrainEvicted(); len(ev) != 0 {
+			t.Fatalf("drain must clear the queue, got %v", ev)
+		}
+	})
+
+	t.Run("idle", func(t *testing.T) {
+		mem := NewMemory(MemoryOptions{MaxIdleWaves: 1})
+		mem.Add(nil, []offer.Offer{mk("o0", "hd", catalog.AttrUPC, "111")})
+		mem.Add(nil, []offer.Offer{mk("o1", "hd", catalog.AttrUPC, "222")})
+		mem.Add(nil, []offer.Offer{mk("o2", "hd", catalog.AttrUPC, "333")})
+		ev := mem.DrainEvicted()
+		if len(ev) != 1 || ev[0].Reason != SealIdle || ev[0].ID != 0 {
+			t.Fatalf("idle seal = %+v", ev)
+		}
+	})
+
+	t.Run("invalidated", func(t *testing.T) {
+		store := catalog.NewStore()
+		if err := store.AddCategory(catalog.Category{
+			ID: "hd", Name: "hd",
+			Schema: catalog.Schema{Attributes: []catalog.Attribute{
+				{Name: catalog.AttrUPC, Kind: catalog.KindIdentifier},
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mem := NewMemory(MemoryOptions{})
+		mem.Add(store, []offer.Offer{mk("o0", "hd", catalog.AttrUPC, "111")})
+		if err := store.AddProduct(catalog.Product{ID: "p1", CategoryID: "hd"}); err != nil {
+			t.Fatal(err)
+		}
+		mem.Add(store, []offer.Offer{mk("o1", "hd", catalog.AttrUPC, "222")})
+		ev := mem.DrainEvicted()
+		if len(ev) != 1 || ev[0].Reason != SealInvalidated || ev[0].ID != 0 {
+			t.Fatalf("invalidation seal = %+v", ev)
+		}
+	})
+
+	t.Run("close", func(t *testing.T) {
+		mem := NewMemory(MemoryOptions{})
+		for _, wave := range partitions(corpus(), 3) {
+			mem.Add(nil, wave)
+		}
+		closing := mem.CloseAll()
+		final := mem.Final()
+		if len(closing) != len(final) || len(closing) == 0 {
+			t.Fatalf("CloseAll %d entries, Final %d", len(closing), len(final))
+		}
+		seen := map[int]bool{}
+		for i, ev := range closing {
+			if ev.Reason != SealClose || ev.Wave != mem.Waves() {
+				t.Fatalf("close entry %d = %+v", i, ev)
+			}
+			if seen[ev.ID] {
+				t.Fatalf("duplicate sealed ID %d", ev.ID)
+			}
+			seen[ev.ID] = true
+			if clusterFingerprint(ev.Cluster) != clusterFingerprint(final[i]) {
+				t.Fatalf("CloseAll[%d] cluster diverges from Final()[%d]", i, i)
+			}
+		}
+		// Non-destructive: the memory is still open.
+		if mem.Len() != len(final) {
+			t.Fatal("CloseAll mutated the memory")
+		}
+	})
+}
+
+// TestMemorySealExactlyOnce runs a bounded memory over the corpus and
+// asserts the exactly-once contract: the union of drained evictions and
+// the closing records covers each cluster ID at most once, and clusters
+// retired by merges (their ordinals absorbed into the survivor) never
+// appear at all.
+func TestMemorySealExactlyOnce(t *testing.T) {
+	mem := NewMemory(MemoryOptions{MaxClusters: 2, MaxIdleWaves: 1})
+	sealed := map[int]SealReason{}
+	record := func(evs []Evicted) {
+		for _, ev := range evs {
+			if prev, dup := sealed[ev.ID]; dup {
+				t.Fatalf("cluster %d sealed twice: %v then %v", ev.ID, prev, ev.Reason)
+			}
+			sealed[ev.ID] = ev.Reason
+		}
+	}
+	for _, wave := range partitions(corpus(), 7) {
+		mem.Add(nil, wave)
+		record(mem.DrainEvicted())
+	}
+	record(mem.CloseAll())
+	if len(sealed) == 0 {
+		t.Fatal("bounded corpus run sealed nothing")
+	}
+}

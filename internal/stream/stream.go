@@ -9,6 +9,7 @@ import (
 	"prodsynth/internal/core"
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/offer"
+	"prodsynth/internal/pipe"
 	"prodsynth/internal/reconcile"
 )
 
@@ -22,12 +23,37 @@ type Options struct {
 	MaxIdleWaves int
 	// DisableMemory turns cross-batch cluster memory off: every wave
 	// clusters independently, reproducing SynthesizeBatches semantics
-	// (a product split across waves synthesizes once per wave).
+	// (a product split across waves synthesizes once per wave). With no
+	// memory there is nothing to seal: no result carries Sealed events,
+	// and every wave's products are as final as they will ever be.
 	DisableMemory bool
 	// Buffer is the output channel's capacity. 0 (unbuffered) applies
-	// backpressure: the pipeline does not start wave n+1 until the
-	// consumer has taken wave n's result.
+	// consumer backpressure on the fuse stage; note that with cross-wave
+	// pipelining (core.Config.StageBuffer >= 0) the prepare stage still
+	// works ahead of the consumer by up to 1+StageBuffer waves.
 	Buffer int
+	// InFlight, when non-nil, gauges the number of offers inside the
+	// pipeline (pulled into prepare but not yet fused) — its Peak reports
+	// the memory-relevant high-water mark of cross-wave pipelining.
+	InFlight *pipe.Gauge
+}
+
+// Sealed is one per-cluster seal event: the cross-batch memory decided
+// this cluster can no longer grow, so its product is final rather than
+// provisional. IDs are cluster creation ordinals, unique per stream, and
+// each cluster seals exactly once — through exactly one of the eviction
+// reasons or the closing result.
+type Sealed struct {
+	// ClusterID is the cluster's creation ordinal (the order snapshots
+	// and final products are emitted in).
+	ClusterID int
+	// Wave is the wave result the seal was reported on (0-based); for
+	// SealClose it is the closing result's wave count.
+	Wave int
+	// Reason says why the cluster sealed.
+	Reason SealReason
+	// Product is the cluster's final fused product.
+	Product fusion.Synthesized
 }
 
 // Result is one emission of the streaming pipeline: per-wave results in
@@ -48,6 +74,11 @@ type Result struct {
 	// or extended (for an extended cluster: re-fused over the union of
 	// its evidence across waves), in cluster creation order.
 	Products []fusion.Synthesized
+	// Sealed are the clusters sealed by this result: per-wave results
+	// carry the wave's evictions (LRU, idle, invalidation), each with the
+	// cluster's final fused product; the closing result carries one
+	// SealClose event per merged product, aligned 1:1 with Products.
+	Sealed []Sealed
 	// Reconcile counts the wave's pair translation outcomes.
 	Reconcile reconcile.Stats
 	// OffersWithoutKey counts reconciled offers with no clustering key.
@@ -61,22 +92,48 @@ type Result struct {
 	// OpenClusters is the cluster-memory size after the wave — the
 	// quantity Options.MaxOpenClusters bounds.
 	OpenClusters int
-	// Elapsed is the wave's processing wall time. On the final result it
-	// is the total processing time (summed waves plus the final fuse),
-	// excluding time spent waiting for input.
+	// PrepareElapsed is the wall time the wave spent in the prepare stage
+	// (classify, extract, match-exclude, reconcile); with pipelining it
+	// overlaps earlier waves' FuseElapsed.
+	PrepareElapsed time.Duration
+	// FuseElapsed is the wall time the wave spent in the fuse stage
+	// (cluster memory, value fusion, seal handling).
+	FuseElapsed time.Duration
+	// Elapsed is the wave's total processing wall time
+	// (PrepareElapsed+FuseElapsed). On the final result it is the total
+	// processing time (summed waves plus the final fuse), excluding time
+	// spent waiting for input. With pipelining, summed Elapsed exceeds
+	// wall time — that overlap is the point.
 	Elapsed time.Duration
 }
 
+// preparedWave is the prepare stage's per-wave output, crossing the stage
+// boundary to the fuse stage.
+type preparedWave struct {
+	wave    int
+	offers  int
+	prep    *core.Prepared
+	err     error
+	elapsed time.Duration
+}
+
 // Run starts the streaming pipeline: a goroutine that consumes offer
-// waves from waves, processes each through the shared per-offer front
-// half (core.PrepareIncoming) and the cross-batch cluster memory, and
-// emits one Result per wave, in input order, on the returned channel.
-// When waves closes, one closing Result (Final=true) carries the merged
-// stream view and aggregate counters; then the channel closes. When ctx
-// is cancelled the pipeline stops — between waves, or between the stages
-// of the wave in flight — and closes the channel without the final
-// result. Either way the goroutine exits: cancel ctx or close waves to
-// release it, even if the consumer has stopped reading.
+// waves from waves and emits one Result per wave, in input order, on the
+// returned channel. The pipeline is two pull-based stages with a bounded
+// buffer between them:
+//
+//	waves ── prepare (classify·extract·match·reconcile)
+//	      ──[pipe.Buffer(cfg.StageBuffer)]── fuse (memory·fusion·seals) ── out
+//
+// so wave n+1's prepare overlaps wave n's fuse while emission order stays
+// input order (cfg.StageBuffer < 0 disables the overlap — barrier
+// execution). When waves closes, one closing Result (Final=true) carries
+// the merged stream view, aggregate counters, and the SealClose events;
+// then the channel closes. When ctx is cancelled the pipeline stops —
+// whatever stage each in-flight wave is in — and closes the channel
+// without the final result. Either way every pipeline goroutine exits:
+// cancel ctx or close waves to release them, even if the consumer has
+// stopped reading.
 func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult, waves <-chan []offer.Offer, pages core.PageFetcher, cfg core.Config, opts Options) <-chan Result {
 	out := make(chan Result, opts.Buffer)
 	go func() {
@@ -89,14 +146,42 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 				MaxIdleWaves: opts.MaxIdleWaves,
 			})
 		}
+
+		// Prepare stage: pulls waves in input order and runs the shared
+		// per-offer front half. Wave failures (StrictPages, etc.) ride
+		// inside the item — only upstream exhaustion or cancellation ends
+		// the stage — so later waves still run after a failed one.
+		nextWave := 0
+		prepared := pipe.Map(func(ctx context.Context, batch []offer.Offer) (preparedWave, error) {
+			start := time.Now()
+			opts.InFlight.Add(len(batch))
+			pw := preparedWave{wave: nextWave, offers: len(batch)}
+			nextWave++
+			prep, err := core.PrepareIncoming(ctx, store, offline, batch, pages, cfg)
+			if err == nil {
+				err = ctx.Err()
+			}
+			if err != nil {
+				pw.err = err
+			} else {
+				pw.prep = prep
+			}
+			pw.elapsed = time.Since(start)
+			return pw, nil
+		})(pipe.FromChan(waves))
+		if cfg.StageBuffer >= 0 {
+			// The stage boundary: prepare moves to its own goroutine and
+			// works ahead of fuse by up to 1+StageBuffer waves. A negative
+			// StageBuffer skips the boundary, so fuse's pull drives prepare
+			// inline — the pre-pipelining barrier execution.
+			prepared = pipe.Buffer[preparedWave](cfg.StageBuffer)(prepared)
+		}
+
 		var total Result
 		for {
-			var batch []offer.Offer
-			var ok bool
-			select {
-			case <-ctx.Done():
-				return
-			case batch, ok = <-waves:
+			pw, ok, err := prepared.Next(ctx)
+			if err != nil {
+				return // cancelled; contract: close without final result
 			}
 			if !ok {
 				final := finalResult(ctx, mem, cfg, total)
@@ -113,7 +198,8 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 				}
 				return
 			}
-			r := runWave(ctx, store, offline, batch, pages, cfg, mem, opts, total.Wave)
+			r := fuseWave(ctx, store, pw, cfg, mem)
+			opts.InFlight.Add(-pw.offers)
 			if r.Err == nil {
 				accumulate(&total, r)
 			}
@@ -131,70 +217,102 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 	return out
 }
 
-// runWave processes one wave. ctx is only consulted between stages: a
-// cancellation mid-stage lets the bounded worker pools drain (they hold
-// no external resources) and surfaces as the wave's Err.
-func runWave(ctx context.Context, store *catalog.Store, offline *core.OfflineResult, batch []offer.Offer, pages core.PageFetcher, cfg core.Config, mem *Memory, opts Options, wave int) Result {
-	start := time.Now()
-	r := Result{Wave: wave, Offers: len(batch)}
-
-	prep, err := core.PrepareIncoming(ctx, store, offline, batch, pages, cfg)
-	if err == nil {
-		err = ctx.Err()
-	}
-	if err != nil {
-		r.Err = err
-		r.Elapsed = time.Since(start)
+// fuseWave is the fuse stage body: one prepared wave through the cluster
+// memory, value fusion, and seal handling. ctx is only consulted between
+// steps: a cancellation mid-step lets the bounded worker pools drain (they
+// hold no external resources) and surfaces as the wave's Err.
+func fuseWave(ctx context.Context, store *catalog.Store, pw preparedWave, cfg core.Config, mem *Memory) Result {
+	r := Result{Wave: pw.wave, Offers: pw.offers, PrepareElapsed: pw.elapsed}
+	if pw.err != nil {
+		r.Err = pw.err
+		r.Elapsed = r.PrepareElapsed
 		return r
 	}
-	r.Reconcile = prep.Reconcile
-	r.ExcludedMatched = prep.ExcludedMatched
+	start := time.Now()
+	r.Reconcile = pw.prep.Reconcile
+	r.ExcludedMatched = pw.prep.ExcludedMatched
 
 	var touched []cluster.Cluster
 	var skipped []offer.Offer
 	if mem != nil {
-		touched, skipped = mem.Add(store, prep.Kept)
+		touched, skipped = mem.Add(store, pw.prep.Kept)
 		r.OpenClusters = mem.Len()
 	} else {
-		touched, skipped = cluster.Group(prep.Kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
+		touched, skipped = cluster.Group(pw.prep.Kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
 	}
 	r.OffersWithoutKey = len(skipped)
 	r.Clusters = len(touched)
 
+	var err error
 	if r.Products, err = core.FuseClusters(ctx, touched, cfg); err != nil {
 		r.Err = err
+	} else if mem != nil {
+		r.Sealed, err = sealEvents(ctx, mem.DrainEvicted(), cfg, pw.wave)
+		if err != nil {
+			r.Err = err
+		}
 	}
-	r.Elapsed = time.Since(start)
+	r.FuseElapsed = time.Since(start)
+	r.Elapsed = r.PrepareElapsed + r.FuseElapsed
 	return r
 }
 
+// sealEvents fuses the evicted clusters' seal-time snapshots into their
+// final products. Eviction is rare (it only happens under memory bounds),
+// so the extra fuse work is per-eviction, not per-wave.
+func sealEvents(ctx context.Context, evicted []Evicted, cfg core.Config, wave int) ([]Sealed, error) {
+	if len(evicted) == 0 {
+		return nil, nil
+	}
+	clusters := make([]cluster.Cluster, len(evicted))
+	for i, ev := range evicted {
+		clusters[i] = ev.Cluster
+	}
+	products, err := core.FuseClusters(ctx, clusters, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sealed := make([]Sealed, len(evicted))
+	for i, ev := range evicted {
+		sealed[i] = Sealed{ClusterID: ev.ID, Wave: wave, Reason: ev.Reason, Product: products[i]}
+	}
+	return sealed, nil
+}
+
 // accumulate folds one successful wave into the running totals the final
-// result reports.
+// result reports. Per-wave Sealed events are not folded in: they were
+// already delivered, and the closing result carries only its own SealClose
+// events.
 func accumulate(total *Result, r Result) {
-	total.Reconcile.OffersIn += r.Reconcile.OffersIn
-	total.Reconcile.PairsIn += r.Reconcile.PairsIn
-	total.Reconcile.PairsMapped += r.Reconcile.PairsMapped
-	total.Reconcile.PairsDropped += r.Reconcile.PairsDropped
+	total.Reconcile.Add(r.Reconcile)
 	total.OffersWithoutKey += r.OffersWithoutKey
 	total.ExcludedMatched += r.ExcludedMatched
 	total.Offers += r.Offers
 	total.Clusters += r.Clusters
+	total.PrepareElapsed += r.PrepareElapsed
+	total.FuseElapsed += r.FuseElapsed
 	total.Elapsed += r.Elapsed
 }
 
 // finalResult builds the closing emission. With cluster memory, Products
 // is the final fused state of every open cluster in creation order — for
 // an unbounded memory over an uninterrupted stream, byte-identical to a
-// one-shot run over the concatenated waves — and Clusters counts those
-// clusters. With memory disabled there is nothing to merge (every wave
-// already emitted its own clusters), so Products is nil and Clusters
-// keeps the summed per-wave count.
+// one-shot run over the concatenated waves — Clusters counts those
+// clusters, and Sealed carries one SealClose event per product, aligned
+// 1:1 with Products (same order, same fused values). With memory disabled
+// there is nothing to merge or seal (every wave already emitted its own
+// clusters), so Products and Sealed are nil and Clusters keeps the summed
+// per-wave count.
 func finalResult(ctx context.Context, mem *Memory, cfg core.Config, total Result) Result {
 	final := total
 	final.Final = true
 	if mem != nil {
 		start := time.Now()
-		merged := mem.Final()
+		closing := mem.CloseAll()
+		merged := make([]cluster.Cluster, len(closing))
+		for i, ev := range closing {
+			merged[i] = ev.Cluster
+		}
 		products, err := core.FuseClusters(ctx, merged, cfg)
 		if err != nil {
 			// Cancelled during the closing fuse: record it so Run drops
@@ -205,6 +323,11 @@ func finalResult(ctx context.Context, mem *Memory, cfg core.Config, total Result
 		final.Products = products
 		final.Clusters = len(merged)
 		final.OpenClusters = mem.Len()
+		final.Sealed = make([]Sealed, len(closing))
+		for i, ev := range closing {
+			final.Sealed[i] = Sealed{ClusterID: ev.ID, Wave: total.Wave, Reason: SealClose, Product: products[i]}
+		}
+		final.FuseElapsed += time.Since(start)
 		final.Elapsed += time.Since(start)
 	}
 	return final

@@ -73,6 +73,16 @@ func WithScoreThreshold(t float64) Option { return func(c *Config) { c.ScoreThre
 // run; see Config.StrictPages.
 func WithStrictPages(strict bool) Option { return func(c *Config) { c.StrictPages = strict } }
 
+// WithStageBuffer sets the bounded buffer depth between the streaming
+// pipeline's wave-level stages (prepare → fuse); see Config.StageBuffer.
+// 0, the default, is an unbuffered handoff: wave n+1's prepare still
+// overlaps wave n's fuse, but never runs more than one wave ahead.
+// Positive depths let prepare run that many additional waves ahead; a
+// negative value disables cross-wave pipelining entirely (barrier
+// execution, each wave fully fused before the next is prepared). Output
+// is byte-identical for every value.
+func WithStageBuffer(n int) Option { return func(c *Config) { c.StageBuffer = n } }
+
 // WithMatchRegistry gives the pipeline a private match-index cache with
 // its own sharding and memory bound instead of the process-wide default.
 func WithMatchRegistry(reg *MatchRegistry) Option {

@@ -1,0 +1,170 @@
+package prodsynth
+
+import (
+	"context"
+	"testing"
+)
+
+// recordSeals folds one result's seal events into the id→reason map,
+// failing on any duplicate ClusterID — the exactly-once contract.
+func recordSeals(t *testing.T, sealed map[int]SealReason, r StreamResult) {
+	t.Helper()
+	for _, ev := range r.Sealed {
+		if prev, dup := sealed[ev.ClusterID]; dup {
+			t.Fatalf("cluster %d sealed twice: %v then %v (wave %d)", ev.ClusterID, prev, ev.Reason, r.Wave)
+		}
+		sealed[ev.ClusterID] = ev.Reason
+	}
+}
+
+// TestClusterSealedOnClose pins the close path: with unbounded memory no
+// per-wave result seals anything, and the final result's Sealed events
+// align 1:1 with its merged Products — same order, same fused values,
+// reason SealClose — so every product in the final result corresponds to
+// exactly one seal event.
+func TestClusterSealedOnClose(t *testing.T) {
+	ds, sys := learned(t, Config{})
+	fetcher := MapFetcher(ds.Pages)
+	waves := contiguousWaves(ds.IncomingOffers, 3)
+	perWave, final := runStream(t, sys, waves, fetcher, StreamOptions{})
+
+	for _, r := range perWave {
+		if len(r.Sealed) != 0 {
+			t.Fatalf("wave %d sealed %d clusters with unbounded memory", r.Wave, len(r.Sealed))
+		}
+	}
+	if len(final.Sealed) == 0 || len(final.Sealed) != len(final.Products) {
+		t.Fatalf("final: %d seal events for %d products", len(final.Sealed), len(final.Products))
+	}
+	sealed := map[int]SealReason{}
+	recordSeals(t, sealed, final)
+	for i, ev := range final.Sealed {
+		if ev.Reason != SealClose {
+			t.Errorf("final seal %d reason = %v, want SealClose", i, ev.Reason)
+		}
+		if ev.Wave != final.Wave {
+			t.Errorf("final seal %d wave = %d, want %d", i, ev.Wave, final.Wave)
+		}
+		got := productFingerprints([]Synthesized{ev.Product})[0]
+		want := productFingerprints([]Synthesized{final.Products[i]})[0]
+		if got != want {
+			t.Errorf("final seal %d product = %s, want %s", i, got, want)
+		}
+	}
+}
+
+// TestClusterSealedNoMemoryNoSeals: with cluster memory disabled nothing
+// is ever provisional, so nothing seals.
+func TestClusterSealedNoMemoryNoSeals(t *testing.T) {
+	ds, sys := learned(t, Config{})
+	waves := contiguousWaves(ds.IncomingOffers, 3)
+	perWave, final := runStream(t, sys, waves, MapFetcher(ds.Pages), StreamOptions{DisableClusterMemory: true})
+	for _, r := range append(perWave, final) {
+		if len(r.Sealed) != 0 {
+			t.Fatalf("wave %d carries %d seal events with memory disabled", r.Wave, len(r.Sealed))
+		}
+	}
+}
+
+// TestClusterSealedLRU covers the eviction path under MaxOpenClusters:
+// mid-stream results carry SealLRU events, each cluster seals exactly once
+// across the whole stream, and the final result still pairs 1:1 with its
+// own SealClose events.
+func TestClusterSealedLRU(t *testing.T) {
+	ds, sys := learned(t, Config{})
+	waves := contiguousWaves(ds.IncomingOffers, 6)
+	perWave, final := runStream(t, sys, waves, MapFetcher(ds.Pages), StreamOptions{MaxOpenClusters: 2})
+
+	sealed := map[int]SealReason{}
+	lru := 0
+	for _, r := range perWave {
+		recordSeals(t, sealed, r)
+		for _, ev := range r.Sealed {
+			if ev.Reason != SealLRU {
+				t.Errorf("wave %d seal reason = %v, want SealLRU", r.Wave, ev.Reason)
+			}
+			if ev.Wave != r.Wave {
+				t.Errorf("seal wave %d on result wave %d", ev.Wave, r.Wave)
+			}
+			lru++
+		}
+	}
+	if lru == 0 {
+		t.Fatal("MaxOpenClusters=2 over 6 waves evicted nothing")
+	}
+	recordSeals(t, sealed, final)
+	if len(final.Sealed) != len(final.Products) {
+		t.Fatalf("final: %d seal events for %d products", len(final.Sealed), len(final.Products))
+	}
+}
+
+// TestClusterSealedIdle covers the wave-TTL path: with MaxIdleWaves=1,
+// clusters untouched for two consecutive waves seal mid-stream with
+// SealIdle, exactly once each.
+func TestClusterSealedIdle(t *testing.T) {
+	ds, sys := learned(t, Config{})
+	waves := contiguousWaves(ds.IncomingOffers, 8)
+	perWave, final := runStream(t, sys, waves, MapFetcher(ds.Pages), StreamOptions{MaxIdleWaves: 1})
+
+	sealed := map[int]SealReason{}
+	idle := 0
+	for _, r := range perWave {
+		recordSeals(t, sealed, r)
+		for _, ev := range r.Sealed {
+			if ev.Reason != SealIdle {
+				t.Errorf("wave %d seal reason = %v, want SealIdle", r.Wave, ev.Reason)
+			}
+			idle++
+		}
+	}
+	if idle == 0 {
+		t.Fatal("MaxIdleWaves=1 over 8 waves expired nothing")
+	}
+	recordSeals(t, sealed, final)
+}
+
+// TestClusterSealedInvalidated covers the catalog-growth path: committing
+// wave 1's products with AddToCatalog before sending wave 2 bumps the
+// member categories' versions, so wave 2's result seals wave 1's clusters
+// with SealInvalidated — and none of those IDs reappear later.
+func TestClusterSealedInvalidated(t *testing.T) {
+	ds, sys := learned(t, Config{})
+	waves := contiguousWaves(ds.IncomingOffers, 2)
+
+	in := make(chan []Offer)
+	out, err := sys.SynthesizeStream(context.Background(), in, MapFetcher(ds.Pages), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in <- waves[0]
+	r0 := <-out
+	if r0.Err != nil || len(r0.Products) == 0 {
+		t.Fatalf("wave 0: err=%v products=%d", r0.Err, len(r0.Products))
+	}
+	// Commit wave 0's products before wave 1 is even sent, so the version
+	// bump deterministically precedes wave 1's memory pass.
+	if rep := sys.AddToCatalog(r0.Products, "mid"); rep.Added == 0 {
+		t.Fatalf("AddToCatalog added nothing: %+v", rep)
+	}
+	in <- waves[1]
+	r1 := <-out
+	if r1.Err != nil {
+		t.Fatalf("wave 1: %v", r1.Err)
+	}
+	sealed := map[int]SealReason{}
+	recordSeals(t, sealed, r0)
+	recordSeals(t, sealed, r1)
+	invalidated := 0
+	for _, ev := range r1.Sealed {
+		if ev.Reason == SealInvalidated {
+			invalidated++
+		}
+	}
+	if invalidated == 0 {
+		t.Fatal("mid-stream catalog growth invalidated no clusters")
+	}
+	close(in)
+	for r := range out {
+		recordSeals(t, sealed, r) // exactly-once holds through the close
+	}
+}

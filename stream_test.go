@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"prodsynth/internal/fusion"
 )
 
 // learned builds a marketplace and a learned System over it.
@@ -141,6 +144,42 @@ func TestSynthesizeStreamEquivalence(t *testing.T) {
 		for i, p := range final.Products {
 			if fp := last[p.KeyAttr+"\x00"+p.Key]; fp != want[i] {
 				t.Errorf("waves=%d: last emission for %s = %s, want %s", n, p.Key, fp, want[i])
+			}
+		}
+	}
+
+	// Pipelining determinism: the same equivalence must hold across
+	// stage-buffer depths (barrier, unbuffered handoff, deeper readahead)
+	// crossed with worker counts — cross-wave overlap and fan-out width
+	// must never change a byte of output.
+	model := sys.Model()
+	for _, sb := range []int{-1, 0, 1, 4} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("stagebuffer=%d/workers=%d", sb, workers)
+			psys := NewSystem(ds.Catalog, model, WithStageBuffer(sb), WithWorkers(workers))
+			for _, n := range []int{1, 3, 7} {
+				waves := contiguousWaves(ds.IncomingOffers, n)
+				perWave, final := runStream(t, psys, waves, fetcher, StreamOptions{})
+				if len(perWave) != len(waves) {
+					t.Fatalf("%s waves=%d: %d per-wave results", name, n, len(perWave))
+				}
+				for i, r := range perWave {
+					if r.Err != nil {
+						t.Errorf("%s waves=%d: wave %d failed: %v", name, n, i, r.Err)
+					}
+					if r.Wave != i {
+						t.Errorf("%s waves=%d: result %d has Wave=%d (out of order)", name, n, i, r.Wave)
+					}
+				}
+				got := productFingerprints(final.Products)
+				if len(got) != len(want) {
+					t.Fatalf("%s waves=%d: %d merged products vs %d one-shot", name, n, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s waves=%d: product %d differs:\n  streamed: %s\n  one-shot: %s", name, n, i, got[i], want[i])
+					}
+				}
 			}
 		}
 	}
@@ -442,6 +481,96 @@ func TestStreamCtxCancelNoLeak(t *testing.T) {
 		cancel()
 		waitGoroutines(t, baseline)
 	})
+}
+
+// gateStrategy blocks every Fuse call until released, signalling the
+// first call — the fuse-stage counterpart of gateFetcher.
+type gateStrategy struct {
+	inner    fusion.Strategy
+	inflight chan struct{}
+	release  chan struct{}
+	once     sync.Once
+}
+
+func newGateStrategy() *gateStrategy {
+	return &gateStrategy{inner: fusion.Centroid{}, inflight: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateStrategy) Fuse(candidates []string) string {
+	g.once.Do(func() { close(g.inflight) })
+	<-g.release
+	return g.inner.Fuse(candidates)
+}
+
+// blockAfterFetcher passes the first `after` fetches through and blocks
+// every later one until released, signalling the first blocked call.
+type blockAfterFetcher struct {
+	pages    MapFetcher
+	after    int64
+	calls    atomic.Int64
+	inflight chan struct{}
+	release  chan struct{}
+	once     sync.Once
+}
+
+func newBlockAfterFetcher(pages MapFetcher, after int) *blockAfterFetcher {
+	return &blockAfterFetcher{pages: pages, after: int64(after), inflight: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (f *blockAfterFetcher) Fetch(url string) (string, error) {
+	if f.calls.Add(1) > f.after {
+		f.once.Do(func() { close(f.inflight) })
+		<-f.release
+	}
+	return f.pages.Fetch(url)
+}
+
+// TestStreamPipelinedCancelTwoWavesInFlight is the cancellation guard for
+// cross-wave pipelining: wave 1 is held mid-fuse (gated fusion strategy)
+// while wave 2 is concurrently held mid-prepare (gated fetcher) — proving
+// the overlap exists — then the context is cancelled with both stages
+// blocked. The stream must close without a healthy result and every
+// pipeline goroutine (stage boundary, both stages' worker pools) must
+// exit.
+func TestStreamPipelinedCancelTwoWavesInFlight(t *testing.T) {
+	ds, v1 := learned(t, Config{})
+	wave1 := ds.IncomingOffers[:8]
+	wave2 := ds.IncomingOffers[8:16]
+
+	// The gate only trips if wave 1 actually fuses something.
+	sanity, err := v1.Synthesize(wave1, MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sanity.Products) == 0 {
+		t.Fatal("wave 1 would fuse nothing; pick a different slice")
+	}
+
+	baseline := runtime.NumGoroutine()
+	gate := newGateStrategy()
+	fetchGate := newBlockAfterFetcher(MapFetcher(ds.Pages), len(wave1))
+	sys := NewSystem(ds.Catalog, v1.Model(), WithConfig(Config{Fusion: gate}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan []Offer, 2)
+	out, err := sys.SynthesizeStream(ctx, in, fetchGate, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in <- wave1
+	in <- wave2
+	<-gate.inflight      // wave 1 is mid-fuse...
+	<-fetchGate.inflight // ...while wave 2 is mid-prepare, concurrently
+	cancel()
+	close(gate.release)
+	close(fetchGate.release)
+	for r := range out {
+		if r.Err == nil {
+			t.Errorf("received a healthy result after cancellation: wave %d", r.Wave)
+		}
+	}
+	waitGoroutines(t, baseline)
 }
 
 // TestStreamConcurrentCatalogGrowth runs AddToCatalog concurrently with

@@ -197,11 +197,44 @@ type StreamOptions struct {
 	// reproducing SynthesizeBatchesContext semantics wave for wave.
 	DisableClusterMemory bool
 	// Buffer is the result channel's capacity. 0 (unbuffered) applies
-	// backpressure: the pipeline runs at most one wave ahead of the
-	// consumer (the wave whose result is being delivered). Larger values
-	// let it run further ahead.
+	// backpressure on the fuse stage: it runs at most one wave ahead of
+	// the consumer (the wave whose result is being delivered). Larger
+	// values let it run further ahead. The prepare stage additionally
+	// works ahead of fuse by up to 1+Config.StageBuffer waves (see
+	// WithStageBuffer) unless cross-wave pipelining is disabled.
 	Buffer int
 }
+
+// SealReason says why a cluster was sealed — why the stream's cross-batch
+// cluster memory decided it can no longer grow.
+type SealReason = stream.SealReason
+
+// The seal reasons carried by ClusterSealed events.
+const (
+	// SealClose: the input channel closed; every cluster still open seals
+	// on the final result.
+	SealClose = stream.SealClose
+	// SealLRU: the cluster was evicted as least recently extended when the
+	// open set exceeded StreamOptions.MaxOpenClusters.
+	SealLRU = stream.SealLRU
+	// SealIdle: no wave extended the cluster for more than
+	// StreamOptions.MaxIdleWaves consecutive waves.
+	SealIdle = stream.SealIdle
+	// SealInvalidated: AddToCatalog grew the catalog mid-stream in one of
+	// the cluster's member categories, so the cluster was dropped rather
+	// than extended (its product may now exist in the catalog).
+	SealInvalidated = stream.SealInvalidated
+)
+
+// ClusterSealed is one per-cluster seal event on a StreamResult: the
+// stream's cluster memory decided this cluster can no longer grow, so its
+// Product is final rather than provisional — the signal a consumer
+// committing products downstream (AddToCatalog, an export feed) waits for
+// instead of re-committing every re-fused emission. ClusterIDs are unique
+// for the lifetime of one stream and every cluster seals exactly once:
+// through one eviction reason mid-stream, or through SealClose on the
+// final result (whose Sealed events align 1:1 with its merged Products).
+type ClusterSealed = stream.Sealed
 
 // StreamResult is one emission of SynthesizeStream: the embedded Result
 // carries the wave's products and counters (or Err for a failed wave).
@@ -221,6 +254,13 @@ type StreamResult struct {
 	// mid-stream catalog growth, the final Products are byte-identical
 	// to a one-shot SynthesizeContext over the concatenated waves.
 	Final bool
+	// Sealed are the clusters this result sealed: per-wave results carry
+	// the wave's evictions (LRU, idle-TTL, catalog invalidation), each
+	// with the cluster's final fused product; the Final result carries one
+	// SealClose event per merged product, aligned 1:1 with its Products.
+	// Empty when cluster memory is disabled (nothing is provisional then —
+	// every wave's products are already final).
+	Sealed []ClusterSealed
 }
 
 // SynthesizeStream runs the runtime pipeline as a long-lived feed
@@ -237,15 +277,23 @@ type StreamResult struct {
 // that refresh the matcher's indexes), since such clusters' products may
 // now be matched — and excluded — against the catalog itself.
 //
+// The stream executes as two pull-based stages — prepare (classify,
+// extract, match-exclude, reconcile) and fuse (cluster memory, value
+// fusion) — with a bounded buffer between them, so wave n+1's prepare
+// overlaps wave n's fuse while results are still emitted in input order,
+// byte-identical to barrier execution (WithStageBuffer tunes or disables
+// the overlap). Each result's Sealed field carries the stream's
+// ClusterSealed events: the products that just became final (see
+// ClusterSealed for the consumer contract).
+//
 // The stream pins the Model current when it starts; a later Use swap
 // affects subsequent calls, not a stream already in flight. A failed wave
 // (e.g. under Config.StrictPages) reports its error in that wave's
 // StreamResult.Err and the stream continues. Cancelling ctx stops the
-// pipeline — between waves or between the stages of the wave in flight —
-// and closes the channel without the final result; the pipeline goroutine
-// always exits once ctx is cancelled or waves is closed, even if the
-// consumer stops reading. A System built without a Model returns
-// ErrNotLearned.
+// pipeline — whatever stage each in-flight wave is in — and closes the
+// channel without the final result; every pipeline goroutine exits once
+// ctx is cancelled or waves is closed, even if the consumer stops
+// reading. A System built without a Model returns ErrNotLearned.
 func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pages PageFetcher, opts StreamOptions) (<-chan StreamResult, error) {
 	m, err := s.current()
 	if err != nil {
@@ -268,6 +316,7 @@ func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pag
 				Wave:         r.Wave,
 				Final:        r.Final,
 				OpenClusters: r.OpenClusters,
+				Sealed:       r.Sealed,
 				Result: Result{
 					Products:         r.Products,
 					PairsDropped:     r.Reconcile.PairsDropped,
