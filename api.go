@@ -61,6 +61,42 @@
 // README.md ("Pipeline architecture") for the stage diagram, buffer and
 // backpressure semantics, and a ClusterSealed consumer recipe.
 //
+// # Robustness and degraded mode
+//
+// Landing-page retrieval is the pipeline's one external boundary, and it
+// is allowed to fail. Configure [WithFetchPolicy] (or [Config.Fetch]) and
+// every entry point wraps the caller's [PageFetcher] in a resilience
+// layer — per-attempt deadlines, bounded retries with jittered backoff, a
+// per-host circuit breaker, and a concurrency gate — wrapped once per run
+// (once per stream), so breaker state spans a whole batch or wave
+// sequence. The degraded-mode guarantees are:
+//
+//   - Lenient mode (the default): an offer whose page cannot be fetched
+//     after all retries proceeds on its feed spec alone. Nothing is
+//     dropped and nothing is silent — every result carries a
+//     [FetchReport] with exact counters and the sorted IDs of the offers
+//     that went feed-only ([FetchReport.FeedOnly]), so graceful
+//     degradation is observable and alertable.
+//   - Strict mode ([WithStrictPages]): the first fetch failure in offer
+//     input order fails the run (a batch or wave records the error and
+//     later batches continue). Offline learning honors the same knob.
+//   - Determinism: retries change when a fetch runs, never what it
+//     returns, so under any fault schedule that is a pure function of
+//     (URL, attempt) the synthesized output is byte-identical across
+//     worker counts and stage buffering — and identical to a no-fault
+//     run when retries recover every page. The circuit breaker is the
+//     one exception: it reacts to cross-offer ordering, so runs that
+//     trip it keep deterministic products per wave but may vary in
+//     which fetches were rejected.
+//   - Cancellation reaches in-flight fetches: a fetcher implementing
+//     [ContextFetcher] observes pipeline cancellation mid-retry and
+//     mid-backoff instead of being abandoned.
+//
+// Fault injection for tests and drills is built in: [NewFaultyFetcher]
+// scripts deterministic per-(URL, attempt) error/latency schedules and
+// [NewFakeFetchClock] removes the wall clock from backoff and cooldowns.
+// See README.md ("Robustness") for the recipe.
+//
 // Warm-starting a long-lived process: the catalog store persists the same
 // way the Model does ([SaveCatalog]/[LoadCatalog]), and [SaveBundle]
 // writes both halves as one artifact, so a daemon cold-starts from a
@@ -100,6 +136,7 @@ import (
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/core"
 	"prodsynth/internal/correspond"
+	"prodsynth/internal/fetch"
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
@@ -153,6 +190,93 @@ type (
 	// MarketplaceConfig sizes a generated marketplace.
 	MarketplaceConfig = synth.Config
 )
+
+// Resilient ingestion: the fetch layer's public surface (see the
+// "Robustness and degraded mode" section of the package documentation).
+type (
+	// FetchPolicy configures the resilience layer around a PageFetcher:
+	// per-attempt deadlines, bounded retries with full-jitter backoff, a
+	// per-host circuit breaker, and a concurrency gate. The zero value
+	// disables wrapping.
+	FetchPolicy = fetch.Policy
+	// FetchReport is the per-run fetch accounting on every Result:
+	// counters plus the IDs of offers that proceeded feed-only.
+	FetchReport = fetch.Report
+	// FetchCounters are the fetch-operation counts inside a FetchReport.
+	FetchCounters = fetch.Counters
+	// ContextFetcher is the context-aware fetch boundary
+	// (FetchContext(ctx, url)); fetchers implementing it observe
+	// pipeline cancellation and per-attempt deadlines mid-fetch.
+	ContextFetcher = fetch.ContextPages
+	// ResilientFetcher wraps any PageFetcher with a FetchPolicy's
+	// defenses; the entry points build one automatically when a policy
+	// is configured. Implements PageFetcher, ContextFetcher, and
+	// per-lifetime counters.
+	ResilientFetcher = fetch.Resilient
+	// FaultyFetcher injects a deterministic fault schedule in front of a
+	// PageFetcher — the built-in fault-injection harness.
+	FaultyFetcher = fetch.Faulty
+	// FaultSchedule scripts fault outcomes as a pure function of
+	// (URL, attempt number).
+	FaultSchedule = fetch.Schedule
+	// FaultScheduleFunc adapts a function to FaultSchedule.
+	FaultScheduleFunc = fetch.ScheduleFunc
+	// FaultOutcome is one scripted attempt outcome (error, latency).
+	FaultOutcome = fetch.Outcome
+	// FetchClock abstracts time for backoff, cooldowns, and injected
+	// latency.
+	FetchClock = fetch.Clock
+	// FakeFetchClock is a manually driven FetchClock: sleeps advance it
+	// instantly, so retry schedules run without wall-clock delays.
+	FakeFetchClock = fetch.FakeClock
+)
+
+// Fetch-layer sentinel errors.
+var (
+	// ErrFetchBreakerOpen wraps fetch errors rejected by an open
+	// per-host circuit breaker.
+	ErrFetchBreakerOpen = fetch.ErrBreakerOpen
+	// ErrFetchPermanent marks a fetch error as not worth retrying.
+	ErrFetchPermanent = fetch.ErrPermanent
+	// ErrFetchInjected wraps every fault a FaultyFetcher injects.
+	ErrFetchInjected = fetch.ErrInjected
+)
+
+// DefaultFetchPolicy is the recommended serving configuration: 10s per
+// attempt, 3 attempts with 50ms..2s full-jitter backoff, and a 5-failure
+// per-host breaker with 30s cooldown.
+func DefaultFetchPolicy() FetchPolicy { return fetch.DefaultPolicy() }
+
+// NewResilientFetcher wraps a PageFetcher with a FetchPolicy's defenses
+// explicitly — useful for sharing one breaker/counter state across many
+// runs; the entry points otherwise wrap per run via WithFetchPolicy.
+func NewResilientFetcher(inner PageFetcher, p FetchPolicy) *ResilientFetcher {
+	return fetch.NewResilient(inner, p)
+}
+
+// NewFaultyFetcher wraps a PageFetcher with a scripted fault schedule: the
+// k-th fetch of a URL suffers schedule.Outcome(url, k). A nil clock sleeps
+// injected latency on the wall clock; pass NewFakeFetchClock() to run
+// latency schedules instantly.
+func NewFaultyFetcher(inner PageFetcher, schedule FaultSchedule, clock FetchClock) *FaultyFetcher {
+	return fetch.NewFaulty(inner, schedule, clock)
+}
+
+// NewFakeFetchClock returns a manually driven clock starting at a fixed
+// epoch.
+func NewFakeFetchClock() *FakeFetchClock { return fetch.NewFakeClock() }
+
+// FailFirstFaults scripts the canonical recovery drill: every URL fails
+// its first n attempts and succeeds from attempt n+1 on.
+func FailFirstFaults(n int) FaultSchedule { return fetch.FailFirst(n) }
+
+// FlakyFaults scripts seeded random faults: each (URL, attempt) fails
+// with probability p, deterministically and independent of call order.
+func FlakyFaults(seed int64, p float64) FaultSchedule { return fetch.Flaky(seed, p) }
+
+// HostOutageFaults scripts a hard outage of one host (every attempt for
+// its URLs fails) — the drill that trips the per-host circuit breaker.
+func HostOutageFaults(host string) FaultSchedule { return fetch.HostOutage(host) }
 
 // Attribute kinds, re-exported for schema construction.
 const (

@@ -11,6 +11,7 @@ import (
 
 	"prodsynth/internal/core"
 	"prodsynth/internal/experiments"
+	"prodsynth/internal/fetch"
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/offer"
 	"prodsynth/internal/pipe"
@@ -197,6 +198,114 @@ func runBenchPipeline(w io.Writer, env *experiments.Env, rc runConfig, path stri
 	}
 	fmt.Fprintf(w, "\n# pipelined speedup over barrier: %.2fx; peak in-flight offers: %d\n\n",
 		rep.PipelinedSpeedupX, rep.PeakInFlightOffers)
+	return nil
+}
+
+// benchFetchReport is the machine-readable shape written to
+// BENCH_fetch.json (emitted next to -benchjson's pipeline report): the
+// one-shot batch run with the fetcher plain, wrapped in the resilience
+// layer over a healthy fetcher, and wrapped over a fetcher whose every
+// page fails twice before succeeding. The overhead figures are per fetch
+// operation; the fault run backs off on a FakeClock, so they isolate the
+// retry machinery, not the sleeps (simulated_backoff_ms is what a wall
+// clock would have slept).
+type benchFetchReport struct {
+	GeneratedAt             string    `json:"generated_at"`
+	Scale                   string    `json:"scale"`
+	Seed                    int64     `json:"seed"`
+	Offers                  int       `json:"offers"`
+	Plain                   benchMode `json:"plain"`
+	Resilient               benchMode `json:"resilient_no_faults"`
+	Faulted                 benchMode `json:"resilient_fail_twice"`
+	WrapOverheadNsPerFetch  int64     `json:"wrap_overhead_ns_per_fetch"`
+	RetryOverheadNsPerFetch int64     `json:"retry_overhead_ns_per_fetch"`
+	RecoveredFetchRate      float64   `json:"recovered_fetch_rate"`
+	SimulatedBackoffMS      float64   `json:"simulated_backoff_ms"`
+}
+
+// runBenchFetch measures what the resilience layer costs and writes the
+// JSON report to path, echoing a summary to w. Single-iteration numbers,
+// same caveat as the pipeline report: CI smoke, not a benchmark.
+func runBenchFetch(w io.Writer, env *experiments.Env, rc runConfig, path string) error {
+	ctx := context.Background()
+	offers := env.Dataset.IncomingOffers
+	inner := core.MapFetcher(env.Dataset.Pages)
+	cfg := env.Config
+	policy := func(clock fetch.Clock) fetch.Policy {
+		return fetch.Policy{
+			MaxAttempts: 3,
+			BackoffBase: 50 * time.Millisecond,
+			BackoffMax:  time.Second,
+			JitterSeed:  1,
+			Clock:       clock,
+		}
+	}
+	var lastReport fetch.Report
+	runOnce := func(pages core.PageFetcher) func() (int, error) {
+		return func() (int, error) {
+			run, err := core.RunRuntime(ctx, env.Dataset.Catalog, env.Offline, offers, pages, cfg)
+			if err != nil {
+				return 0, err
+			}
+			lastReport = run.Fetch
+			return len(run.Products), nil
+		}
+	}
+	rep := benchFetchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       rc.scale,
+		Seed:        rc.seed,
+		Offers:      len(offers),
+	}
+
+	var err error
+	rep.Plain, err = measure(runOnce(inner))
+	if err != nil {
+		return fmt.Errorf("bench fetch plain: %w", err)
+	}
+	rep.Resilient, err = measure(runOnce(fetch.NewResilient(inner, policy(fetch.NewFakeClock()))))
+	if err != nil {
+		return fmt.Errorf("bench fetch resilient: %w", err)
+	}
+	clock := fetch.NewFakeClock()
+	faulted := fetch.NewResilient(fetch.NewFaulty(inner, fetch.FailFirst(2), clock), policy(clock))
+	rep.Faulted, err = measure(runOnce(faulted))
+	if err != nil {
+		return fmt.Errorf("bench fetch faulted: %w", err)
+	}
+	if n := int64(lastReport.Attempted); n > 0 {
+		rep.WrapOverheadNsPerFetch = (rep.Resilient.NsPerOp - rep.Plain.NsPerOp) / n
+		rep.RetryOverheadNsPerFetch = (rep.Faulted.NsPerOp - rep.Resilient.NsPerOp) / n
+		rep.RecoveredFetchRate = float64(lastReport.Recovered) / float64(lastReport.Attempted)
+	}
+	rep.SimulatedBackoffMS = float64(clock.Slept()) / float64(time.Millisecond)
+	for _, m := range []*benchMode{&rep.Plain, &rep.Resilient, &rep.Faulted} {
+		m.OffersPerSec = float64(len(offers)) / (float64(m.NsPerOp) / float64(time.Second))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## fetch-layer benchmark — %d offers, fail-twice schedule → %s\n\n",
+		len(offers), path)
+	fmt.Fprintf(w, "%-22s %12s %14s %12s\n", "mode", "ms/op", "allocs/op", "offers/sec")
+	for _, row := range []struct {
+		name string
+		m    benchMode
+	}{
+		{"plain", rep.Plain},
+		{"resilient, no faults", rep.Resilient},
+		{"resilient, fail twice", rep.Faulted},
+	} {
+		fmt.Fprintf(w, "%-22s %12.1f %14d %12.1f\n",
+			row.name, float64(row.m.NsPerOp)/1e6, row.m.AllocsPerOp, row.m.OffersPerSec)
+	}
+	fmt.Fprintf(w, "\n# wrap overhead %d ns/fetch; retry overhead %d ns/fetch; recovered rate %.2f; simulated backoff %.0f ms\n\n",
+		rep.WrapOverheadNsPerFetch, rep.RetryOverheadNsPerFetch, rep.RecoveredFetchRate, rep.SimulatedBackoffMS)
 	return nil
 }
 

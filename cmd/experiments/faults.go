@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"prodsynth/internal/core"
+	"prodsynth/internal/experiments"
+	"prodsynth/internal/fetch"
+	"prodsynth/internal/fusion"
+	"prodsynth/internal/offer"
+)
+
+// runFaultReplay exercises the resilience layer end to end on the env's
+// incoming offers, failing loudly on any deviation so the CI smoke step
+// catches regressions:
+//
+//   - recovery: every page fetch fails exactly twice and the 3-attempt
+//     policy recovers it — output must be byte-identical to the clean
+//     one-shot run and the counters must match the schedule exactly;
+//   - host outage: the busiest merchant host is hard down — its offers
+//     must synthesize feed-only and be named in the report, the per-host
+//     breaker must trip, and every other host must be untouched.
+//
+// Both scenarios run on a FakeClock, so backoff and breaker cooldowns
+// cost no wall time.
+func runFaultReplay(w io.Writer, env *experiments.Env) error {
+	ctx := context.Background()
+	offers := env.Dataset.IncomingOffers
+	inner := core.MapFetcher(env.Dataset.Pages)
+	fmt.Fprintf(w, "## fault injection — %d offers\n\n", len(offers))
+
+	// Scenario 1: transient faults, retries recover everything.
+	clock := fetch.NewFakeClock()
+	res := fetch.NewResilient(fetch.NewFaulty(inner, fetch.FailFirst(2), clock), fetch.Policy{
+		MaxAttempts: 3,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  time.Second,
+		JitterSeed:  1,
+		Clock:       clock,
+	})
+	run, err := core.RunRuntime(ctx, env.Dataset.Catalog, env.Offline, offers, res, env.Config)
+	if err != nil {
+		return fmt.Errorf("fault replay (recovery): %w", err)
+	}
+	c := run.Fetch.Counters
+	verdict := productsVerdict(run.Products, env.Runtime.Products)
+	fmt.Fprintf(w, "# recovery: every fetch fails twice, 3-attempt policy\n")
+	fmt.Fprintf(w, "#   %s; simulated backoff %v\n", run.Fetch, clock.Slept().Round(time.Millisecond))
+	fmt.Fprintf(w, "#   output vs clean one-shot run: %s\n\n", verdict)
+	if verdict != "IDENTICAL" {
+		return fmt.Errorf("fault replay (recovery): %s", verdict)
+	}
+	if c.Attempted == 0 {
+		return fmt.Errorf("fault replay (recovery): no fetches attempted")
+	}
+	want := fetch.Counters{Attempted: c.Attempted, Attempts: 3 * c.Attempted, Retried: c.Attempted, Recovered: c.Attempted}
+	if c != want {
+		return fmt.Errorf("fault replay (recovery): counters %+v, want %+v", c, want)
+	}
+	if run.Fetch.Degraded() {
+		return fmt.Errorf("fault replay (recovery): %d offers degraded to feed-only, want none", len(run.Fetch.FeedOnly))
+	}
+
+	// Scenario 2: one host hard down, breaker trips, lenient mode
+	// degrades exactly that host's offers.
+	down, downCount := busiestHost(offers)
+	clock = fetch.NewFakeClock()
+	res = fetch.NewResilient(fetch.NewFaulty(inner, fetch.HostOutage(down), clock), fetch.Policy{
+		MaxAttempts:      2,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       time.Second,
+		JitterSeed:       1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+		Clock:            clock,
+	})
+	run, err = core.RunRuntime(ctx, env.Dataset.Catalog, env.Offline, offers, res, env.Config)
+	if err != nil {
+		return fmt.Errorf("fault replay (host outage): %w", err)
+	}
+	rep := run.Fetch
+	fmt.Fprintf(w, "# host outage: %s down (%d offers), 2-attempt policy, breaker threshold 3\n", down, downCount)
+	fmt.Fprintf(w, "#   %s\n", rep)
+	fmt.Fprintf(w, "#   %d products still synthesized from the healthy hosts\n\n", len(run.Products))
+	if got := len(rep.FeedOnly); got != downCount {
+		return fmt.Errorf("fault replay (host outage): %d offers feed-only, want %d", got, downCount)
+	}
+	if rep.GaveUp != downCount {
+		return fmt.Errorf("fault replay (host outage): %d operations gave up, want %d", rep.GaveUp, downCount)
+	}
+	if downCount >= 3 && rep.BreakerRejected == 0 {
+		return fmt.Errorf("fault replay (host outage): breaker never rejected despite %d offers on the down host", downCount)
+	}
+	if len(run.Products) == 0 {
+		return fmt.Errorf("fault replay (host outage): no products synthesized")
+	}
+	return nil
+}
+
+// busiestHost returns the host serving the most offer URLs (smallest host
+// string on ties, so the scenario is deterministic for a fixed dataset).
+func busiestHost(offers []offer.Offer) (string, int) {
+	counts := make(map[string]int)
+	for _, o := range offers {
+		if o.URL != "" {
+			counts[fetch.Host(o.URL)]++
+		}
+	}
+	var best string
+	bestN := 0
+	for h, n := range counts {
+		if n > bestN || (n == bestN && h < best) {
+			best, bestN = h, n
+		}
+	}
+	return best, bestN
+}
+
+// productsVerdict compares two synthesized-product lists field by field
+// and renders the equivalence verdict used by the replay reports.
+func productsVerdict(got, want []fusion.Synthesized) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("MISMATCH: %d vs %d products", len(got), len(want))
+	}
+	for i := range want {
+		a, b := got[i], want[i]
+		if a.Key != b.Key || a.KeyAttr != b.KeyAttr || a.CategoryID != b.CategoryID ||
+			a.Spec.String() != b.Spec.String() {
+			return fmt.Sprintf("MISMATCH at product %d: %s vs %s", i, a.Key, b.Key)
+		}
+	}
+	return "IDENTICAL"
+}

@@ -9,6 +9,7 @@
 //	experiments -all -seed 7 -out report.txt
 //	experiments -all -cpuprofile cpu.prof -memprofile mem.prof
 //	experiments -stream 16               # replay incoming offers as a 16-wave feed
+//	experiments -faults                  # fault-injection replay: retry recovery, host outage
 //
 // Output is text shaped like the paper's tables and figures (coverage /
 // precision series), suitable for EXPERIMENTS.md. The profile flags
@@ -23,6 +24,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -54,6 +56,7 @@ func realMain() int {
 		fig9      = flag.Bool("fig9", false, "Figure 9: COMA++ delta settings")
 		ablate    = flag.Bool("ablations", false, "ablation sweeps")
 		nstream   = flag.Int("stream", 0, "replay the incoming offers as a continuous feed of this many waves")
+		faults    = flag.Bool("faults", false, "fault-injection replay: retry recovery and host-outage scenarios")
 		benchjson = flag.String("benchjson", "", "measure batch vs stream (pipelined and barrier) and write a JSON report here")
 		scale     = flag.String("scale", "medium", "corpus scale: small, medium, large")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -65,7 +68,7 @@ func realMain() int {
 	)
 	flag.Parse()
 
-	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate || *nstream > 0 || *benchjson != "") {
+	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate || *nstream > 0 || *faults || *benchjson != "") {
 		flag.Usage()
 		return 2
 	}
@@ -115,7 +118,7 @@ func realMain() int {
 	err := run(w, runConfig{
 		all: *all, table2: *table2, table3: *table3, table4: *table4,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9, ablate: *ablate,
-		nstream: *nstream, benchjson: *benchjson,
+		nstream: *nstream, faults: *faults, benchjson: *benchjson,
 		scale: *scale, seed: *seed, workers: *workers,
 	})
 	if err != nil {
@@ -129,6 +132,7 @@ type runConfig struct {
 	all, table2, table3, table4    bool
 	fig6, fig7, fig8, fig9, ablate bool
 	nstream                        int
+	faults                         bool
 	benchjson                      string
 	scale                          string
 	seed                           int64
@@ -192,8 +196,18 @@ func run(w io.Writer, rc runConfig) error {
 			return err
 		}
 	}
+	if rc.faults {
+		if err := runFaultReplay(w, env); err != nil {
+			return err
+		}
+	}
 	if rc.benchjson != "" {
 		if err := runBenchPipeline(w, env, rc, rc.benchjson); err != nil {
+			return err
+		}
+		// The fetch-layer companion report lands next to the pipeline one.
+		fetchPath := filepath.Join(filepath.Dir(rc.benchjson), "BENCH_fetch.json")
+		if err := runBenchFetch(w, env, rc, fetchPath); err != nil {
 			return err
 		}
 	}
@@ -230,8 +244,9 @@ func runStreamReplay(w io.Writer, env *experiments.Env, n int) error {
 		core.MapFetcher(env.Dataset.Pages), env.Config, stream.Options{})
 
 	fmt.Fprintf(w, "## streaming replay — %d offers over %d waves, cross-batch cluster memory\n\n", len(offers), n)
-	fmt.Fprintf(w, "%6s %8s %9s %9s %8s %7s %10s %10s %10s\n",
-		"wave", "offers", "excluded", "clusters", "open", "sealed", "prepare", "fuse", "elapsed")
+	fmt.Fprintf(w, "%6s %8s %9s %9s %8s %7s %8s %8s %9s %10s %10s %10s\n",
+		"wave", "offers", "excluded", "clusters", "open", "sealed",
+		"fetches", "retried", "feedonly", "prepare", "fuse", "elapsed")
 	var final stream.Result
 	sealed := 0
 	for r := range out {
@@ -243,8 +258,9 @@ func runStreamReplay(w io.Writer, env *experiments.Env, n int) error {
 			final = r
 			continue
 		}
-		fmt.Fprintf(w, "%6d %8d %9d %9d %8d %7d %10v %10v %10v\n",
+		fmt.Fprintf(w, "%6d %8d %9d %9d %8d %7d %8d %8d %9d %10v %10v %10v\n",
 			r.Wave, r.Offers, r.ExcludedMatched, r.Clusters, r.OpenClusters, len(r.Sealed),
+			r.Fetch.Attempts, r.Fetch.Retried, len(r.Fetch.FeedOnly),
 			r.PrepareElapsed.Round(time.Microsecond), r.FuseElapsed.Round(time.Microsecond),
 			r.Elapsed.Round(time.Microsecond))
 	}
@@ -252,21 +268,9 @@ func runStreamReplay(w io.Writer, env *experiments.Env, n int) error {
 		len(final.Products), final.Offers, final.Elapsed.Round(time.Millisecond),
 		final.PrepareElapsed.Round(time.Millisecond), final.FuseElapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "# sealed clusters: %d total (%d at close)\n", sealed, len(final.Sealed))
+	fmt.Fprintf(w, "# fetch: %s\n", final.Fetch)
 
-	oneShot := env.Runtime.Products
-	verdict := "IDENTICAL"
-	if len(final.Products) != len(oneShot) {
-		verdict = fmt.Sprintf("MISMATCH: %d streamed vs %d one-shot", len(final.Products), len(oneShot))
-	} else {
-		for i := range oneShot {
-			a, b := final.Products[i], oneShot[i]
-			if a.Key != b.Key || a.KeyAttr != b.KeyAttr || a.CategoryID != b.CategoryID ||
-				a.Spec.String() != b.Spec.String() {
-				verdict = fmt.Sprintf("MISMATCH at product %d: %s vs %s", i, a.Key, b.Key)
-				break
-			}
-		}
-	}
+	verdict := productsVerdict(final.Products, env.Runtime.Products)
 	fmt.Fprintf(w, "# stream ≡ one-shot synthesis: %s\n\n", verdict)
 	return nil
 }

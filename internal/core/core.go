@@ -39,6 +39,7 @@ import (
 	"prodsynth/internal/cluster"
 	"prodsynth/internal/correspond"
 	"prodsynth/internal/extract"
+	"prodsynth/internal/fetch"
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
@@ -48,6 +49,15 @@ import (
 
 // PageFetcher retrieves landing pages by URL. Production systems would
 // back this with a crawler cache; tests and experiments use MapFetcher.
+//
+// A fetcher may additionally implement fetch.ContextPages
+// (FetchContext(ctx, url)); the pipeline detects it by interface upgrade
+// and threads the stage context through, so cancellation and per-attempt
+// deadlines reach in-flight fetches instead of abandoning them. A plain
+// Fetch is checked for cancellation before the call and allowed to
+// finish once started. Fetchers that also implement fetch.CounterSource
+// (fetch.Resilient does both) contribute exact per-run counters to the
+// result's fetch report.
 type PageFetcher interface {
 	Fetch(url string) (html string, err error)
 }
@@ -62,7 +72,7 @@ var ErrPageNotFound = errors.New("core: page not found")
 func (m MapFetcher) Fetch(url string) (string, error) {
 	page, ok := m[url]
 	if !ok {
-		return "", fmt.Errorf("%w: %s", ErrPageNotFound, url)
+		return "", fmt.Errorf("%w: %q", ErrPageNotFound, url)
 	}
 	return page, nil
 }
@@ -103,16 +113,29 @@ type Config struct {
 	// incoming offers matching existing catalog products (§1: synthesis
 	// targets offers that cannot be matched).
 	KeepMatchedIncoming bool
-	// StrictPages makes a landing-page fetch failure fatal to a runtime
-	// run (Synthesize, a batch, a stream wave). By default the pipeline
-	// tolerates crawl gaps — an offer whose page cannot be fetched keeps
-	// its feed spec — which silently degrades synthesis quality when the
-	// crawl infrastructure is down wholesale. Serving deployments that
-	// would rather fail a batch (and retry it) than synthesize from feed
-	// specs alone set this. The offline phase (Learn) always stays
-	// lenient: one dead link in a historical corpus must not make the
-	// system unconstructable.
+	// StrictPages makes a landing-page fetch failure fatal to a run —
+	// runtime (Synthesize, a batch, a stream wave) and offline (Learn)
+	// alike. By default the pipeline tolerates crawl gaps — an offer
+	// whose page cannot be fetched keeps its feed spec — and every
+	// degraded offer is accounted in the result's fetch report, so
+	// lenient mode is observable graceful degradation rather than
+	// invisible data loss. Deployments that would rather fail a run (and
+	// retry it) than learn or synthesize from feed specs alone set this;
+	// pair it with a retrying fetcher (fetch.Policy) so a transient
+	// flake does not abort a run a retry would have saved.
 	StrictPages bool
+	// Fetch is the resilience policy for landing-page fetches: per-attempt
+	// deadlines, bounded retries with jittered backoff, a per-host circuit
+	// breaker, and a concurrency gate (see fetch.Policy). The zero value
+	// disables wrapping — fetch failures surface after a single attempt,
+	// as before. The top-level entry points wrap the caller's PageFetcher
+	// once per run (or once per stream), so breaker state and counters
+	// span an entire batch sequence or wave sequence. Retries change when
+	// a fetch runs, never what it returns, so output determinism is
+	// unaffected; the breaker reacts to cross-offer ordering and is the
+	// one knob that can make lenient-mode degradation timing-dependent
+	// (see fetch.Policy's determinism note).
+	Fetch fetch.Policy
 	// StageBuffer is the bounded buffer depth between the streaming
 	// pipeline's wave-level stages (prepare → fuse). 0, the default, is
 	// an unbuffered handoff: wave n+1's prepare still overlaps wave n's
@@ -188,6 +211,74 @@ func runLimited(ctx context.Context, n, workers int, job func(i int)) error {
 	}
 	wg.Wait()
 	return ctx.Err()
+}
+
+// fetchTally is the run-scoped account of extraction-stage fetch activity
+// shared by the stage's workers. The fetch counters themselves come from
+// the fetcher when it keeps them (fetch.CounterSource — fetch.Resilient
+// does); the tally supplies what only the pipeline knows — which offers
+// proceeded feed-only — plus a coarse one-attempt-per-offer counter
+// fallback for plain fetchers.
+type fetchTally struct {
+	mu        sync.Mutex
+	attempted int
+	feedOnly  []string
+}
+
+// attempt counts one fetch operation started. nil-safe.
+func (t *fetchTally) attempt() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attempted++
+	t.mu.Unlock()
+}
+
+// degraded records an offer that proceeded on feed spec alone. nil-safe.
+func (t *fetchTally) degraded(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.feedOnly = append(t.feedOnly, id)
+	t.mu.Unlock()
+}
+
+// report assembles the run's fetch report: exact counter deltas when the
+// fetcher accounts itself (cs non-nil, snapshotted at before), the
+// tally's coarse counters otherwise. FeedOnly is sorted so the report is
+// independent of worker scheduling.
+func (t *fetchTally) report(cs fetch.CounterSource, before fetch.Counters) fetch.Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var rep fetch.Report
+	if cs != nil {
+		rep.Counters = cs.FetchCounters().Sub(before)
+	} else {
+		rep.Counters = fetch.Counters{
+			Attempted: t.attempted,
+			Attempts:  t.attempted,
+			GaveUp:    len(t.feedOnly),
+		}
+	}
+	if len(t.feedOnly) > 0 {
+		rep.FeedOnly = append([]string(nil), t.feedOnly...)
+		sort.Strings(rep.FeedOnly)
+	}
+	return rep
+}
+
+// counterSnapshot returns the fetcher's counter source and its current
+// snapshot when it keeps counters, (nil, zero) otherwise. Counter deltas
+// are per-run-exact because the entry points run extraction stages
+// serially per run (waves prepare in input order, batches sequentially)
+// against the one wrapped fetcher.
+func counterSnapshot(pages PageFetcher) (fetch.CounterSource, fetch.Counters) {
+	if cs, ok := pages.(fetch.CounterSource); ok {
+		return cs, cs.FetchCounters()
+	}
+	return nil, fetch.Counters{}
 }
 
 // categorySlice names one category's offers by their positions in the
@@ -288,6 +379,10 @@ type OfflineResult struct {
 	Classifier *categorize.Classifier
 	// Stats are the §5.1-style statistics.
 	Stats OfflineStats
+	// Fetch accounts the phase's landing-page fetches: counts plus the
+	// historical offers whose page could not be fetched and that were
+	// learned from feed specs alone.
+	Fetch fetch.Report
 }
 
 // OfflineStats mirrors the statistics reported in the paper's §5.1.
@@ -304,9 +399,14 @@ type OfflineStats struct {
 // observed at stage boundaries and between the worker-pool jobs inside
 // each stage; on cancellation the error is ctx.Err() and every pool
 // goroutine has already been joined.
+//
+// Config.StrictPages applies here exactly as at runtime: by default a
+// historical offer whose page cannot be fetched is learned from its feed
+// spec alone (and accounted in the result's Fetch report); under
+// StrictPages the first fetch failure in offer input order fails the
+// phase.
 func RunOffline(ctx context.Context, store *catalog.Store, historical []offer.Offer, pages PageFetcher, cfg Config) (*OfflineResult, error) {
 	cfg = cfg.withDefaults()
-	cfg.StrictPages = false // runtime-only knob; the offline phase tolerates crawl gaps
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -317,7 +417,9 @@ func RunOffline(ctx context.Context, store *catalog.Store, historical []offer.Of
 	copy(withCat, historical)
 	classifier.Assign(withCat)
 
-	enriched, err := extractSpecs(ctx, withCat, pages, cfg)
+	cs, before := counterSnapshot(pages)
+	tally := &fetchTally{}
+	enriched, err := extractSpecs(ctx, withCat, pages, cfg, tally)
 	if err != nil {
 		return nil, err
 	}
@@ -353,6 +455,7 @@ func RunOffline(ctx context.Context, store *catalog.Store, historical []offer.Of
 		Scored:          scored,
 		Correspondences: selected,
 		Classifier:      classifier,
+		Fetch:           tally.report(cs, before),
 		Stats: OfflineStats{
 			HistoricalOffers:  len(historical),
 			MatchedOffers:     matches.Len(),
@@ -389,6 +492,9 @@ type RuntimeResult struct {
 	// ExcludedMatched counts incoming offers dropped because they match
 	// an existing catalog product.
 	ExcludedMatched int
+	// Fetch accounts the run's landing-page fetches, including the offers
+	// that proceeded feed-only (lenient mode's graceful degradation).
+	Fetch fetch.Report
 }
 
 // Prepared is the output of the front half of the runtime pipeline —
@@ -407,6 +513,11 @@ type Prepared struct {
 	// ExcludedMatched counts incoming offers dropped because they match
 	// an existing catalog product.
 	ExcludedMatched int
+	// Fetch accounts the wave's landing-page fetches: exact counter
+	// deltas when the fetcher keeps counters (fetch.Resilient), a coarse
+	// one-attempt-per-offer tally otherwise, plus the sorted IDs of the
+	// offers that proceeded feed-only.
+	Fetch fetch.Report
 }
 
 // PrepareIncoming runs the per-offer front half of the runtime pipeline:
@@ -427,12 +538,19 @@ func PrepareIncoming(ctx context.Context, store *catalog.Store, offline *Offline
 		return nil, err
 	}
 
-	perOffer := ExtractStage(pages, cfg)(ClassifyStage(offline)(pipe.FromSlice(incoming)))
+	cs, before := counterSnapshot(pages)
+	tally := &fetchTally{}
+	perOffer := extractStage(pages, cfg, tally)(ClassifyStage(offline)(pipe.FromSlice(incoming)))
 	enriched, err := pipe.Collect(ctx, perOffer)
 	if err != nil {
 		return nil, err
 	}
-	return matchReconcile(ctx, store, offline, enriched, cfg)
+	prep, err := matchReconcile(ctx, store, offline, enriched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prep.Fetch = tally.report(cs, before)
+	return prep, nil
 }
 
 // FuseClusters drains FuseStage over the clusters: value fusion fans out
@@ -459,6 +577,7 @@ func RunRuntime(ctx context.Context, store *catalog.Store, offline *OfflineResul
 	res := &RuntimeResult{
 		Reconcile:       prep.Reconcile,
 		ExcludedMatched: prep.ExcludedMatched,
+		Fetch:           prep.Fetch,
 	}
 
 	// Clustering is global: key values identify a product regardless of
@@ -478,19 +597,20 @@ func RunRuntime(ctx context.Context, store *catalog.Store, offline *OfflineResul
 // offer's landing page and merges extracted attribute-value pairs into the
 // offer spec (feed pairs win on name conflict), sharing the per-offer body
 // (extractOne) with the runtime ExtractStage. Offers whose page cannot be
-// fetched keep their feed spec — the offline phase always tolerates crawl
-// gaps — unless Config.StrictPages is set, in which case the first fetch
-// failure in offer input order fails the run. Cancellation is checked
-// between offers: an in-flight Fetch is allowed to finish (PageFetcher has
-// no context), after which the pool drains and ctx.Err() is returned.
-func extractSpecs(ctx context.Context, offers []offer.Offer, pages PageFetcher, cfg Config) ([]offer.Offer, error) {
+// fetched keep their feed spec (recorded in the tally) unless
+// Config.StrictPages is set, in which case the first fetch failure in
+// offer input order fails the run. Cancellation is checked between offers
+// and, for a context-aware fetcher, reaches in-flight fetches; a plain
+// Fetch is allowed to finish, after which the pool drains and ctx.Err()
+// is returned.
+func extractSpecs(ctx context.Context, offers []offer.Offer, pages PageFetcher, cfg Config, tally *fetchTally) ([]offer.Offer, error) {
 	out := make([]offer.Offer, len(offers))
 	var errs []error
 	if cfg.StrictPages {
 		errs = make([]error, len(offers))
 	}
 	poolErr := runLimited(ctx, len(offers), cfg.Workers, func(i int) {
-		o, err := extractOne(offers[i], pages, cfg)
+		o, err := extractOne(ctx, offers[i], pages, cfg, tally)
 		if err != nil {
 			errs[i] = err
 			return

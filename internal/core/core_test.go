@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -293,8 +294,17 @@ func TestStrictPages(t *testing.T) {
 	bad.URL = "missing://nowhere"
 	incoming := append([]offer.Offer{bad}, ds.IncomingOffers[1:]...)
 
-	if _, err := RunRuntime(context.Background(), ds.Catalog, off, incoming, fetcher, Config{}); err != nil {
+	lenient, err := RunRuntime(context.Background(), ds.Catalog, off, incoming, fetcher, Config{})
+	if err != nil {
 		t.Fatalf("lenient run failed: %v", err)
+	}
+	// Lenient degradation is accounted, not silent: the bad offer shows
+	// up in the run's fetch report.
+	if got := lenient.Fetch.FeedOnly; len(got) != 1 || got[0] != "bad" {
+		t.Errorf("lenient FeedOnly = %v, want [bad]", got)
+	}
+	if lenient.Fetch.GaveUp != 1 {
+		t.Errorf("lenient GaveUp = %d, want 1", lenient.Fetch.GaveUp)
 	}
 	_, err = RunRuntime(context.Background(), ds.Catalog, off, incoming, fetcher, Config{StrictPages: true})
 	if err == nil {
@@ -303,15 +313,27 @@ func TestStrictPages(t *testing.T) {
 	if !errors.Is(err, ErrPageNotFound) {
 		t.Errorf("err = %v, want wrapped ErrPageNotFound", err)
 	}
+	// The error names the URL it could not fetch.
+	if !strings.Contains(err.Error(), `"missing://nowhere"`) {
+		t.Errorf("strict error %q does not name the URL", err)
+	}
 
-	// The flag is runtime-only: a crawl gap in the historical corpus
-	// must not make Learn fail.
+	// The flag applies symmetrically to the offline phase: a crawl gap
+	// in the historical corpus is tolerated (and accounted) by default
+	// and fails Learn under StrictPages.
 	badHist := ds.HistoricalOffers[0].Clone()
 	badHist.ID = "bad-hist"
 	badHist.URL = "missing://nowhere"
 	historical := append([]offer.Offer{badHist}, ds.HistoricalOffers[1:]...)
-	if _, err := RunOffline(context.Background(), ds.Catalog, historical, fetcher, Config{StrictPages: true}); err != nil {
-		t.Errorf("offline phase failed under StrictPages: %v", err)
+	offBad, err := RunOffline(context.Background(), ds.Catalog, historical, fetcher, Config{})
+	if err != nil {
+		t.Fatalf("lenient offline phase failed: %v", err)
+	}
+	if got := offBad.Fetch.FeedOnly; len(got) != 1 || got[0] != "bad-hist" {
+		t.Errorf("offline FeedOnly = %v, want [bad-hist]", got)
+	}
+	if _, err := RunOffline(context.Background(), ds.Catalog, historical, fetcher, Config{StrictPages: true}); err == nil {
+		t.Error("offline phase tolerated a missing page under StrictPages")
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/cluster"
 	"prodsynth/internal/extract"
+	"prodsynth/internal/fetch"
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/match"
 	"prodsynth/internal/offer"
@@ -57,24 +58,38 @@ func ClassifyStage(offline *OfflineResult) pipe.Stage[offer.Offer, offer.Offer] 
 // is identical for every worker count. A failed fetch keeps the feed spec
 // unless cfg.StrictPages is set, in which case the first failure in input
 // order ends the stage with a deterministic error.
+//
+// The stage context reaches each fetch: a context-aware fetcher
+// (fetch.ContextPages, e.g. fetch.Resilient) observes pipeline
+// cancellation and stage teardown mid-fetch — mid-retry, mid-backoff —
+// instead of being abandoned; a plain PageFetcher is checked before the
+// call and allowed to finish once started.
 func ExtractStage(pages PageFetcher, cfg Config) pipe.Stage[offer.Offer, offer.Offer] {
-	return pipe.ParMap(cfg.Workers, func(_ context.Context, o offer.Offer) (offer.Offer, error) {
-		return extractOne(o, pages, cfg)
+	return extractStage(pages, cfg, nil)
+}
+
+// extractStage is ExtractStage plus the run-scoped degradation tally the
+// result's fetch report is built from (nil: no accounting).
+func extractStage(pages PageFetcher, cfg Config, tally *fetchTally) pipe.Stage[offer.Offer, offer.Offer] {
+	return pipe.ParMap(cfg.Workers, func(ctx context.Context, o offer.Offer) (offer.Offer, error) {
+		return extractOne(ctx, o, pages, cfg, tally)
 	})
 }
 
 // extractOne is the per-offer extraction body shared by ExtractStage and
 // the offline phase's extractSpecs.
-func extractOne(o offer.Offer, pages PageFetcher, cfg Config) (offer.Offer, error) {
+func extractOne(ctx context.Context, o offer.Offer, pages PageFetcher, cfg Config, tally *fetchTally) (offer.Offer, error) {
 	o = o.Clone()
 	if pages == nil {
 		return o, nil
 	}
-	page, err := pages.Fetch(o.URL)
+	tally.attempt()
+	page, err := fetch.Call(ctx, pages, o.URL)
 	if err != nil {
 		if cfg.StrictPages {
 			return offer.Offer{}, fmt.Errorf("core: strict pages: offer %s: %w", o.ID, err)
 		}
+		tally.degraded(o.ID)
 		return o, nil
 	}
 	extracted := extract.WithOptions(page, cfg.Extraction)

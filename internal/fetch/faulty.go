@@ -1,0 +1,176 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every fault the Faulty fetcher injects, so
+// tests and experiment replays can tell scripted failures from real ones.
+var ErrInjected = errors.New("fetch: injected fault")
+
+// Outcome is one scripted attempt result: fail with Err (nil = succeed)
+// after Latency elapses on the injected clock.
+type Outcome struct {
+	Err     error
+	Latency time.Duration
+}
+
+// Schedule scripts a fault plan: the outcome of attempt number `attempt`
+// (1-based) for `url`. Outcomes must be a pure function of (url, attempt)
+// — never of call order across URLs — so synthesis output under the
+// schedule is identical for every worker count and stage interleaving.
+type Schedule interface {
+	Outcome(url string, attempt int) Outcome
+}
+
+// ScheduleFunc adapts a function to the Schedule interface.
+type ScheduleFunc func(url string, attempt int) Outcome
+
+// Outcome implements Schedule.
+func (f ScheduleFunc) Outcome(url string, attempt int) Outcome { return f(url, attempt) }
+
+// FailFirst scripts the canonical recovery scenario: every URL fails its
+// first n attempts (with an ErrInjected-wrapped error naming the URL and
+// attempt) and succeeds from attempt n+1 on.
+func FailFirst(n int) Schedule {
+	return ScheduleFunc(func(url string, attempt int) Outcome {
+		if attempt <= n {
+			return Outcome{Err: fmt.Errorf("%w: %q attempt %d", ErrInjected, url, attempt)}
+		}
+		return Outcome{}
+	})
+}
+
+// Flaky scripts seeded random faults: each (url, attempt) pair fails with
+// probability p, decided by hashing the pair with the seed so the
+// schedule is deterministic and order-independent. p is clamped to [0,1].
+func Flaky(seed int64, p float64) Schedule {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return ScheduleFunc(func(url string, attempt int) Outcome {
+		h := seed
+		for _, c := range url {
+			h = h*131 + int64(c)
+		}
+		h = h*131 + int64(attempt)
+		r := rand.New(rand.NewSource(h))
+		if r.Float64() < p {
+			return Outcome{Err: fmt.Errorf("%w: %q attempt %d", ErrInjected, url, attempt)}
+		}
+		return Outcome{}
+	})
+}
+
+// HostOutage scripts a hard outage of one host: every fetch for a URL on
+// `host` fails on every attempt, all other URLs succeed. The scenario
+// that trips the per-host circuit breaker without touching its neighbors.
+func HostOutage(host string) Schedule {
+	return ScheduleFunc(func(url string, attempt int) Outcome {
+		if Host(url) == host {
+			return Outcome{Err: fmt.Errorf("%w: host %q down: %q", ErrInjected, host, url)}
+		}
+		return Outcome{}
+	})
+}
+
+// Faulty wraps an inner fetcher with a scripted fault schedule: attempt
+// number k for a URL (counted per URL across the Faulty's lifetime)
+// suffers Schedule.Outcome(url, k) — its latency is slept on the Clock,
+// then its error is returned, or the fetch is delegated to the inner
+// fetcher on a nil error. Deterministic by construction: outcomes depend
+// only on (url, per-URL attempt number), never on cross-URL ordering.
+//
+// Faulty implements ContextPages (latency sleeps observe ctx) and legacy
+// Pages, plus attempt accounting for asserting a schedule was exercised
+// exactly as scripted.
+type Faulty struct {
+	inner    Pages
+	schedule Schedule
+	clock    Clock
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// NewFaulty wraps inner with a fault schedule. A nil clock means faults
+// with latency sleep on the wall clock; inject a FakeClock to run latency
+// schedules instantly.
+func NewFaulty(inner Pages, schedule Schedule, clock Clock) *Faulty {
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &Faulty{inner: inner, schedule: schedule, clock: clock, attempts: make(map[string]int)}
+}
+
+// Fetch implements the legacy interface over a background context.
+func (f *Faulty) Fetch(url string) (string, error) {
+	return f.FetchContext(context.Background(), url)
+}
+
+// FetchContext runs the URL's next scripted attempt.
+func (f *Faulty) FetchContext(ctx context.Context, url string) (string, error) {
+	f.mu.Lock()
+	f.attempts[url]++
+	n := f.attempts[url]
+	f.mu.Unlock()
+	out := f.schedule.Outcome(url, n)
+	if out.Latency > 0 {
+		if err := f.clock.Sleep(ctx, out.Latency); err != nil {
+			return "", err
+		}
+	}
+	if out.Err != nil {
+		return "", out.Err
+	}
+	return Call(ctx, f.inner, url)
+}
+
+// Attempts returns how many attempts url has received.
+func (f *Faulty) Attempts(url string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts[url]
+}
+
+// TotalAttempts returns the attempt count summed over all URLs.
+func (f *Faulty) TotalAttempts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0
+	for _, n := range f.attempts {
+		total += n
+	}
+	return total
+}
+
+// Reset clears the per-URL attempt counters, so one Faulty can replay the
+// same schedule across runs (e.g. the batch and stream sides of an
+// equivalence test).
+func (f *Faulty) Reset() {
+	f.mu.Lock()
+	f.attempts = make(map[string]int)
+	f.mu.Unlock()
+}
+
+// AttemptedURLs returns the fetched URLs in sorted order — handy for
+// asserting schedule coverage.
+func (f *Faulty) AttemptedURLs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	urls := make([]string, 0, len(f.attempts))
+	for u := range f.attempts {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	return urls
+}

@@ -1,0 +1,90 @@
+// Package fetch is the resilience layer around the pipeline's one
+// external boundary: landing-page retrieval. The pipeline's substrate
+// packages treat a fetcher as an infallible map lookup; production
+// crawlers time out, flap, and fall over wholesale. This package wraps
+// any fetcher with the standard production defenses — per-attempt
+// deadlines, bounded retries with exponential backoff and full jitter, a
+// per-host circuit breaker, and a bounded-concurrency gate — and makes
+// every failure observable through counters instead of silently swallowed.
+//
+// The package is a leaf: it imports only the standard library and defines
+// its interfaces structurally, so internal/core's PageFetcher satisfies
+// Pages without an import in either direction.
+//
+// Two fetcher shapes exist at the boundary:
+//
+//   - Pages is the legacy context-free interface (core.PageFetcher's
+//     structural twin): Fetch(url).
+//   - ContextPages is the context-aware boundary: FetchContext(ctx, url).
+//     A fetcher implementing it observes pipeline cancellation and
+//     per-attempt deadlines mid-fetch instead of being abandoned.
+//
+// Resilient implements both, so it drops in anywhere a PageFetcher is
+// accepted while upgrading the boundary to context-awareness; the
+// pipeline detects ContextPages by interface upgrade and threads its
+// stage context through.
+//
+// Every behavior is testable without wall-clock flakiness: the Clock
+// interface injects time (FakeClock advances instantly through backoff
+// and injected latency), and Faulty scripts deterministic per-(URL,
+// attempt) fault schedules, so retry outcomes are fixed by the schedule,
+// not by scheduling.
+package fetch
+
+import (
+	"context"
+	"errors"
+	neturl "net/url"
+	"strings"
+)
+
+// Pages retrieves landing pages by URL — the structural twin of
+// core.PageFetcher, kept context-free for legacy fetchers that cannot be
+// interrupted.
+type Pages interface {
+	Fetch(url string) (string, error)
+}
+
+// ContextPages is the context-aware fetch boundary. Cancelling ctx (or
+// exceeding a deadline derived from it) aborts the fetch with ctx's
+// error; implementations must not outlive the call.
+type ContextPages interface {
+	FetchContext(ctx context.Context, url string) (string, error)
+}
+
+// ErrBreakerOpen is wrapped by fetch errors rejected by an open circuit
+// breaker: the attempt never reached the underlying fetcher.
+var ErrBreakerOpen = errors.New("fetch: circuit breaker open")
+
+// ErrPermanent marks an error as not worth retrying. A fetcher (or
+// Schedule) that wraps its errors with ErrPermanent opts the failure out
+// of Resilient's retry loop — the fetch gives up on the first attempt.
+var ErrPermanent = errors.New("fetch: permanent failure")
+
+// Call fetches through p with the context when p is context-aware, and
+// falls back to a pre-flight cancellation check plus a plain Fetch when
+// it is not (a legacy in-flight Fetch is allowed to finish; it cannot be
+// interrupted).
+func Call(ctx context.Context, p Pages, url string) (string, error) {
+	if cp, ok := p.(ContextPages); ok {
+		return cp.FetchContext(ctx, url)
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return p.Fetch(url)
+}
+
+// Host extracts the host component of a URL — the circuit breaker's
+// failure domain. URLs that do not parse (or have no host) fall back to
+// the whole string, so every URL maps to exactly one breaker.
+func Host(url string) string {
+	if !strings.Contains(url, "://") {
+		return url
+	}
+	u, err := neturl.Parse(url)
+	if err != nil || u.Host == "" {
+		return url
+	}
+	return u.Host
+}

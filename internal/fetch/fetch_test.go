@@ -1,0 +1,426 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mapPages is a minimal in-memory fetcher (core.MapFetcher's twin, kept
+// local so the package stays a leaf).
+type mapPages map[string]string
+
+func (m mapPages) Fetch(url string) (string, error) {
+	page, ok := m[url]
+	if !ok {
+		return "", fmt.Errorf("not found: %q", url)
+	}
+	return page, nil
+}
+
+func testPolicy(clock Clock) Policy {
+	return Policy{
+		Timeout:     time.Second,
+		MaxAttempts: 3,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+		Clock:       clock,
+	}
+}
+
+func TestRetryRecovers(t *testing.T) {
+	clock := NewFakeClock()
+	pages := mapPages{"u1": "page one"}
+	faulty := NewFaulty(pages, FailFirst(2), clock)
+	r := NewResilient(faulty, testPolicy(clock))
+
+	page, err := r.FetchContext(context.Background(), "u1")
+	if err != nil {
+		t.Fatalf("FetchContext: %v", err)
+	}
+	if page != "page one" {
+		t.Fatalf("page = %q, want %q", page, "page one")
+	}
+	want := Counters{Attempted: 1, Attempts: 3, Retried: 1, Recovered: 1}
+	if got := r.FetchCounters(); got != want {
+		t.Fatalf("counters = %+v, want %+v", got, want)
+	}
+	if clock.Slept() <= 0 {
+		t.Fatalf("expected backoff sleeps, slept = %v", clock.Slept())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	clock := NewFakeClock()
+	faulty := NewFaulty(mapPages{"u1": "x"}, FailFirst(99), clock)
+	r := NewResilient(faulty, testPolicy(clock))
+
+	_, err := r.FetchContext(context.Background(), "u1")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	want := Counters{Attempted: 1, Attempts: 3, Retried: 1, GaveUp: 1}
+	if got := r.FetchCounters(); got != want {
+		t.Fatalf("counters = %+v, want %+v", got, want)
+	}
+	if faulty.Attempts("u1") != 3 {
+		t.Fatalf("attempts = %d, want 3", faulty.Attempts("u1"))
+	}
+}
+
+func TestPermanentErrorNoRetry(t *testing.T) {
+	clock := NewFakeClock()
+	sched := ScheduleFunc(func(url string, attempt int) Outcome {
+		return Outcome{Err: fmt.Errorf("%w: gone: %q", ErrPermanent, url)}
+	})
+	faulty := NewFaulty(mapPages{}, sched, clock)
+	r := NewResilient(faulty, testPolicy(clock))
+
+	_, err := r.FetchContext(context.Background(), "u1")
+	if !errors.Is(err, ErrPermanent) {
+		t.Fatalf("err = %v, want ErrPermanent", err)
+	}
+	want := Counters{Attempted: 1, Attempts: 1, GaveUp: 1}
+	if got := r.FetchCounters(); got != want {
+		t.Fatalf("counters = %+v, want %+v (permanent errors must not retry)", got, want)
+	}
+}
+
+// slowLegacy is a context-free fetcher that blocks until released — the
+// shape the per-attempt timeout has to race in a goroutine.
+type slowLegacy struct {
+	release chan struct{}
+	calls   atomic.Int64
+}
+
+func (s *slowLegacy) Fetch(url string) (string, error) {
+	s.calls.Add(1)
+	<-s.release
+	return "late", nil
+}
+
+func TestAttemptTimeoutLegacyFetcher(t *testing.T) {
+	slow := &slowLegacy{release: make(chan struct{})}
+	r := NewResilient(slow, Policy{Timeout: 20 * time.Millisecond, MaxAttempts: 2, BackoffBase: time.Millisecond, BackoffMax: time.Millisecond})
+
+	start := time.Now()
+	_, err := r.FetchContext(context.Background(), "u1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, deadline not enforced", elapsed)
+	}
+	want := Counters{Attempted: 1, Attempts: 2, Retried: 1, GaveUp: 1}
+	if got := r.FetchCounters(); got != want {
+		t.Fatalf("counters = %+v, want %+v", got, want)
+	}
+	close(slow.release) // let the abandoned goroutines drain
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	clock := NewFakeClock()
+	down := true
+	var mu sync.Mutex
+	sched := ScheduleFunc(func(url string, attempt int) Outcome {
+		mu.Lock()
+		defer mu.Unlock()
+		if down {
+			return Outcome{Err: fmt.Errorf("%w: down", ErrInjected)}
+		}
+		return Outcome{}
+	})
+	faulty := NewFaulty(mapPages{"http://a.example.com/1": "p"}, sched, clock)
+	p := testPolicy(clock)
+	p.MaxAttempts = 1 // isolate breaker arithmetic from retries
+	p.BreakerThreshold = 3
+	p.BreakerCooldown = 30 * time.Second
+	r := NewResilient(faulty, p)
+
+	url := "http://a.example.com/1"
+	ctx := context.Background()
+	// Three failures trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := r.FetchContext(ctx, url); !errors.Is(err, ErrInjected) {
+			t.Fatalf("fetch %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	// Open: rejected without reaching the fetcher.
+	before := faulty.Attempts(url)
+	if _, err := r.FetchContext(ctx, url); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if faulty.Attempts(url) != before {
+		t.Fatal("open breaker must not reach the underlying fetcher")
+	}
+	if got := r.FetchCounters().BreakerRejected; got != 1 {
+		t.Fatalf("BreakerRejected = %d, want 1", got)
+	}
+
+	// Half-open probe fails → re-opens immediately (no threshold wait).
+	clock.Advance(31 * time.Second)
+	if _, err := r.FetchContext(ctx, url); !errors.Is(err, ErrInjected) {
+		t.Fatalf("probe err = %v, want ErrInjected", err)
+	}
+	if _, err := r.FetchContext(ctx, url); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("after failed probe: err = %v, want ErrBreakerOpen", err)
+	}
+
+	// Host recovers; probe succeeds → breaker closes.
+	mu.Lock()
+	down = false
+	mu.Unlock()
+	clock.Advance(31 * time.Second)
+	if _, err := r.FetchContext(ctx, url); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if _, err := r.FetchContext(ctx, url); err != nil {
+		t.Fatalf("after close: %v", err)
+	}
+}
+
+func TestBreakerPerHost(t *testing.T) {
+	clock := NewFakeClock()
+	faulty := NewFaulty(mapPages{"http://ok.example.com/1": "p"}, HostOutage("down.example.com"), clock)
+	p := testPolicy(clock)
+	p.MaxAttempts = 1
+	p.BreakerThreshold = 2
+	r := NewResilient(faulty, p)
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.FetchContext(ctx, "http://down.example.com/x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v, want ErrInjected", err)
+		}
+	}
+	if _, err := r.FetchContext(ctx, "http://down.example.com/x"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	// The healthy host is unaffected.
+	if _, err := r.FetchContext(ctx, "http://ok.example.com/1"); err != nil {
+		t.Fatalf("healthy host: %v", err)
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	block := make(chan struct{})
+	inner := fetchFunc(func(url string) (string, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-block
+		inFlight.Add(-1)
+		return "p", nil
+	})
+	r := NewResilient(inner, Policy{MaxAttempts: 1, MaxConcurrent: 2})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := r.FetchContext(context.Background(), fmt.Sprintf("u%d", i)); err != nil {
+				t.Errorf("fetch: %v", err)
+			}
+		}(i)
+	}
+	// Let goroutines pile up against the gate, then release.
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak in-flight = %d, want <= 2", got)
+	}
+}
+
+type fetchFunc func(url string) (string, error)
+
+func (f fetchFunc) Fetch(url string) (string, error) { return f(url) }
+
+func TestCancelDuringBackoffNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// A real clock so the backoff sleep genuinely blocks; cancellation
+	// must cut it short.
+	faulty := NewFaulty(mapPages{"u1": "p"}, FailFirst(99), nil)
+	r := NewResilient(faulty, Policy{
+		MaxAttempts: 10,
+		BackoffBase: time.Hour, // without cancellation this would hang
+		BackoffMax:  time.Hour,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.FetchContext(ctx, "u1")
+		done <- err
+	}()
+	// First attempt fails fast, then the operation parks in backoff.
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch did not return after cancel during backoff")
+	}
+	if got := r.FetchCounters().GaveUp; got != 1 {
+		t.Fatalf("GaveUp = %d, want 1", got)
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestCancelWaitingOnGateNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	block := make(chan struct{})
+	inner := fetchFunc(func(url string) (string, error) {
+		<-block
+		return "p", nil
+	})
+	r := NewResilient(inner, Policy{MaxAttempts: 1, MaxConcurrent: 1})
+
+	// Occupy the only slot.
+	first := make(chan struct{})
+	go func() {
+		r.FetchContext(context.Background(), "hold")
+		close(first)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// Second fetch parks on the gate; cancelling must release it.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.FetchContext(ctx, "waiting")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch did not return after cancel while gated")
+	}
+	close(block)
+	<-first
+	waitGoroutines(t, baseline)
+}
+
+func TestFaultyDeterministicAcrossOrder(t *testing.T) {
+	urls := []string{"http://a.example.com/1", "http://b.example.com/2", "http://c.example.com/3"}
+	sched := Flaky(42, 0.5)
+
+	outcomes := func(order []string) map[string][]bool {
+		got := make(map[string][]bool)
+		for _, u := range order {
+			for attempt := 1; attempt <= 4; attempt++ {
+				got[u] = append(got[u], sched.Outcome(u, attempt).Err == nil)
+			}
+		}
+		return got
+	}
+	forward := outcomes(urls)
+	reversed := outcomes([]string{urls[2], urls[1], urls[0]})
+	for u, seq := range forward {
+		for i, ok := range seq {
+			if reversed[u][i] != ok {
+				t.Fatalf("schedule for %q attempt %d depends on call order", u, i+1)
+			}
+		}
+	}
+}
+
+func TestFaultyLatencyObservesContext(t *testing.T) {
+	clock := NewFakeClock()
+	sched := ScheduleFunc(func(url string, attempt int) Outcome {
+		return Outcome{Latency: time.Minute}
+	})
+	faulty := NewFaulty(mapPages{"u1": "p"}, sched, clock)
+
+	// On a live context the fake clock absorbs the latency instantly.
+	if _, err := faulty.FetchContext(context.Background(), "u1"); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if clock.Slept() != time.Minute {
+		t.Fatalf("slept = %v, want 1m", clock.Slept())
+	}
+	// On a cancelled context the latency sleep returns the ctx error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := faulty.FetchContext(ctx, "u1"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestHost(t *testing.T) {
+	cases := map[string]string{
+		"http://merchant-a.example.com/item/o1": "merchant-a.example.com",
+		"https://x.test:8080/p":                 "x.test:8080",
+		"no-scheme-plain-key":                   "no-scheme-plain-key",
+		"http://":                               "http://",
+	}
+	for url, want := range cases {
+		if got := Host(url); got != want {
+			t.Errorf("Host(%q) = %q, want %q", url, got, want)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		Counters: Counters{Attempted: 10, Attempts: 14, Retried: 3, Recovered: 2, GaveUp: 1, BreakerRejected: 1},
+		FeedOnly: []string{"o1", "o2"},
+	}
+	s := r.String()
+	for _, frag := range []string{"fetched 10", "14 attempts", "3 retried", "2 recovered", "1 gave up", "1 breaker-rejected", "2 offers feed-only"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Report.String() = %q, missing %q", s, frag)
+		}
+	}
+	if !r.Degraded() {
+		t.Error("Degraded() = false, want true")
+	}
+}
+
+func TestPolicyEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Error("zero Policy must be disabled")
+	}
+	if !(Policy{MaxAttempts: 3}).Enabled() {
+		t.Error("Policy{MaxAttempts: 3} must be enabled")
+	}
+	if !DefaultPolicy().Enabled() {
+		t.Error("DefaultPolicy must be enabled")
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing the test if it does not settle.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

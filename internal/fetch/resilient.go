@@ -1,0 +1,401 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy configures a Resilient fetcher. The zero value is "no
+// resilience": one attempt, no deadline, no breaker, no gate — the
+// pipeline treats a zero Policy as "do not wrap at all". DefaultPolicy
+// returns the recommended serving configuration.
+//
+// Determinism: retries change *when* a fetch runs, never *what* it
+// returns — outcomes are a function of (URL, attempt) at the underlying
+// fetcher (see Faulty), so synthesis output under a fixed fault schedule
+// is identical for every worker count, jitter draw, and stage-buffer
+// depth. The breaker and the gate are the exception: they react to
+// cross-operation ordering, which is scheduling-dependent by nature, so
+// equivalence tests disable the breaker.
+type Policy struct {
+	// Timeout bounds each attempt (not the whole operation). 0 = none.
+	// Context-aware inner fetchers receive a deadline-carrying ctx; a
+	// legacy Fetch is raced against the deadline in a goroutine (it
+	// finishes in the background after a timeout — it cannot be killed).
+	Timeout time.Duration
+	// MaxAttempts is the total number of attempts per fetch operation
+	// (1 = no retries). Values < 1 behave as 1.
+	MaxAttempts int
+	// BackoffBase is the backoff ceiling before the first retry; the
+	// ceiling doubles each further retry. The actual delay is drawn with
+	// full jitter: uniform in [0, ceiling). Default 50ms when retries
+	// are enabled.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff ceiling. Default 2s.
+	BackoffMax time.Duration
+	// JitterSeed seeds the jitter RNG, making delay sequences
+	// reproducible for a fixed call order. Jitter affects timing only,
+	// never outcomes.
+	JitterSeed int64
+	// BreakerThreshold opens a host's circuit breaker after this many
+	// consecutive failures on that host. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects fetches before
+	// admitting a half-open probe. Default 30s when the breaker is
+	// enabled.
+	BreakerCooldown time.Duration
+	// MaxConcurrent bounds the attempts in flight across all operations
+	// (backoff sleeps hold no slot). 0 = unbounded.
+	MaxConcurrent int
+	// Clock supplies time. nil = the wall clock. Inject a FakeClock to
+	// run retry/breaker schedules without wall-clock delays.
+	Clock Clock
+}
+
+// Enabled reports whether the policy asks for any resilience behavior;
+// the pipeline skips wrapping entirely when it does not.
+func (p Policy) Enabled() bool {
+	return p.Timeout > 0 || p.MaxAttempts > 0 || p.BackoffBase > 0 || p.BackoffMax > 0 ||
+		p.JitterSeed != 0 || p.BreakerThreshold > 0 || p.BreakerCooldown > 0 ||
+		p.MaxConcurrent > 0 || p.Clock != nil
+}
+
+// DefaultPolicy is the recommended serving configuration: 10s per
+// attempt, 3 attempts with 50ms..2s full-jitter backoff, a 5-failure
+// breaker with 30s cooldown, and concurrency left to the pipeline's
+// worker bound.
+func DefaultPolicy() Policy {
+	return Policy{
+		Timeout:          10 * time.Second,
+		MaxAttempts:      3,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       2 * time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  30 * time.Second,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.MaxAttempts > 1 {
+		if p.BackoffBase <= 0 {
+			p.BackoffBase = 50 * time.Millisecond
+		}
+		if p.BackoffMax <= 0 {
+			p.BackoffMax = 2 * time.Second
+		}
+	}
+	if p.BreakerThreshold > 0 && p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 30 * time.Second
+	}
+	if p.Clock == nil {
+		p.Clock = realClock{}
+	}
+	return p
+}
+
+// breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// hostBreaker is one host's circuit breaker: closed → open after
+// BreakerThreshold consecutive failures, open → half-open after the
+// cooldown, half-open admits exactly one probe whose outcome closes or
+// re-opens the circuit.
+type hostBreaker struct {
+	mu          sync.Mutex
+	state       int
+	consecFails int
+	openedAt    time.Time
+	probing     bool
+}
+
+// admit decides whether an attempt may proceed at time now. It returns
+// (ok, probe): probe marks the single half-open probe admission, which
+// the caller must resolve via onSuccess/onFailure or return via
+// cancelProbe if the attempt never runs.
+func (b *hostBreaker) admit(now time.Time, cooldown time.Duration) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true, false
+	case stateOpen:
+		if now.Sub(b.openedAt) < cooldown {
+			return false, false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// cancelProbe returns an admitted-but-unused probe slot (the attempt was
+// cancelled before it ran), so the breaker does not dangle half-open
+// forever.
+func (b *hostBreaker) cancelProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *hostBreaker) onSuccess() {
+	b.mu.Lock()
+	b.state = stateClosed
+	b.consecFails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *hostBreaker) onFailure(now time.Time, threshold int) {
+	b.mu.Lock()
+	b.consecFails++
+	if b.state == stateHalfOpen || b.consecFails >= threshold {
+		b.state = stateOpen
+		b.openedAt = now
+		b.consecFails = 0
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// Resilient wraps any fetcher with the Policy's defenses and counts every
+// outcome. It implements both fetch interfaces — ContextPages for the
+// context-threaded pipeline and legacy Fetch (background context) so it
+// satisfies core.PageFetcher anywhere one is expected — plus
+// CounterSource for per-run accounting deltas.
+//
+// State (breaker circuits, the concurrency gate, counters) lives for the
+// Resilient's lifetime: the pipeline builds one per run/stream so breaker
+// memory spans batches and waves, and a serving daemon can hold one for
+// its whole life.
+type Resilient struct {
+	inner Pages
+	p     Policy
+	clock Clock
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	bmu      sync.Mutex
+	breakers map[string]*hostBreaker
+
+	gate chan struct{}
+
+	attempted       atomic.Int64
+	attempts        atomic.Int64
+	retried         atomic.Int64
+	recovered       atomic.Int64
+	gaveUp          atomic.Int64
+	breakerRejected atomic.Int64
+}
+
+// NewResilient wraps inner with the policy's resilience behaviors.
+func NewResilient(inner Pages, p Policy) *Resilient {
+	p = p.withDefaults()
+	r := &Resilient{
+		inner: inner,
+		p:     p,
+		clock: p.Clock,
+		rng:   rand.New(rand.NewSource(p.JitterSeed)),
+	}
+	if p.BreakerThreshold > 0 {
+		r.breakers = make(map[string]*hostBreaker)
+	}
+	if p.MaxConcurrent > 0 {
+		r.gate = make(chan struct{}, p.MaxConcurrent)
+	}
+	return r
+}
+
+// FetchCounters snapshots the cumulative counters. Implements
+// CounterSource.
+func (r *Resilient) FetchCounters() Counters {
+	return Counters{
+		Attempted:       int(r.attempted.Load()),
+		Attempts:        int(r.attempts.Load()),
+		Retried:         int(r.retried.Load()),
+		Recovered:       int(r.recovered.Load()),
+		GaveUp:          int(r.gaveUp.Load()),
+		BreakerRejected: int(r.breakerRejected.Load()),
+	}
+}
+
+// Fetch implements the legacy context-free interface over a background
+// context — retries and breaker logic apply, cancellation does not.
+func (r *Resilient) Fetch(url string) (string, error) {
+	return r.FetchContext(context.Background(), url)
+}
+
+// FetchContext runs one fetch operation: up to MaxAttempts attempts
+// against the inner fetcher, each bounded by Timeout and admitted by the
+// URL's host breaker and the concurrency gate, with full-jitter
+// exponential backoff between attempts. Cancelling ctx aborts the
+// operation wherever it is — mid-backoff, waiting on the gate, or (for a
+// context-aware inner fetcher) mid-attempt — with ctx's error.
+func (r *Resilient) FetchContext(ctx context.Context, url string) (string, error) {
+	r.attempted.Add(1)
+	br := r.breakerFor(url)
+	made := 0       // attempts that ran
+	failed := false // at least one attempt failed
+	for {
+		if err := ctx.Err(); err != nil {
+			return r.finish(made, failed, "", err)
+		}
+		if br != nil {
+			ok, probe := br.admit(r.clock.Now(), r.p.BreakerCooldown)
+			if !ok {
+				r.breakerRejected.Add(1)
+				return r.finish(made, failed, "", fmt.Errorf("%w: host %q: %s", ErrBreakerOpen, Host(url), url))
+			}
+			if r.gate != nil {
+				select {
+				case r.gate <- struct{}{}:
+				case <-ctx.Done():
+					if probe {
+						br.cancelProbe()
+					}
+					return r.finish(made, failed, "", ctx.Err())
+				}
+			}
+		} else if r.gate != nil {
+			select {
+			case r.gate <- struct{}{}:
+			case <-ctx.Done():
+				return r.finish(made, failed, "", ctx.Err())
+			}
+		}
+
+		r.attempts.Add(1)
+		made++
+		page, err := r.attempt(ctx, url)
+		if r.gate != nil {
+			<-r.gate
+		}
+		if br != nil {
+			if err != nil {
+				br.onFailure(r.clock.Now(), r.p.BreakerThreshold)
+			} else {
+				br.onSuccess()
+			}
+		}
+		if err == nil {
+			return r.finish(made, failed, page, nil)
+		}
+		failed = true
+		// The parent context's own cancellation is terminal; a per-attempt
+		// deadline (context.DeadlineExceeded with the parent still live)
+		// is just a failed attempt and retries like any other error.
+		if ctx.Err() != nil {
+			return r.finish(made, failed, "", ctx.Err())
+		}
+		if made >= r.p.MaxAttempts || errors.Is(err, ErrPermanent) {
+			return r.finish(made, failed, "", err)
+		}
+		if serr := r.clock.Sleep(ctx, r.backoff(made)); serr != nil {
+			return r.finish(made, failed, "", serr)
+		}
+	}
+}
+
+// finish settles the operation's counters exactly once and returns its
+// outcome.
+func (r *Resilient) finish(made int, failed bool, page string, err error) (string, error) {
+	if made > 1 {
+		r.retried.Add(1)
+	}
+	if err != nil {
+		r.gaveUp.Add(1)
+		return "", err
+	}
+	if failed {
+		r.recovered.Add(1)
+	}
+	return page, nil
+}
+
+// attempt runs one bounded attempt against the inner fetcher.
+func (r *Resilient) attempt(ctx context.Context, url string) (string, error) {
+	if r.p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.p.Timeout)
+		defer cancel()
+	}
+	if cp, ok := r.inner.(ContextPages); ok {
+		return cp.FetchContext(ctx, url)
+	}
+	if r.p.Timeout <= 0 {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		return r.inner.Fetch(url)
+	}
+	// Legacy fetcher under a deadline: race the fetch against the timer.
+	// The goroutine drains into a buffered channel, so an attempt that
+	// outlives its deadline finishes in the background without leaking
+	// permanently — a context-free Fetch cannot be killed.
+	type result struct {
+		page string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		page, err := r.inner.Fetch(url)
+		ch <- result{page, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case res := <-ch:
+		return res.page, res.err
+	}
+}
+
+// backoff draws the full-jitter delay before retry number `made`+1: a
+// uniform draw from [0, min(BackoffBase·2^(made-1), BackoffMax)).
+func (r *Resilient) backoff(made int) time.Duration {
+	ceiling := r.p.BackoffBase << (made - 1)
+	if shifted := made - 1; shifted >= 63 || ceiling <= 0 || ceiling > r.p.BackoffMax {
+		ceiling = r.p.BackoffMax
+	}
+	if ceiling <= 0 {
+		return 0
+	}
+	r.jmu.Lock()
+	d := time.Duration(r.rng.Int63n(int64(ceiling)))
+	r.jmu.Unlock()
+	return d
+}
+
+// breakerFor returns the URL's host breaker, or nil when the breaker is
+// disabled.
+func (r *Resilient) breakerFor(url string) *hostBreaker {
+	if r.breakers == nil {
+		return nil
+	}
+	host := Host(url)
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	b, ok := r.breakers[host]
+	if !ok {
+		b = &hostBreaker{}
+		r.breakers[host] = b
+	}
+	return b
+}

@@ -166,6 +166,12 @@ type parMapSource[In, Out any] struct {
 // upstream is exhausted and drained, the context is cancelled, or any fn
 // call returns an error (the error is delivered at its item's position
 // and ends the stage: later items are never delivered).
+//
+// fn receives a stage-scoped context derived from the pull context: it is
+// cancelled when the stage tears down — on a delivered error or outer
+// cancellation — so in-flight sibling computations whose results can no
+// longer be delivered (a fetch mid-retry, a blocking call) observe the
+// teardown and abort promptly instead of running to completion unseen.
 func ParMap[In, Out any](workers int, fn func(context.Context, In) (Out, error)) Stage[In, Out] {
 	if workers < 1 {
 		workers = 1
@@ -185,6 +191,18 @@ func (s *parMapSource[In, Out]) run(ctx context.Context) {
 		in  In
 		res chan parResult[Out]
 	}
+	// The stage-scoped context handed to fn: cancelled on teardown (first
+	// delivered error or outer cancellation), so in-flight siblings whose
+	// results will never be read abort promptly. Workers are joined before
+	// the final cancel, so a successful drain never cancels a live fn.
+	sctx, cancel := context.WithCancel(ctx)
+	go func() {
+		select {
+		case <-s.stop:
+		case <-sctx.Done():
+		}
+		cancel()
+	}()
 	jobs := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
@@ -192,7 +210,7 @@ func (s *parMapSource[In, Out]) run(ctx context.Context) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out, err := s.fn(ctx, j.in)
+				out, err := s.fn(sctx, j.in)
 				j.res <- parResult[Out]{out: out, err: err} // cap 1: never blocks
 			}
 		}()
@@ -201,10 +219,11 @@ func (s *parMapSource[In, Out]) run(ctx context.Context) {
 		defer func() {
 			close(jobs)
 			wg.Wait()
+			cancel()
 			close(s.order)
 		}()
 		for {
-			in, ok, err := s.src.Next(ctx)
+			in, ok, err := s.src.Next(sctx)
 			if err != nil {
 				res := make(chan parResult[Out], 1)
 				res <- parResult[Out]{err: err}

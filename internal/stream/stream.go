@@ -7,6 +7,7 @@ import (
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/cluster"
 	"prodsynth/internal/core"
+	"prodsynth/internal/fetch"
 	"prodsynth/internal/fusion"
 	"prodsynth/internal/offer"
 	"prodsynth/internal/pipe"
@@ -85,6 +86,10 @@ type Result struct {
 	OffersWithoutKey int
 	// ExcludedMatched counts offers dropped as matching the catalog.
 	ExcludedMatched int
+	// Fetch accounts the wave's landing-page fetches (counters plus the
+	// offers that proceeded feed-only); on the final result, the
+	// aggregate over every successful wave.
+	Fetch fetch.Report
 	// Offers is the number of offers the wave carried.
 	Offers int
 	// Clusters is the number of clusters fused (len(Products)).
@@ -231,6 +236,7 @@ func fuseWave(ctx context.Context, store *catalog.Store, pw preparedWave, cfg co
 	start := time.Now()
 	r.Reconcile = pw.prep.Reconcile
 	r.ExcludedMatched = pw.prep.ExcludedMatched
+	r.Fetch = pw.prep.Fetch
 
 	var touched []cluster.Cluster
 	var skipped []offer.Offer
@@ -287,6 +293,7 @@ func accumulate(total *Result, r Result) {
 	total.Reconcile.Add(r.Reconcile)
 	total.OffersWithoutKey += r.OffersWithoutKey
 	total.ExcludedMatched += r.ExcludedMatched
+	total.Fetch.Add(r.Fetch)
 	total.Offers += r.Offers
 	total.Clusters += r.Clusters
 	total.PrepareElapsed += r.PrepareElapsed

@@ -69,9 +69,17 @@ func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 // candidate becomes a correspondence (default 0.5).
 func WithScoreThreshold(t float64) Option { return func(c *Config) { c.ScoreThreshold = t } }
 
-// WithStrictPages makes a landing-page fetch failure fatal to a runtime
-// run; see Config.StrictPages.
+// WithStrictPages makes a landing-page fetch failure fatal to a run —
+// runtime and offline learning alike; see Config.StrictPages.
 func WithStrictPages(strict bool) Option { return func(c *Config) { c.StrictPages = strict } }
+
+// WithFetchPolicy wraps every landing-page fetch in the resilience layer:
+// per-attempt deadlines, bounded retries with full-jitter backoff, a
+// per-host circuit breaker, and a concurrency gate, with exact counters in
+// each result's FetchReport. The fetcher is wrapped once per run (once per
+// stream), so breaker state and counters span a whole batch or wave
+// sequence; see Config.Fetch and DefaultFetchPolicy.
+func WithFetchPolicy(p FetchPolicy) Option { return func(c *Config) { c.Fetch = p } }
 
 // WithStageBuffer sets the bounded buffer depth between the streaming
 // pipeline's wave-level stages (prepare → fuse); see Config.StageBuffer.
@@ -105,13 +113,26 @@ func buildConfig(opts []Option) Config {
 // Cancelling ctx stops the phase at the next stage boundary (or between
 // worker-pool jobs inside a stage) with ctx.Err(); the bounded pools are
 // always joined before Learn returns, so cancellation leaks no goroutines.
+//
+// A configured WithFetchPolicy applies here too: historical-page fetches
+// retry under the policy, and the learning run's fetch activity —
+// including historical offers learned feed-only — is reported via
+// Model.FetchReport.
 func Learn(ctx context.Context, store *Catalog, historical []Offer, pages PageFetcher, opts ...Option) (*Model, error) {
-	off, err := core.RunOffline(ctx, store, historical, pages, buildConfig(opts))
+	cfg := buildConfig(opts)
+	off, err := core.RunOffline(ctx, store, historical, wrapFetch(pages, cfg), cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Model{offline: off}, nil
 }
+
+// FetchReport returns the fetch accounting of the learning run that
+// produced the model: counters plus the historical offers learned from
+// feed specs alone. Zero for models built from correspondences or loaded
+// from a snapshot (learning-time diagnostics do not survive a save/load
+// round trip).
+func (m *Model) FetchReport() FetchReport { return m.offline.Fetch }
 
 // ModelFromCorrespondences wraps an externally obtained correspondence set
 // (e.g. rows parsed from the TSV interchange format of internal/correspond)

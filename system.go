@@ -8,8 +8,25 @@ import (
 
 	"prodsynth/internal/catalog"
 	"prodsynth/internal/core"
+	"prodsynth/internal/fetch"
 	"prodsynth/internal/stream"
 )
+
+// wrapFetch applies the config's fetch policy around the caller's
+// fetcher. Wrapping happens once per run (or once per stream), never per
+// offer or per wave, so the returned fetcher's breaker state, concurrency
+// gate, and counters span the whole run. A disabled policy (the zero
+// value) or a nil fetcher passes through untouched — and a caller who
+// pre-wrapped with NewResilientFetcher is not double-wrapped.
+func wrapFetch(pages core.PageFetcher, cfg Config) core.PageFetcher {
+	if pages == nil || !cfg.Fetch.Enabled() {
+		return pages
+	}
+	if _, ok := pages.(*fetch.Resilient); ok {
+		return pages
+	}
+	return fetch.NewResilient(pages, cfg.Fetch)
+}
 
 // System is the runtime half of the pipeline: it ties a catalog to a
 // learned Model and serves synthesis over them. Build one with NewSystem
@@ -82,6 +99,12 @@ type Result struct {
 	// makes the per-batch cost of a wave visible next to its match and
 	// fusion counts.
 	Elapsed time.Duration
+	// Fetch accounts the run's landing-page fetches: operation counters
+	// (exact when a FetchPolicy or other counter-keeping fetcher is in
+	// use) and the sorted IDs of offers that proceeded feed-only because
+	// their page could not be fetched — lenient mode's observable
+	// graceful degradation.
+	Fetch FetchReport
 	// Err is set on a per-batch Result inside BatchResult (or a
 	// StreamResult) when that batch failed; the other fields are zero
 	// except Offers. A failed batch does not stop later batches. Always
@@ -99,7 +122,7 @@ func (s *System) SynthesizeContext(ctx context.Context, incoming []Offer, pages 
 	if err != nil {
 		return nil, err
 	}
-	return s.synthesize(ctx, m, incoming, pages)
+	return s.synthesize(ctx, m, incoming, wrapFetch(pages, s.cfg))
 }
 
 // synthesize runs one batch against a pinned model — the shared core of
@@ -119,6 +142,7 @@ func (s *System) synthesize(ctx context.Context, m *Model, incoming []Offer, pag
 		Offers:           len(incoming),
 		Clusters:         run.Clusters.Clusters,
 		Elapsed:          time.Since(start),
+		Fetch:            run.Fetch,
 	}, nil
 }
 
@@ -158,6 +182,9 @@ func (s *System) SynthesizeBatchesContext(ctx context.Context, batches [][]Offer
 		return nil, err
 	}
 	out := &BatchResult{Batches: make([]*Result, 0, len(batches))}
+	// One wrap for the whole sequence: breaker state and fetch counters
+	// span every batch, like a serving process's crawl client would.
+	pages = wrapFetch(pages, s.cfg)
 	for _, batch := range batches {
 		res, err := s.synthesize(ctx, m, batch, pages)
 		if err != nil {
@@ -177,6 +204,7 @@ func (s *System) SynthesizeBatchesContext(ctx context.Context, batches [][]Offer
 		out.Total.Offers += res.Offers
 		out.Total.Clusters += res.Clusters
 		out.Total.Elapsed += res.Elapsed
+		out.Total.Fetch.Add(res.Fetch)
 	}
 	return out, nil
 }
@@ -203,6 +231,13 @@ type StreamOptions struct {
 	// works ahead of fuse by up to 1+Config.StageBuffer waves (see
 	// WithStageBuffer) unless cross-wave pipelining is disabled.
 	Buffer int
+	// FetchPolicy overrides the System's Config.Fetch for this stream:
+	// non-nil, the stream wraps its fetcher under this policy instead
+	// (set to new(FetchPolicy) — the zero policy — to disable wrapping
+	// for a stream on a System that has one configured). The wrap spans
+	// the whole stream, so breaker state and FetchReport counters carry
+	// across waves.
+	FetchPolicy *FetchPolicy
 }
 
 // SealReason says why a cluster was sealed — why the stream's cross-batch
@@ -299,11 +334,15 @@ func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pag
 	if err != nil {
 		return nil, err
 	}
+	cfg := s.cfg
+	if opts.FetchPolicy != nil {
+		cfg.Fetch = *opts.FetchPolicy
+	}
 	// The inner channel stays unbuffered regardless of opts.Buffer: the
 	// forwarding goroutine already holds one result in flight, so any
 	// inner capacity would let the pipeline run that much further ahead
 	// than StreamOptions.Buffer promises.
-	inner := stream.Run(ctx, s.store, m.offline, waves, pages, s.cfg, stream.Options{
+	inner := stream.Run(ctx, s.store, m.offline, waves, wrapFetch(pages, cfg), cfg, stream.Options{
 		MaxOpenClusters: opts.MaxOpenClusters,
 		MaxIdleWaves:    opts.MaxIdleWaves,
 		DisableMemory:   opts.DisableClusterMemory,
@@ -327,6 +366,7 @@ func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pag
 					Clusters:         r.Clusters,
 					Elapsed:          r.Elapsed,
 					Err:              r.Err,
+					Fetch:            r.Fetch,
 				},
 			}
 			select {
