@@ -123,6 +123,27 @@
 // model between processes that already hold the catalog, and
 // [SaveCatalog]/[LoadCatalog] snapshot a growing catalog on its own.
 //
+// # Serving
+//
+// cmd/synthd packages the daemon recipe above as a binary: one LoadBundle
+// at boot, then synthesis over HTTP until SIGTERM. Its HTTP layer
+// (internal/serve) adds the production posture a library call leaves to
+// the caller — semaphore admission control that sheds excess load with
+// 429 instead of queueing, per-request deadlines, Prometheus-format
+// metrics with zero dependencies, hot reload via [System.Use], and a
+// deadline-bounded graceful drain:
+//
+//	synthd -bundle warm.psbd -addr :8080      # boot and serve
+//	curl -X POST d:8080/v1/synthesize         # offers+pages → products
+//	curl -X POST d:8080/v1/reload             # background re-learn + atomic swap
+//	curl d:8080/metrics                       # request/latency/fetch/generation series
+//
+// Every synthesis call — direct or served — pins its (model, generation)
+// pair in one atomic load and stamps [Result.ModelGeneration], so during
+// a hot swap no response ever mixes two models; the daemon's responses
+// are byte-identical to direct [System.SynthesizeContext] output for the
+// same request and generation.
+//
 // The subpackages under internal implement each component of the paper's
 // Figure 4 architecture plus every substrate the evaluation needs: an HTML
 // extractor, distributional similarity measures, logistic regression,
@@ -178,6 +199,8 @@ type (
 	PageFetcher = core.PageFetcher
 	// MapFetcher serves pages from an in-memory map.
 	MapFetcher = core.MapFetcher
+	// PageDoc is one landing page in a page list: URL plus HTML body.
+	PageDoc = core.PageDoc
 	// Correspondence is a scored attribute correspondence
 	// <catalog attr, merchant attr, merchant, category>.
 	Correspondence = correspond.Scored
@@ -294,6 +317,17 @@ const (
 
 // NewCatalog returns an empty catalog store.
 func NewCatalog() *Catalog { return catalog.NewStore() }
+
+// ErrDuplicatePage is returned by NewMapFetcher when a page list repeats a
+// URL with a different body.
+var ErrDuplicatePage = core.ErrDuplicatePage
+
+// NewMapFetcher builds a MapFetcher from a page list, rejecting a URL that
+// appears twice with distinct bodies (ErrDuplicatePage) instead of
+// silently keeping the last one; exact repeats are tolerated. This is the
+// constructor serving layers should use for request-supplied page sets —
+// a map literal cannot carry duplicates, but a decoded list can.
+func NewMapFetcher(docs []PageDoc) (MapFetcher, error) { return core.MapFetcherFromDocs(docs) }
 
 // MatchRegistry is the shared cache of per-category matching state (title
 // indexes and token caches). Set one on Config.Matcher.Registry to give a

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"prodsynth"
+	"prodsynth/internal/experiments"
+	"prodsynth/internal/serve"
+)
+
+// The serving benchmark boots the daemon's HTTP layer in-process on a
+// real TCP listener and measures POST /v1/synthesize round trips — the
+// full wire path (JSON decode, admission, synthesis, JSON encode) rather
+// than the bare pipeline, so the report answers "what does a synthd
+// deployment sustain", not "what does the library sustain".
+const (
+	serveBenchWarmup      = 3
+	serveBenchRequests    = 60
+	serveBenchConcurrency = 4
+)
+
+// serveBenchReport is the machine-readable shape written to -servebench
+// (BENCH_serve.json in CI).
+type serveBenchReport struct {
+	GeneratedAt    string  `json:"generated_at"`
+	Scale          string  `json:"scale"`
+	Seed           int64   `json:"seed"`
+	Offers         int     `json:"offers"`
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	MeanMS         float64 `json:"mean_ms"`
+	// ProductsPerRequest pins that every measured request did the full
+	// synthesis (the response is deterministic, so one number).
+	ProductsPerRequest int `json:"products_per_request"`
+	// Shed must be 0: the benchmark's concurrency stays under the
+	// admission cap, so a nonzero value means the harness raced itself.
+	Shed uint64 `json:"shed"`
+}
+
+// runServeBench measures the serving layer over the experiment dataset
+// and writes the JSON report to path.
+func runServeBench(w io.Writer, env *experiments.Env, rc runConfig, path string) error {
+	fmt.Fprintf(w, "## serving benchmark (%d requests, concurrency %d)\n\n", serveBenchRequests, serveBenchConcurrency)
+
+	ds := env.Dataset
+	model, err := prodsynth.Learn(context.Background(), ds.Catalog, ds.HistoricalOffers, prodsynth.MapFetcher(ds.Pages))
+	if err != nil {
+		return err
+	}
+	sys := prodsynth.NewSystem(ds.Catalog, model)
+	srv := serve.New(sys, serve.Options{MaxInFlight: 2 * serveBenchConcurrency})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(ctx, ln) }()
+	defer func() {
+		cancel()
+		<-runDone
+	}()
+
+	body, err := json.Marshal(serve.SynthesizeRequest{
+		Offers: serve.WireOffers(ds.IncomingOffers),
+		Pages:  serve.WirePages(ds.Pages),
+	})
+	if err != nil {
+		return err
+	}
+	url := "http://" + ln.Addr().String() + "/v1/synthesize"
+	client := &http.Client{}
+
+	products := 0
+	do := func() (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("servebench: status %d: %s", resp.StatusCode, data)
+		}
+		elapsed := time.Since(start)
+		var res serve.SynthesizeResponse
+		if err := json.Unmarshal(data, &res); err != nil {
+			return 0, err
+		}
+		products = len(res.Products)
+		return elapsed, nil
+	}
+
+	for i := 0; i < serveBenchWarmup; i++ {
+		if _, err := do(); err != nil {
+			return err
+		}
+	}
+
+	latencies := make([]time.Duration, serveBenchRequests)
+	errs := make([]error, serveBenchConcurrency)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	benchStart := time.Now()
+	for c := 0; c < serveBenchConcurrency; c++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= serveBenchRequests {
+					return
+				}
+				d, err := do()
+				if err != nil {
+					errs[worker] = err
+					return
+				}
+				latencies[i] = d
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(benchStart)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var total time.Duration
+	for _, d := range latencies {
+		total += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	report := serveBenchReport{
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		Scale:              rc.scale,
+		Seed:               rc.seed,
+		Offers:             len(ds.IncomingOffers),
+		Requests:           serveBenchRequests,
+		Concurrency:        serveBenchConcurrency,
+		RequestsPerSec:     float64(serveBenchRequests) / wall.Seconds(),
+		P50MS:              ms(latencies[serveBenchRequests/2]),
+		P99MS:              ms(latencies[serveBenchRequests*99/100]),
+		MeanMS:             ms(total / serveBenchRequests),
+		ProductsPerRequest: products,
+		Shed:               shedCount(srv),
+	}
+
+	fmt.Fprintf(w, "requests/sec %.1f, p50 %.2fms, p99 %.2fms, mean %.2fms (%d products per request)\n\n",
+		report.RequestsPerSec, report.P50MS, report.P99MS, report.MeanMS, report.ProductsPerRequest)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// shedCount reads the server's shed counter back out of its registry —
+// the benchmark's sanity check that admission never throttled the run.
+func shedCount(srv *serve.Server) uint64 {
+	return srv.Metrics().Counter("synthd_shed_total", "").Value()
+}

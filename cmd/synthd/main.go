@@ -1,0 +1,176 @@
+// Command synthd is the product-synthesis daemon: it boots a learned
+// system once — from a catalog+model bundle (cmd/synthesize -save-bundle)
+// or by learning from a dataset directory — and serves synthesis over
+// HTTP until terminated.
+//
+// Usage:
+//
+//	synthd -bundle warm.psbd [-addr :8080]        # warm boot from one artifact
+//	synthd -data ./data [-addr :8080]             # learn at boot, then serve
+//	synthd -data ./data -emit-request             # print a /v1/synthesize body and exit
+//
+// Endpoints (see prodsynth/internal/serve for the full contract):
+//
+//	POST /v1/synthesize         one-shot synthesis
+//	POST /v1/synthesize/stream  wave-at-a-time synthesis, NDJSON out
+//	POST /v1/reload             hot-swap the model without downtime
+//	GET  /healthz /readyz /metrics
+//
+// Reload semantics: with -reload-data (or -data) set, POST /v1/reload
+// re-learns from that directory's historical feed against the serving
+// catalog; with only -bundle set, it re-reads the bundle file — the ops
+// flow where a batch job atomically replaces the bundle on disk and then
+// pokes the daemon. The swap is atomic; in-flight requests finish on the
+// generation they started with.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: the listener closes,
+// in-flight requests finish (bounded by -drain-timeout), then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prodsynth"
+	"prodsynth/internal/dataset"
+	"prodsynth/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synthd: ")
+
+	var (
+		bundle       = flag.String("bundle", "", "catalog+model bundle to boot from (skips learning)")
+		data         = flag.String("data", "", "dataset directory to learn from at boot")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxInFlight  = flag.Int("max-inflight", 64, "max concurrent synthesis requests before shedding with 429")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request synthesis deadline (requests may tighten it, never extend)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful drain bound after SIGTERM")
+		reloadData   = flag.String("reload-data", "", "dataset directory re-learned by POST /v1/reload (defaults to -data)")
+		emitRequest  = flag.Bool("emit-request", false, "print a /v1/synthesize request body for -data's incoming feed and exit")
+		verbose      = flag.Bool("v", false, "log boot statistics")
+	)
+	flag.Parse()
+
+	if *emitRequest {
+		if *data == "" {
+			log.Fatal("-emit-request requires -data")
+		}
+		ds, err := dataset.LoadWorkload(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req := serve.SynthesizeRequest{
+			Offers: serve.WireOffers(ds.IncomingOffers),
+			Pages:  serve.WirePages(ds.Pages),
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(req); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var (
+		store *prodsynth.Catalog
+		model *prodsynth.Model
+		err   error
+	)
+	switch {
+	case *bundle != "":
+		store, model, err = readBundle(*bundle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			st := model.Stats()
+			log.Printf("booted from bundle %s: %d categories, %d products, %d correspondences",
+				*bundle, store.NumCategories(), store.NumProducts(), st.Correspondences)
+		}
+	case *data != "":
+		ds, err := dataset.Load(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = ds.Catalog
+		model, err = prodsynth.Learn(context.Background(), store, ds.HistoricalOffers, prodsynth.MapFetcher(ds.Pages))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			st := model.Stats()
+			log.Printf("learned from %s: %d historical offers, %d correspondences", *data, st.HistoricalOffers, st.Correspondences)
+		}
+	default:
+		log.Print("one of -bundle or -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sys := prodsynth.NewSystem(store, model)
+	srv := serve.New(sys, serve.Options{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		Reload:         reloadFunc(store, *reloadData, *data, *bundle),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Parseable by scripts and tests (and the only stdout line): the
+	// resolved address matters when -addr picked port 0.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, exiting")
+}
+
+// reloadFunc picks the /v1/reload source: a dataset directory to re-learn
+// from (against the serving catalog), else the bundle file to re-read,
+// else nil (endpoint answers 501).
+func reloadFunc(store *prodsynth.Catalog, reloadData, data, bundle string) func(context.Context) (*prodsynth.Model, error) {
+	src := reloadData
+	if src == "" {
+		src = data
+	}
+	switch {
+	case src != "":
+		return func(ctx context.Context) (*prodsynth.Model, error) {
+			ds, err := dataset.LoadWorkload(src)
+			if err != nil {
+				return nil, err
+			}
+			return prodsynth.Learn(ctx, store, ds.HistoricalOffers, prodsynth.MapFetcher(ds.Pages))
+		}
+	case bundle != "":
+		return func(context.Context) (*prodsynth.Model, error) {
+			_, m, err := readBundle(bundle)
+			return m, err
+		}
+	}
+	return nil
+}
+
+func readBundle(path string) (*prodsynth.Catalog, *prodsynth.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return prodsynth.LoadBundle(f)
+}

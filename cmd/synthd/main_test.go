@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"prodsynth"
+	"prodsynth/internal/dataset"
+	"prodsynth/internal/serve"
+	"prodsynth/internal/synth"
+)
+
+// TestMain doubles the test binary as the synthd command: when re-exec'd
+// with the marker variable set, it runs main() instead of the tests. The
+// daemon test below uses this to run synthd as a real, separate OS
+// process — nothing is shared with the test but the bundle file and a
+// TCP port.
+func TestMain(m *testing.M) {
+	if os.Getenv("SYNTHD_EXEC_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	ds := synth.Generate(synth.Config{
+		Seed:                7,
+		CategoriesPerDomain: 2,
+		ProductsPerCategory: 15,
+		Merchants:           12,
+	})
+	dir := filepath.Join(t.TempDir(), "data")
+	if err := dataset.Save(ds, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// writeBundle learns from the dataset directory and persists the
+// catalog+model bundle the daemon boots from.
+func writeBundle(t *testing.T, dataDir string) string {
+	t.Helper()
+	ds, err := dataset.Load(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := prodsynth.Learn(context.Background(), ds.Catalog, ds.HistoricalOffers, prodsynth.MapFetcher(ds.Pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "warm.psbd")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prodsynth.SaveBundle(f, ds.Catalog, model); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startDaemon re-execs the test binary as synthd, waits for the
+// "listening on" line, and returns the base URL plus the running command.
+func startDaemon(t *testing.T, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SYNTHD_EXEC_MAIN=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	lines := bufio.NewScanner(stdout)
+	urlCh := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			if rest, ok := strings.CutPrefix(lines.Text(), "listening on "); ok {
+				urlCh <- rest
+			}
+		}
+	}()
+	select {
+	case url := <-urlCh:
+		return url, cmd
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr:\n%s", stderr.String())
+		return "", nil
+	}
+}
+
+// runEmitRequest re-execs synthd -emit-request and returns the request
+// body it prints — the same artifact the CI smoke test posts with curl.
+func runEmitRequest(t *testing.T, dataDir string) []byte {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-emit-request", "-data", dataDir)
+	cmd.Env = append(os.Environ(), "SYNTHD_EXEC_MAIN=1")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("synthd -emit-request: %v", err)
+	}
+	return out
+}
+
+// TestDaemonCrossProcess is the daemon's acceptance test, run across real
+// process boundaries: learn and save a bundle in this process, boot
+// synthd from it in a child process, serve one synthesize request built
+// by synthd -emit-request, and assert the answer is byte-identical to
+// in-process synthesis from the same bundle. Then SIGTERM the daemon and
+// require a clean exit.
+func TestDaemonCrossProcess(t *testing.T) {
+	dataDir := writeDataset(t)
+	bundlePath := writeBundle(t, dataDir)
+
+	url, cmd := startDaemon(t, "-bundle", bundlePath, "-addr", "127.0.0.1:0")
+
+	// Liveness first: healthz answers before any synthesis traffic.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status = %d", resp.StatusCode)
+	}
+
+	reqBody := runEmitRequest(t, dataDir)
+	resp, err = http.Post(url+"/v1/synthesize", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: status = %d, body %s", resp.StatusCode, got)
+	}
+
+	// The in-process reference: boot from the same bundle file, synthesize
+	// the same request, encode with the same wire converters.
+	f, err := os.Open(bundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, model, err := prodsynth.LoadBundle(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := prodsynth.NewSystem(store, model)
+	var req serve.SynthesizeRequest
+	if err := json.Unmarshal(reqBody, &req); err != nil {
+		t.Fatal(err)
+	}
+	pages := make(prodsynth.MapFetcher, len(req.Pages))
+	for _, p := range req.Pages {
+		pages[p.URL] = p.HTML
+	}
+	direct, err := sys.SynthesizeContext(context.Background(), serve.OffersFromWire(req.Offers), pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Products) == 0 {
+		t.Fatal("in-process synthesis produced no products; the identity check would be vacuous")
+	}
+	var want bytes.Buffer
+	if err := json.NewEncoder(&want).Encode(serve.ResponseFromResult(direct)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("daemon response differs from in-process synthesis:\n daemon: %s\n direct: %s", got, want.Bytes())
+	}
+
+	// Metrics crossed the process boundary too.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `synthd_requests_total{endpoint="synthesize",code="200"} 1`) {
+		t.Errorf("daemon metrics missing the synthesize request count:\n%s", metrics)
+	}
+
+	// Graceful shutdown: SIGTERM, clean exit (status 0), no kill needed.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+}
+
+// TestEmitRequestShape pins the -emit-request artifact: valid JSON in the
+// /v1/synthesize request shape, with the dataset's full incoming feed and
+// deduplicated pages.
+func TestEmitRequestShape(t *testing.T) {
+	dataDir := writeDataset(t)
+	out := runEmitRequest(t, dataDir)
+
+	var req serve.SynthesizeRequest
+	if err := json.Unmarshal(out, &req); err != nil {
+		t.Fatalf("emit-request output is not a request body: %v\n%s", err, out)
+	}
+	ds, err := dataset.LoadWorkload(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Offers) != len(ds.IncomingOffers) {
+		t.Errorf("request carries %d offers, dataset has %d incoming", len(req.Offers), len(ds.IncomingOffers))
+	}
+	if len(req.Pages) != len(ds.Pages) {
+		t.Errorf("request carries %d pages, dataset has %d", len(req.Pages), len(ds.Pages))
+	}
+	seen := map[string]bool{}
+	for _, p := range req.Pages {
+		if seen[p.URL] {
+			t.Errorf("page %q repeated in emitted request", p.URL)
+		}
+		seen[p.URL] = true
+	}
+}

@@ -36,7 +36,7 @@ func (s *System) Learn(historical []Offer, pages PageFetcher) error {
 //
 // Deprecated: use Model().Stats(), or keep the *Model Learn returned.
 func (s *System) Stats() OfflineStats {
-	m := s.model.Load()
+	m := s.Model()
 	if m == nil {
 		return OfflineStats{}
 	}
@@ -48,7 +48,7 @@ func (s *System) Stats() OfflineStats {
 //
 // Deprecated: use Model().Correspondences().
 func (s *System) Correspondences() []Correspondence {
-	m := s.model.Load()
+	m := s.Model()
 	if m == nil {
 		return nil
 	}
@@ -60,7 +60,7 @@ func (s *System) Correspondences() []Correspondence {
 //
 // Deprecated: use Model().ScoredCandidates().
 func (s *System) ScoredCandidates() []Correspondence {
-	m := s.model.Load()
+	m := s.Model()
 	if m == nil {
 		return nil
 	}

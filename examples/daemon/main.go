@@ -1,0 +1,118 @@
+// Daemon: embed the synthesis daemon's HTTP layer (internal/serve, the
+// engine behind cmd/synthd) in your own process — learn a model, serve
+// /v1/synthesize over a real listener, observe the Prometheus metrics,
+// hot-swap the model via /v1/reload with zero downtime, and drain
+// gracefully. Everything cmd/synthd does, minus the flag parsing.
+//
+//	go run ./examples/daemon
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"prodsynth"
+	"prodsynth/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	// Learn a model over a synthetic marketplace — in production this is
+	// one LoadBundle call instead (see examples/quickstart).
+	market := prodsynth.GenerateMarketplace(prodsynth.MarketplaceConfig{
+		Seed:                42,
+		CategoriesPerDomain: 2,
+		ProductsPerCategory: 20,
+		Merchants:           24,
+	})
+	model, err := prodsynth.Learn(ctx, market.Catalog, market.HistoricalOffers, prodsynth.MapFetcher(market.Pages))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := prodsynth.NewSystem(market.Catalog, model)
+
+	// The serving layer: admission control (shed with 429 past
+	// MaxInFlight), per-request deadlines, /metrics, hot reload, drain.
+	srv := serve.New(sys, serve.Options{
+		MaxInFlight:    8,
+		RequestTimeout: 10 * time.Second,
+		Reload: func(ctx context.Context) (*prodsynth.Model, error) {
+			// Production would re-learn from fresh data or re-read a
+			// bundle; the swap below is atomic either way.
+			return prodsynth.Learn(ctx, market.Catalog, market.HistoricalOffers, prodsynth.MapFetcher(market.Pages))
+		},
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	runCtx, shutdown := context.WithCancel(ctx)
+	runDone := make(chan error, 1)
+	go func() { runDone <- srv.Run(runCtx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon up at %s (generation %d)\n\n", base, sys.Generation())
+
+	// One synthesize request: the dataset's incoming offers and pages,
+	// in the wire shape. The response is byte-deterministic — identical
+	// to what a direct SynthesizeContext call would produce.
+	body, _ := json.Marshal(serve.SynthesizeRequest{
+		Offers: serve.WireOffers(market.IncomingOffers),
+		Pages:  serve.WirePages(market.Pages),
+	})
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res serve.SynthesizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("POST /v1/synthesize: %d offers -> %d products (model generation %d)\n",
+		res.Offers, len(res.Products), res.ModelGeneration)
+
+	// Hot reload: re-learn in the background, atomic swap, generation
+	// bump. ?wait=1 blocks until the swap so the next line sees it.
+	resp, err = http.Post(base+"/v1/reload?wait=1", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("POST /v1/reload: now serving generation %d, zero downtime\n", sys.Generation())
+
+	// The metrics scrape: request counts, latency histogram, generation.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\nGET /metrics (excerpt):")
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "synthd_requests_total") ||
+			strings.HasPrefix(line, "synthd_model_generation") ||
+			strings.HasPrefix(line, "synthd_products_total") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Graceful drain: cancel Run's context (cmd/synthd wires SIGTERM to
+	// this); in-flight requests finish, then Run returns.
+	shutdown()
+	if err := <-runDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndrained cleanly")
+}

@@ -65,8 +65,35 @@ type PageFetcher interface {
 // MapFetcher serves pages from an in-memory map.
 type MapFetcher map[string]string
 
+// PageDoc is one landing page as it travels in page lists (dataset files,
+// serving requests): a URL and its HTML body.
+type PageDoc struct {
+	URL  string
+	HTML string
+}
+
 // ErrPageNotFound is returned by MapFetcher for unknown URLs.
 var ErrPageNotFound = errors.New("core: page not found")
+
+// ErrDuplicatePage is returned by MapFetcherFromDocs when the same URL
+// appears twice with different bodies.
+var ErrDuplicatePage = errors.New("core: duplicate page URL with conflicting body")
+
+// MapFetcherFromDocs builds a MapFetcher from a page list, rejecting a URL
+// that appears twice with distinct bodies instead of silently keeping the
+// last one — the map literal's last-wins semantics would make synthesis
+// output depend on input file or request-body ordering. Exact repeats
+// (same URL, same body) are tolerated, since they are idempotent.
+func MapFetcherFromDocs(docs []PageDoc) (MapFetcher, error) {
+	m := make(MapFetcher, len(docs))
+	for _, d := range docs {
+		if prev, ok := m[d.URL]; ok && prev != d.HTML {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicatePage, d.URL)
+		}
+		m[d.URL] = d.HTML
+	}
+	return m, nil
+}
 
 // Fetch implements PageFetcher.
 func (m MapFetcher) Fetch(url string) (string, error) {

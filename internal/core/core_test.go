@@ -33,6 +33,37 @@ func TestMapFetcher(t *testing.T) {
 	}
 }
 
+// TestMapFetcherFromDocs pins the duplicate-URL rule: a URL repeated with
+// a conflicting body is rejected (previously page lists degraded to the
+// map's silent last-wins), while exact repeats remain legal.
+func TestMapFetcherFromDocs(t *testing.T) {
+	f, err := MapFetcherFromDocs([]PageDoc{
+		{URL: "a", HTML: "<p>1</p>"},
+		{URL: "b", HTML: "<p>2</p>"},
+		{URL: "a", HTML: "<p>1</p>"}, // idempotent repeat
+	})
+	if err != nil {
+		t.Fatalf("MapFetcherFromDocs = %v, want nil", err)
+	}
+	if got, err := f.Fetch("a"); err != nil || got != "<p>1</p>" {
+		t.Errorf("Fetch(a) = %q, %v", got, err)
+	}
+	if len(f) != 2 {
+		t.Errorf("fetcher holds %d pages, want 2", len(f))
+	}
+
+	_, err = MapFetcherFromDocs([]PageDoc{
+		{URL: "a", HTML: "<p>1</p>"},
+		{URL: "a", HTML: "<p>other</p>"},
+	})
+	if !errors.Is(err, ErrDuplicatePage) {
+		t.Fatalf("conflicting duplicate: err = %v, want ErrDuplicatePage", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("error %q does not quote the offending URL", err)
+	}
+}
+
 func TestOfflinePhase(t *testing.T) {
 	ds := dataset(t)
 	off, err := RunOffline(context.Background(), ds.Catalog, ds.HistoricalOffers, MapFetcher(ds.Pages), Config{})

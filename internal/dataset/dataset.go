@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"prodsynth/internal/catalog"
+	"prodsynth/internal/core"
 	"prodsynth/internal/offer"
 	"prodsynth/internal/synth"
 )
@@ -330,6 +331,12 @@ func loadPages(ds *synth.Dataset, path string) error {
 		var p jsonPage
 		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
 			return fmt.Errorf("dataset: %s line %d: %w", path, line, err)
+		}
+		// Same conflict rule as core.MapFetcherFromDocs: a repeated URL
+		// with a different body is a corrupt dataset, not a quiet
+		// last-wins overwrite.
+		if prev, ok := ds.Pages[p.URL]; ok && prev != p.HTML {
+			return fmt.Errorf("dataset: %s line %d: %w: %q", path, line, core.ErrDuplicatePage, p.URL)
 		}
 		ds.Pages[p.URL] = p.HTML
 	}

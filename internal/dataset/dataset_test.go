@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -119,6 +120,32 @@ func TestLoadCorruptPages(t *testing.T) {
 	}
 	if _, err := Load(dir); err == nil {
 		t.Fatal("expected error for corrupt pages file")
+	}
+}
+
+// TestLoadDuplicatePages pins the duplicate-URL rule for pages.jsonl: a
+// URL repeated with a different body fails the load (previously the later
+// line silently won), while an exact repeated line stays legal.
+func TestLoadDuplicatePages(t *testing.T) {
+	ds := smallDataset()
+	dir := t.TempDir()
+	if err := Save(ds, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	conflict := []byte(`{"url":"u","html":"<p>1</p>"}` + "\n" + `{"url":"u","html":"<p>2</p>"}` + "\n")
+	if err := os.WriteFile(filepath.Join(dir, PagesFile), conflict, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, core.ErrDuplicatePage) {
+		t.Fatalf("conflicting duplicate page: err = %v, want core.ErrDuplicatePage", err)
+	}
+
+	repeat := []byte(`{"url":"u","html":"<p>1</p>"}` + "\n" + `{"url":"u","html":"<p>1</p>"}` + "\n")
+	if err := os.WriteFile(filepath.Join(dir, PagesFile), repeat, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("idempotent repeated page: err = %v, want nil", err)
 	}
 }
 

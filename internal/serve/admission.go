@@ -1,0 +1,38 @@
+package serve
+
+// admission is the semaphore-based admission controller in front of the
+// synthesis endpoints: at most max requests hold a slot at once, and a
+// request that cannot get a slot immediately is shed (the handler answers
+// 429 with Retry-After) rather than queued — under overload the daemon
+// stays responsive and pushes the retry decision to the caller, instead
+// of building an invisible queue whose latency grows without bound.
+//
+// Health, readiness, metrics, and reload are never gated: operability
+// endpoints must answer precisely when the daemon is busiest.
+type admission struct {
+	slots    chan struct{}
+	inflight *Gauge
+	shed     *Counter
+}
+
+func newAdmission(max int, inflight *Gauge, shed *Counter) *admission {
+	return &admission{slots: make(chan struct{}, max), inflight: inflight, shed: shed}
+}
+
+// tryAcquire claims a slot without blocking; false means shed.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Inc()
+		return true
+	default:
+		a.shed.Inc()
+		return false
+	}
+}
+
+// release returns a slot claimed by tryAcquire.
+func (a *admission) release() {
+	a.inflight.Dec()
+	<-a.slots
+}

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics substrate: a minimal Prometheus-text-format registry with no
+// external dependencies. Three instrument kinds cover the daemon's needs —
+// monotonic counters, gauges, and fixed-bucket histograms — each safe for
+// concurrent use via atomics; the registry itself only takes its lock on
+// series creation and on scrape.
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram of float64
+// observations (the daemon uses it for request latency in seconds).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefBuckets are the default latency buckets in seconds, a decade wider
+// than Prometheus's defaults on the low end because synthesis requests
+// are milliseconds on warm state.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are cumulative in the exposition format but stored sparse:
+	// each observation lands in its first fitting bucket and render sums.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// metricKind tags a family for the # TYPE line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels string // pre-rendered {k="v",...}, empty for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one metric name: help text, type, and its labeled series.
+type family struct {
+	name string
+	help string
+	kind metricKind
+	// series are keyed by rendered label string; insertion order is not
+	// kept — scrapes sort for deterministic output.
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("serve: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// renderLabels turns pairs ("k","v","k2","v2") into `{k="v",k2="v2"}`.
+// Pairs are rendered in the given order; callers keep a fixed order per
+// family so equal label sets hit the same series.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("serve: odd label pairs")
+	}
+	out := "{"
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += pairs[i] + "=" + strconv.Quote(pairs[i+1])
+	}
+	return out + "}"
+}
+
+func (f *family) get(r *Registry, labels string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := f.series[labels]
+	if !ok {
+		s = &series{labels: labels}
+		switch f.kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(DefBuckets)
+		}
+		f.series[labels] = s
+	}
+	return s
+}
+
+// Counter returns (registering on first use) the counter with the given
+// name and label pairs.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	return r.family(name, help, kindCounter).get(r, renderLabels(labelPairs)).c
+}
+
+// Gauge returns (registering on first use) the gauge with the given name
+// and label pairs.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	return r.family(name, help, kindGauge).get(r, renderLabels(labelPairs)).g
+}
+
+// Histogram returns (registering on first use) the histogram with the
+// given name and label pairs.
+func (r *Registry) Histogram(name, help string, labelPairs ...string) *Histogram {
+	return r.family(name, help, kindHistogram).get(r, renderLabels(labelPairs)).h
+}
+
+// WriteTo renders every family in the text exposition format, families in
+// registration order and series sorted by label string, so scrapes are
+// deterministic and diffable.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	type snap struct {
+		fam    *family
+		series []*series
+	}
+	snaps := make([]snap, len(fams))
+	for i, f := range fams {
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		sort.Slice(ss, func(a, b int) bool { return ss[a].labels < ss[b].labels })
+		snaps[i] = snap{fam: f, series: ss}
+	}
+	r.mu.Unlock()
+
+	var n int64
+	pf := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	for _, sn := range snaps {
+		f := sn.fam
+		if err := pf("# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return n, err
+		}
+		for _, s := range sn.series {
+			switch f.kind {
+			case kindCounter:
+				if err := pf("%s%s %d\n", f.name, s.labels, s.c.Value()); err != nil {
+					return n, err
+				}
+			case kindGauge:
+				if err := pf("%s%s %d\n", f.name, s.labels, s.g.Value()); err != nil {
+					return n, err
+				}
+			case kindHistogram:
+				if err := writeHistogram(pf, f.name, s); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+func writeHistogram(pf func(string, ...any) error, name string, s *series) error {
+	h := s.h
+	// Re-render the label set with le appended inside the braces.
+	withLE := func(le string) string {
+		if s.labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return s.labels[:len(s.labels)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := pf("%s_bucket%s %d\n", name, withLE(formatFloat(ub)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	if err := pf("%s_bucket%s %d\n", name, withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	sum := math.Float64frombits(h.sum.Load())
+	if err := pf("%s_sum%s %s\n", name, s.labels, formatFloat(sum)); err != nil {
+		return err
+	}
+	return pf("%s_count%s %d\n", name, s.labels, h.count.Load())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -39,39 +39,68 @@ func wrapFetch(pages core.PageFetcher, cfg Config) core.PageFetcher {
 type System struct {
 	store *Catalog
 	cfg   Config
-	model atomic.Pointer[Model]
+	// slot holds the served model together with its generation number, in
+	// one pointer, so a synthesis call pins a consistent (model,
+	// generation) pair with a single atomic load — a concurrent Use can
+	// never make a result report the wrong model's generation.
+	slot atomic.Pointer[modelSlot]
+	// gen mints generation numbers: 1 for the Model a System is built
+	// with, +1 per Use. Monotonic for the lifetime of the System.
+	gen atomic.Uint64
+}
+
+// modelSlot is the atomically swapped unit behind System.Use.
+type modelSlot struct {
+	model *Model
+	gen   uint64
 }
 
 // NewSystem creates a System serving synthesis over a catalog with a
 // learned Model. The zero Config (no options) applies the paper's
 // defaults; pass WithConfig or the finer-grained options to tune the
-// runtime pipeline.
+// runtime pipeline. The Model it is built with is generation 1.
 func NewSystem(store *Catalog, model *Model, opts ...Option) *System {
 	s := &System{store: store, cfg: buildConfig(opts)}
-	s.model.Store(model)
+	var g uint64
+	if model != nil {
+		g = s.gen.Add(1)
+	}
+	s.slot.Store(&modelSlot{model: model, gen: g})
 	return s
 }
 
 // Use atomically swaps the System's Model: synthesis calls that started
 // before the swap finish against the old model, calls that start after it
 // use the new one. This is the hot-reload path for a serving process that
-// re-learns (or re-loads) its model without downtime. A nil model resets
-// the System to the unlearned state (ErrNotLearned).
-func (s *System) Use(model *Model) { s.model.Store(model) }
+// re-learns (or re-loads) its model without downtime. Every swap bumps the
+// System's model generation (see Generation); a nil model resets the
+// System to the unlearned state (ErrNotLearned).
+func (s *System) Use(model *Model) {
+	s.slot.Store(&modelSlot{model: model, gen: s.gen.Add(1)})
+}
 
 // Model returns the Model the System currently serves with, or nil on the
 // deprecated v1 path before Learn.
-func (s *System) Model() *Model { return s.model.Load() }
+func (s *System) Model() *Model { return s.slot.Load().model }
 
-// current is the nil-guarded model fetch shared by the synthesis entry
-// points: one atomic load, so a concurrent Use cannot change the model
-// mid-call.
-func (s *System) current() (*Model, error) {
-	m := s.model.Load()
-	if m == nil {
+// Generation returns the generation number of the Model the System
+// currently serves with: 1 for the Model passed to NewSystem, incremented
+// by every Use. Zero only on the deprecated v1 path before Learn. A
+// serving process exposes this as the observable marker of a completed
+// hot reload, and every Result reports the generation that produced it
+// (Result.ModelGeneration), so responses spanning a swap are attributable
+// to exactly one model.
+func (s *System) Generation() uint64 { return s.slot.Load().gen }
+
+// current is the nil-guarded slot fetch shared by the synthesis entry
+// points: one atomic load, so a concurrent Use cannot change the model —
+// or detach it from its generation — mid-call.
+func (s *System) current() (*modelSlot, error) {
+	sl := s.slot.Load()
+	if sl.model == nil {
 		return nil, ErrNotLearned
 	}
-	return m, nil
+	return sl, nil
 }
 
 // Result is the outcome of a synthesis run.
@@ -99,6 +128,11 @@ type Result struct {
 	// makes the per-batch cost of a wave visible next to its match and
 	// fusion counts.
 	Elapsed time.Duration
+	// ModelGeneration is the System.Generation of the Model this result
+	// was synthesized against. The model is pinned per call (per batch
+	// run, per stream), so every product in one Result comes from this one
+	// generation even when a Use swap lands mid-run.
+	ModelGeneration uint64
 	// Fetch accounts the run's landing-page fetches: operation counters
 	// (exact when a FetchPolicy or other counter-keeping fetcher is in
 	// use) and the sorted IDs of offers that proceeded feed-only because
@@ -118,18 +152,18 @@ type Result struct {
 // the System's current Model. Cancelling ctx stops the pipeline's worker
 // pools at the next stage boundary with ctx.Err() and leaks no goroutines.
 func (s *System) SynthesizeContext(ctx context.Context, incoming []Offer, pages PageFetcher) (*Result, error) {
-	m, err := s.current()
+	sl, err := s.current()
 	if err != nil {
 		return nil, err
 	}
-	return s.synthesize(ctx, m, incoming, wrapFetch(pages, s.cfg))
+	return s.synthesize(ctx, sl, incoming, wrapFetch(pages, s.cfg))
 }
 
-// synthesize runs one batch against a pinned model — the shared core of
-// the one-shot and batch entry points.
-func (s *System) synthesize(ctx context.Context, m *Model, incoming []Offer, pages PageFetcher) (*Result, error) {
+// synthesize runs one batch against a pinned model slot — the shared core
+// of the one-shot and batch entry points.
+func (s *System) synthesize(ctx context.Context, sl *modelSlot, incoming []Offer, pages PageFetcher) (*Result, error) {
 	start := time.Now()
-	run, err := core.RunRuntime(ctx, s.store, m.offline, incoming, pages, s.cfg)
+	run, err := core.RunRuntime(ctx, s.store, sl.model.offline, incoming, pages, s.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +176,7 @@ func (s *System) synthesize(ctx context.Context, m *Model, incoming []Offer, pag
 		Offers:           len(incoming),
 		Clusters:         run.Clusters.Clusters,
 		Elapsed:          time.Since(start),
+		ModelGeneration:  sl.gen,
 		Fetch:            run.Fetch,
 	}, nil
 }
@@ -177,21 +212,22 @@ type BatchResult struct {
 // Result.Err and the run continues — except for ctx cancellation, which
 // stops the run and returns ctx.Err().
 func (s *System) SynthesizeBatchesContext(ctx context.Context, batches [][]Offer, pages PageFetcher) (*BatchResult, error) {
-	m, err := s.current()
+	sl, err := s.current()
 	if err != nil {
 		return nil, err
 	}
 	out := &BatchResult{Batches: make([]*Result, 0, len(batches))}
+	out.Total.ModelGeneration = sl.gen
 	// One wrap for the whole sequence: breaker state and fetch counters
 	// span every batch, like a serving process's crawl client would.
 	pages = wrapFetch(pages, s.cfg)
 	for _, batch := range batches {
-		res, err := s.synthesize(ctx, m, batch, pages)
+		res, err := s.synthesize(ctx, sl, batch, pages)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			out.Batches = append(out.Batches, &Result{Offers: len(batch), Err: err})
+			out.Batches = append(out.Batches, &Result{Offers: len(batch), ModelGeneration: sl.gen, Err: err})
 			out.Failed++
 			continue
 		}
@@ -330,7 +366,7 @@ type StreamResult struct {
 // ctx is cancelled or waves is closed, even if the consumer stops
 // reading. A System built without a Model returns ErrNotLearned.
 func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pages PageFetcher, opts StreamOptions) (<-chan StreamResult, error) {
-	m, err := s.current()
+	sl, err := s.current()
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +378,7 @@ func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pag
 	// forwarding goroutine already holds one result in flight, so any
 	// inner capacity would let the pipeline run that much further ahead
 	// than StreamOptions.Buffer promises.
-	inner := stream.Run(ctx, s.store, m.offline, waves, wrapFetch(pages, cfg), cfg, stream.Options{
+	inner := stream.Run(ctx, s.store, sl.model.offline, waves, wrapFetch(pages, cfg), cfg, stream.Options{
 		MaxOpenClusters: opts.MaxOpenClusters,
 		MaxIdleWaves:    opts.MaxIdleWaves,
 		DisableMemory:   opts.DisableClusterMemory,
@@ -365,6 +401,7 @@ func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pag
 					Offers:           r.Offers,
 					Clusters:         r.Clusters,
 					Elapsed:          r.Elapsed,
+					ModelGeneration:  sl.gen,
 					Err:              r.Err,
 					Fetch:            r.Fetch,
 				},
