@@ -123,6 +123,22 @@
 // model between processes that already hold the catalog, and
 // [SaveCatalog]/[LoadCatalog] snapshot a growing catalog on its own.
 //
+// # Durability and out-of-core state
+//
+// Where bundles snapshot a moment, [OpenDurable] makes the catalog
+// continuously crash-safe: the store lives in a data directory as
+// compacted per-shard snapshots plus an append-only, CRC-framed
+// write-ahead log, every commit (including each product [System.AddToCatalog]
+// adds mid-stream) is logged before the call returns, and reopening the
+// directory recovers a byte-identical store — snapshot load, idempotent
+// log replay, torn-tail truncation — even after SIGKILL mid-write.
+// [Durable.Run] compacts in the background while serving, and
+// [WithDurability] extends the same data directory to the streaming side:
+// clusters evicted by [StreamOptions.MaxOpenClusters]/MaxIdleWaves spill
+// to disk and revive when their keys resurface, keeping bounded-memory
+// streaming byte-identical to unbounded. cmd/synthd exposes the whole
+// layer as -data-dir. See README.md ("Durability & out-of-core").
+//
 // # Serving
 //
 // cmd/synthd packages the daemon recipe above as a binary: one LoadBundle

@@ -34,12 +34,13 @@ func SaveCatalog(w io.Writer, store *Catalog) error {
 // magic, format version, payload length, and checksum are verified before
 // any field is parsed, and corrupt, truncated, or internally inconsistent
 // input returns an error wrapping ErrBadCatalog — never a panic or a
-// partial store. The loaded store is behaviorally identical to the one
+// partial store. Corruption errors name the byte offset of the bad
+// frame. The loaded store is behaviorally identical to the one
 // that was saved: same products and insertion order, same ProductByKey
 // resolution, same CategoryVersion counters (so ProductsSince deltas and
 // the match registry's version-driven invalidation carry straight on).
 func LoadCatalog(r io.Reader) (*Catalog, error) {
-	return catalog.DecodeStore(r)
+	return catalog.DecodeStore(snapfmt.TrackOffset(r))
 }
 
 // BundleFormatVersion is the version number embedded in the binary format
@@ -80,22 +81,27 @@ func SaveBundle(w io.Writer, store *Catalog, m *Model) error {
 // halves, strictly: the outer framing and each embedded snapshot carry
 // their own magic, version, and checksum, all verified before use, and
 // any corruption returns an error wrapping ErrBadBundle — never a panic
-// or partial state. The typical serving-daemon boot is one LoadBundle
-// followed by NewSystem(store, model).
+// or partial state — and names the byte offset of the bad frame, outer
+// or embedded, in absolute file coordinates. The typical serving-daemon
+// boot is one LoadBundle followed by NewSystem(store, model).
 func LoadBundle(r io.Reader) (*Catalog, *Model, error) {
-	payload, err := snapfmt.Decode(r, bundleMagic, BundleFormatVersion, maxBundlePayload, ErrBadBundle)
+	tr := snapfmt.TrackOffset(r)
+	payload, err := snapfmt.Decode(tr, bundleMagic, BundleFormatVersion, maxBundlePayload, ErrBadBundle)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := snapfmt.ExpectEOF(r, ErrBadBundle); err != nil {
+	if err := snapfmt.ExpectEOF(tr, ErrBadBundle); err != nil {
 		return nil, nil, err
 	}
+	// The embedded blocks sit right after the outer header; an offset
+	// reader based there makes their errors absolute file positions.
 	br := bytes.NewReader(payload)
-	store, err := catalog.DecodeStoreFrom(br)
+	pr := snapfmt.NewOffsetReaderAt(br, snapfmt.HeaderSize)
+	store, err := catalog.DecodeStoreFrom(pr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: catalog half: %w", ErrBadBundle, err)
 	}
-	off, err := core.DecodeOfflineFrom(br)
+	off, err := core.DecodeOfflineFrom(pr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: model half: %w", ErrBadBundle, err)
 	}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"prodsynth/internal/snapfmt"
@@ -348,6 +350,55 @@ func TestLoadBundleStrict(t *testing.T) {
 	bad := frameBundlePayload(t, append(corruptCat, modelBuf.Bytes()...))
 	if _, _, err := LoadBundle(bytes.NewReader(bad)); !errors.Is(err, ErrBadBundle) || !errors.Is(err, ErrBadCatalog) {
 		t.Fatalf("corrupt-catalog bundle err = %v, want ErrBadBundle wrapping ErrBadCatalog", err)
+	}
+}
+
+// TestLoadErrorsCarryByteOffsets pins the debuggability fix for corrupt
+// multi-gigabyte artifacts: LoadCatalog and LoadBundle errors name the
+// byte offset of the bad frame — absolute file coordinates, even for the
+// blocks embedded in a bundle payload.
+func TestLoadErrorsCarryByteOffsets(t *testing.T) {
+	valid := saveCatalogBytes(t, handBuiltCatalog(t))
+
+	// Truncated catalog: the frame starts at byte 0 and the error says
+	// exactly where the input ran out.
+	cut := len(valid) - 7
+	_, err := LoadCatalog(bytes.NewReader(valid[:cut]))
+	if err == nil {
+		t.Fatal("truncated catalog loaded")
+	}
+	for _, want := range []string{"frame at byte 0", fmt.Sprintf("input ends at byte %d", cut)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("truncated catalog error %q does not mention %q", err, want)
+		}
+	}
+
+	// A bundle whose model half is truncated: the error locates the model
+	// frame at its absolute offset — outer header + catalog block.
+	var modelBuf bytes.Buffer
+	if err := SaveModel(&modelBuf, handBuiltModel()); err != nil {
+		t.Fatal(err)
+	}
+	mb := modelBuf.Bytes()
+	payload := append(append([]byte(nil), valid...), mb[:len(mb)-3]...)
+	_, _, err = LoadBundle(bytes.NewReader(frameBundlePayload(t, payload)))
+	if err == nil {
+		t.Fatal("truncated bundle loaded")
+	}
+	wantOff := fmt.Sprintf("frame at byte %d", snapfmt.HeaderSize+len(valid))
+	if !strings.Contains(err.Error(), wantOff) {
+		t.Errorf("truncated-model bundle error %q does not mention %q", err, wantOff)
+	}
+
+	// Garbage where the catalog half should start: located right after
+	// the outer header.
+	_, _, err = LoadBundle(bytes.NewReader(frameBundlePayload(t, []byte("not a catalog block at all"))))
+	if err == nil {
+		t.Fatal("garbage bundle loaded")
+	}
+	wantOff = fmt.Sprintf("frame at byte %d", snapfmt.HeaderSize)
+	if !strings.Contains(err.Error(), wantOff) {
+		t.Errorf("garbage-catalog bundle error %q does not mention %q", err, wantOff)
 	}
 }
 

@@ -60,6 +60,7 @@ func realMain() int {
 		faults     = flag.Bool("faults", false, "fault-injection replay: retry recovery and host-outage scenarios")
 		benchjson  = flag.String("benchjson", "", "measure batch vs stream (pipelined and barrier) and write a JSON report here")
 		servebench = flag.String("servebench", "", "measure the HTTP serving layer (requests/sec, p50/p99) and write a JSON report here")
+		durbench   = flag.String("durbench", "", "measure the durable catalog layer (snapshot codec MB/s, WAL append ns/record, replay records/sec) and write a JSON report here")
 		scale      = flag.String("scale", "medium", "corpus scale: small, medium, large")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "pipeline worker pool size (0 = default)")
@@ -70,7 +71,7 @@ func realMain() int {
 	)
 	flag.Parse()
 
-	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate || *nstream > 0 || *faults || *benchjson != "" || *servebench != "") {
+	if !(*all || *table2 || *table3 || *table4 || *fig6 || *fig7 || *fig8 || *fig9 || *ablate || *nstream > 0 || *faults || *benchjson != "" || *servebench != "" || *durbench != "") {
 		flag.Usage()
 		return 2
 	}
@@ -121,8 +122,8 @@ func realMain() int {
 		all: *all, table2: *table2, table3: *table3, table4: *table4,
 		fig6: *fig6, fig7: *fig7, fig8: *fig8, fig9: *fig9, ablate: *ablate,
 		nstream: *nstream, faults: *faults, benchjson: *benchjson,
-		servebench: *servebench,
-		scale:      *scale, seed: *seed, workers: *workers,
+		servebench: *servebench, durbench: *durbench,
+		scale: *scale, seed: *seed, workers: *workers,
 	})
 	if err != nil {
 		log.Print(err)
@@ -138,6 +139,7 @@ type runConfig struct {
 	faults                         bool
 	benchjson                      string
 	servebench                     string
+	durbench                       string
 	scale                          string
 	seed                           int64
 	workers                        int
@@ -217,6 +219,11 @@ func run(w io.Writer, rc runConfig) error {
 	}
 	if rc.servebench != "" {
 		if err := runServeBench(w, env, rc, rc.servebench); err != nil {
+			return err
+		}
+	}
+	if rc.durbench != "" {
+		if err := runDurBench(w, rc, rc.durbench); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,14 @@
 //	synthd -bundle warm.psbd [-addr :8080]        # warm boot from one artifact
 //	synthd -data ./data [-addr :8080]             # learn at boot, then serve
 //	synthd -data ./data -emit-request             # print a /v1/synthesize body and exit
+//	synthd -bundle warm.psbd -data-dir ./catalog  # durable catalog: WAL + snapshots
+//
+// With -data-dir the catalog lives out-of-core (see prodsynth.OpenDurable):
+// the first boot seeds the directory from -bundle/-data, later boots
+// recover the catalog from its snapshots and write-ahead log (surviving
+// kill -9), background compaction snapshots while serving, stream cluster
+// memory spills to disk under <data-dir>/spill, and recovery time plus
+// log depth are exported on /metrics.
 //
 // Endpoints (see prodsynth/internal/serve for the full contract):
 //
@@ -59,6 +67,11 @@ func main() {
 		reloadData   = flag.String("reload-data", "", "dataset directory re-learned by POST /v1/reload (defaults to -data)")
 		emitRequest  = flag.Bool("emit-request", false, "print a /v1/synthesize request body for -data's incoming feed and exit")
 		verbose      = flag.Bool("v", false, "log boot statistics")
+
+		dataDir        = flag.String("data-dir", "", "durable catalog directory: recovered at boot (seeded from -bundle/-data on first boot), every catalog commit WAL-logged, stream spill backed by disk")
+		fsync          = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
+		snapshotEvery  = flag.Duration("snapshot-interval", 0, "background compaction period with -data-dir (0 = depth-triggered only)")
+		compactRecords = flag.Int("compact-records", 10000, "compact when the WAL tail reaches this many records (0 = never by depth)")
 	)
 	flag.Parse()
 
@@ -83,6 +96,7 @@ func main() {
 	var (
 		store *prodsynth.Catalog
 		model *prodsynth.Model
+		learn func(*prodsynth.Catalog) (*prodsynth.Model, error)
 		err   error
 	)
 	switch {
@@ -102,13 +116,11 @@ func main() {
 			log.Fatal(err)
 		}
 		store = ds.Catalog
-		model, err = prodsynth.Learn(context.Background(), store, ds.HistoricalOffers, prodsynth.MapFetcher(ds.Pages))
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *verbose {
-			st := model.Stats()
-			log.Printf("learned from %s: %d historical offers, %d correspondences", *data, st.HistoricalOffers, st.Correspondences)
+		// Learning is deferred until the serving catalog is final: with
+		// -data-dir, the recovered durable catalog replaces ds.Catalog
+		// and the model must be learned against what is actually served.
+		learn = func(st *prodsynth.Catalog) (*prodsynth.Model, error) {
+			return prodsynth.Learn(context.Background(), st, ds.HistoricalOffers, prodsynth.MapFetcher(ds.Pages))
 		}
 	default:
 		log.Print("one of -bundle or -data is required")
@@ -116,7 +128,53 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys := prodsynth.NewSystem(store, model)
+	// With -data-dir the catalog lives out-of-core: recover it (snapshot
+	// load + WAL replay), seeding an empty directory from the boot
+	// catalog, and serve the durable store — every later AddToCatalog
+	// commit is logged as it happens.
+	var dur *prodsynth.Durable
+	var sysOpts []prodsynth.Option
+	if *dataDir != "" {
+		pol, ok := fsyncPolicy(*fsync)
+		if !ok {
+			log.Fatalf("-fsync %q: want always, interval, or none", *fsync)
+		}
+		dur, err = prodsynth.OpenDurable(*dataDir, prodsynth.DurabilityOptions{
+			Fsync:            pol,
+			SnapshotInterval: *snapshotEvery,
+			CompactRecords:   *compactRecords,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dur.Close()
+		if dur.Catalog().NumCategories() == 0 {
+			if err := dur.ImportCatalog(store); err != nil {
+				log.Fatal(err)
+			}
+			if *verbose {
+				log.Printf("seeded %s: %d categories, %d products", *dataDir, store.NumCategories(), store.NumProducts())
+			}
+		} else if *verbose {
+			rec := dur.Stats().Recovery
+			log.Printf("recovered %s in %s: epoch %d, %d snapshot products, %d log records replayed over %d segments",
+				*dataDir, rec.Duration, rec.SnapshotEpoch, rec.SnapshotProducts, rec.ReplayedRecords, rec.Segments)
+		}
+		store = dur.Catalog()
+		sysOpts = append(sysOpts, prodsynth.WithDurability(dur))
+	}
+
+	if model == nil {
+		if model, err = learn(store); err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			st := model.Stats()
+			log.Printf("learned from %s: %d historical offers, %d correspondences", *data, st.HistoricalOffers, st.Correspondences)
+		}
+	}
+
+	sys := prodsynth.NewSystem(store, model, sysOpts...)
 	srv := serve.New(sys, serve.Options{
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *reqTimeout,
@@ -134,10 +192,64 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if dur != nil {
+		// Background snapshotting while serving: interval fsync and
+		// compaction run alongside the listener, and the durability
+		// stats are exported on /metrics.
+		go dur.Run(ctx)
+		go durableMetrics(ctx, dur, srv.Metrics())
+	}
 	if err := srv.Run(ctx, ln); err != nil {
 		log.Fatal(err)
 	}
 	log.Print("drained, exiting")
+}
+
+// durableMetrics exports the durability layer on the server's /metrics
+// registry: recovery cost once, log depth and compaction progress
+// refreshed every second.
+func durableMetrics(ctx context.Context, dur *prodsynth.Durable, reg *serve.Registry) {
+	var (
+		recoveryMS  = reg.Gauge("synthd_durable_recovery_ms", "Wall time of the boot recovery (snapshot load + WAL replay), in milliseconds.")
+		replayed    = reg.Gauge("synthd_durable_recovery_replayed_records", "WAL records replayed over the snapshot at boot.")
+		epoch       = reg.Gauge("synthd_durable_snapshot_epoch", "Live snapshot epoch (advances on every compaction).")
+		compactions = reg.Gauge("synthd_durable_compactions_total", "Compactions completed since boot.")
+		depthRecs   = reg.Gauge("synthd_durable_log_depth_records", "WAL records not yet covered by a snapshot (crash-now replay cost).")
+		depthBytes  = reg.Gauge("synthd_durable_log_depth_bytes", "WAL bytes not yet covered by a snapshot.")
+		appendErrs  = reg.Gauge("synthd_durable_append_errors_total", "WAL append failures (in-memory catalog stays correct; durability of those records is lost).")
+	)
+	st := dur.Stats()
+	recoveryMS.Set(st.Recovery.Duration.Milliseconds())
+	replayed.Set(int64(st.Recovery.ReplayedRecords))
+
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		st = dur.Stats()
+		epoch.Set(int64(st.Epoch))
+		compactions.Set(int64(st.Compactions))
+		depthRecs.Set(int64(st.LogDepthRecords))
+		depthBytes.Set(int64(st.LogDepthBytes))
+		appendErrs.Set(int64(st.AppendErrors))
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// fsyncPolicy parses the -fsync flag.
+func fsyncPolicy(s string) (prodsynth.FsyncPolicy, bool) {
+	switch s {
+	case "always":
+		return prodsynth.SyncAlways, true
+	case "interval":
+		return prodsynth.SyncInterval, true
+	case "none":
+		return prodsynth.SyncNone, true
+	}
+	return prodsynth.SyncAlways, false
 }
 
 // reloadFunc picks the /v1/reload source: a dataset directory to re-learn

@@ -1,0 +1,219 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testStore(t *testing.T, shards int) *Store {
+	t.Helper()
+	st := NewStoreShards(shards)
+	for _, c := range []Category{
+		{ID: "c-drives", Name: "Hard Drives", TopLevel: "Electronics", Schema: Schema{Attributes: []Attribute{
+			{Name: AttrUPC, Kind: KindIdentifier},
+			{Name: "Brand", Kind: KindCategorical},
+			{Name: "Capacity", Kind: KindNumeric, Unit: "GB"},
+		}}},
+		{ID: "c-phones", Name: "Phones", TopLevel: "Electronics", Schema: Schema{Attributes: []Attribute{
+			{Name: AttrUPC, Kind: KindIdentifier},
+			{Name: AttrMPN, Kind: KindIdentifier},
+			{Name: "Brand", Kind: KindCategorical},
+		}}},
+		{ID: "c-tvs", Name: "TVs", TopLevel: "Electronics", Schema: Schema{Attributes: []Attribute{
+			{Name: AttrMPN, Kind: KindIdentifier},
+			{Name: "Size", Kind: KindNumeric, Unit: "in"},
+		}}},
+	} {
+		if err := st.AddCategory(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		cat := []string{"c-drives", "c-phones", "c-tvs"}[i%3]
+		keyAttr := AttrUPC
+		if cat == "c-tvs" {
+			keyAttr = AttrMPN
+		}
+		p := Product{
+			ID:         fmt.Sprintf("p-%02d", i),
+			CategoryID: cat,
+			Spec:       Spec{{Name: keyAttr, Value: fmt.Sprintf("key-%02d", i)}},
+		}
+		if err := st.AddProduct(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// Shard snapshots must partition the store: merging them back yields the
+// exact global snapshot, byte for byte, for any shard count.
+func TestShardSnapshotsMergeToGlobal(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		st := testStore(t, shards)
+		if got := st.NumShards(); got != shards {
+			t.Fatalf("NumShards = %d, want %d", got, shards)
+		}
+		var parts []Snapshot
+		for i := 0; i < st.NumShards(); i++ {
+			parts = append(parts, st.ShardSnapshot(i))
+		}
+		merged := MergeSnapshots(parts)
+		var want, got bytes.Buffer
+		if err := EncodeStore(&want, st); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeSnapshot(&got, merged); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("shards=%d: merged shard snapshots differ from the global snapshot", shards)
+		}
+		// And the merge must load: a store rebuilt from it matches too.
+		st2, err := FromSnapshotShards(merged, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: FromSnapshotShards: %v", shards, err)
+		}
+		var rt bytes.Buffer
+		if err := EncodeStore(&rt, st2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), rt.Bytes()) {
+			t.Errorf("shards=%d: snapshot round-trip through shard merge not identical", shards)
+		}
+	}
+}
+
+// The backend shard count must not leak into snapshot bytes: stores with
+// different shard counts holding the same logical state encode identically.
+func TestSnapshotBytesIndependentOfShardCount(t *testing.T) {
+	var first []byte
+	for _, shards := range []int{1, 2, 8} {
+		var buf bytes.Buffer
+		if err := EncodeStore(&buf, testStore(t, shards)); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("shards=%d: snapshot bytes differ from shards=1", shards)
+		}
+	}
+}
+
+// observerLog records mutations the way the durable log does.
+type observerLog struct {
+	mu   sync.Mutex
+	recs []ReplayRecord
+}
+
+func (l *observerLog) ObserveCategory(c Category) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cc := c
+	l.recs = append(l.recs, ReplayRecord{Category: &cc})
+}
+
+func (l *observerLog) ObserveProduct(version uint64, ownsKey bool, p Product) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp := p
+	l.recs = append(l.recs, ReplayRecord{Product: &cp, Version: version, OwnsKey: ownsKey})
+}
+
+// Replaying an observed mutation sequence into an empty store must
+// reproduce the original byte for byte — including shadowed keys, where
+// replay order alone cannot decide ownership.
+func TestObserverReplayRoundTrip(t *testing.T) {
+	st := NewStoreShards(4)
+	var log observerLog
+	st.SetObserver(&log)
+
+	schema := Schema{Attributes: []Attribute{{Name: AttrUPC, Kind: KindIdentifier}}}
+	for _, id := range []string{"c-a", "c-b"} {
+		if err := st.AddCategory(Category{ID: id, Name: id, TopLevel: "T", Schema: schema}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// p-1 claims the shared key first; p-2 in another category is shadowed.
+	for _, p := range []Product{
+		{ID: "p-1", CategoryID: "c-a", Spec: Spec{{Name: AttrUPC, Value: "shared"}}},
+		{ID: "p-2", CategoryID: "c-b", Spec: Spec{{Name: AttrUPC, Value: "shared"}}},
+		{ID: "p-3", CategoryID: "c-a", Spec: Spec{{Name: AttrUPC, Value: "solo"}}},
+	} {
+		if _, err := st.AddProductOutcome(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := NewStoreShards(4)
+	for _, rec := range log.recs {
+		if err := got.Replay(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want, have bytes.Buffer
+	if err := EncodeStore(&want, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeStore(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Error("replayed store differs from original")
+	}
+
+	// Replay is idempotent: applying the whole log again is a no-op.
+	for _, rec := range log.recs {
+		if err := got.Replay(rec); err != nil {
+			t.Fatalf("second replay: %v", err)
+		}
+	}
+	have.Reset()
+	if err := EncodeStore(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Error("double replay changed the store")
+	}
+
+	// A version gap is corruption, not something to paper over.
+	gap := ReplayRecord{Product: &Product{ID: "p-9", CategoryID: "c-a"}, Version: 99}
+	if err := got.Replay(gap); err == nil {
+		t.Error("Replay accepted a version gap")
+	}
+}
+
+// Replay must reject records that do not pass the store's own
+// validation: unknown categories, schema violations, duplicate IDs.
+func TestReplayRejectsInvalidRecords(t *testing.T) {
+	st := NewStoreShards(2)
+	schema := Schema{Attributes: []Attribute{{Name: AttrUPC, Kind: KindIdentifier}}}
+	if err := st.AddCategory(Category{ID: "c", Name: "c", TopLevel: "T", Schema: schema}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		rec  ReplayRecord
+	}{
+		{"empty", ReplayRecord{}},
+		{"unknown category", ReplayRecord{Product: &Product{ID: "p", CategoryID: "nope"}, Version: 1}},
+		{"schema violation", ReplayRecord{Product: &Product{ID: "p", CategoryID: "c", Spec: Spec{{Name: "Ghost", Value: "x"}}}, Version: 1}},
+		{"keyless ownership claim", ReplayRecord{Product: &Product{ID: "p", CategoryID: "c"}, Version: 1, OwnsKey: true}},
+	}
+	for _, tc := range cases {
+		if err := st.Replay(tc.rec); err == nil {
+			t.Errorf("%s: Replay accepted the record", tc.name)
+		}
+	}
+	if err := st.Replay(ReplayRecord{Product: &Product{ID: "p", CategoryID: "c"}, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	dup := ReplayRecord{Product: &Product{ID: "p", CategoryID: "c"}, Version: 2}
+	if err := st.Replay(dup); !errors.Is(err, ErrDuplicateProduct) {
+		t.Errorf("duplicate ID replay: err = %v, want ErrDuplicateProduct", err)
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 )
 
 // Well-known key attribute names (catalog-side vocabulary). The clustering
@@ -229,8 +228,11 @@ var (
 	ErrSchemaViolation   = errors.New("catalog: attribute not in category schema")
 )
 
-// Store is the in-memory catalog: categories plus products, with indexes by
+// Store is the catalog: categories plus products, with indexes by
 // category and by key attribute. All methods are safe for concurrent use.
+// Storage lives behind a Backend; the default is an in-memory backend
+// sharded by category hash (see NewMemBackend), so readers and writers
+// of different categories never share a lock.
 //
 // Every mutation of a category's product set bumps that category's version
 // counter (see CategoryVersion). External caches built over a category's
@@ -238,70 +240,61 @@ var (
 // version they were built at and rebuild when it moves, so stale entries are
 // evicted without the Store knowing who caches what.
 type Store struct {
-	mu         sync.RWMutex
-	categories map[string]*Category
-	products   map[string]*Product
-	byCategory map[string][]string // category ID -> product IDs (insertion order)
-	byKey      map[string]string   // key value -> product ID (first insertion wins)
-	versions   map[string]uint64   // category ID -> mutation counter
-	autoSeq    uint64              // next candidate suffix for AddProductAutoID
+	b Backend
 }
 
-// NewStore returns an empty catalog store.
+// NewStore returns an empty catalog store on the default sharded
+// in-memory backend.
 func NewStore() *Store {
-	return &Store{
-		categories: make(map[string]*Category),
-		products:   make(map[string]*Product),
-		byCategory: make(map[string][]string),
-		byKey:      make(map[string]string),
-		versions:   make(map[string]uint64),
-	}
+	return NewStoreShards(DefaultShards)
 }
+
+// NewStoreShards returns an empty catalog store whose in-memory backend
+// uses the given shard count.
+func NewStoreShards(shards int) *Store {
+	return &Store{b: NewMemBackend(shards)}
+}
+
+// NewStoreBackend returns a store over a caller-supplied backend.
+func NewStoreBackend(b Backend) *Store {
+	return &Store{b: b}
+}
+
+// Backend exposes the store's storage engine — the surface durability
+// layers build on (shard snapshots, mutation observers, log replay).
+func (st *Store) Backend() Backend { return st.b }
+
+// NumShards reports the backend's shard count.
+func (st *Store) NumShards() int { return st.b.NumShards() }
+
+// ShardSnapshot captures one backend shard; see Backend.ShardSnapshot.
+func (st *Store) ShardSnapshot(shard int) Snapshot { return st.b.ShardSnapshot(shard) }
+
+// SetObserver attaches a mutation observer; see Backend.SetObserver.
+func (st *Store) SetObserver(obs Observer) { st.b.SetObserver(obs) }
+
+// Replay applies one logged mutation idempotently; see Backend.Replay.
+func (st *Store) Replay(rec ReplayRecord) error { return st.b.Replay(rec) }
 
 // AddCategory registers a category. The category is copied; later mutation
 // of the argument does not affect the store.
 func (st *Store) AddCategory(c Category) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.categories[c.ID]; ok {
-		return fmt.Errorf("%w: %s", ErrDuplicateCategory, c.ID)
-	}
-	cp := c
-	cp.Schema.Attributes = append([]Attribute(nil), c.Schema.Attributes...)
-	cp.Schema.byName = nil
-	cp.Schema.buildNameIndex()
-	st.categories[c.ID] = &cp
-	return nil
+	return st.b.AddCategory(c)
 }
 
 // Category returns the category with the given ID.
 func (st *Store) Category(id string) (Category, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	c, ok := st.categories[id]
-	if !ok {
-		return Category{}, false
-	}
-	return *c, true
+	return st.b.Category(id)
 }
 
 // Categories returns all categories sorted by ID.
 func (st *Store) Categories() []Category {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]Category, 0, len(st.categories))
-	for _, c := range st.categories {
-		out = append(out, *c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return st.b.Categories()
 }
 
 // NumCategories returns the number of categories.
 func (st *Store) NumCategories() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.categories)
+	return st.b.NumCategories()
 }
 
 // AddOutcome reports non-fatal conditions observed while inserting a
@@ -332,9 +325,7 @@ func (st *Store) AddProduct(p Product) error {
 // surfaced through AddOutcome.KeyShadowedBy instead of silently skewing
 // later ProductByKey lookups.
 func (st *Store) AddProductOutcome(p Product) (AddOutcome, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.addProductLocked(p)
+	return st.b.AddProduct(p)
 }
 
 // AddProductAutoID inserts a product under a generated ID of the form
@@ -345,93 +336,31 @@ func (st *Store) AddProductOutcome(p Product) (AddOutcome, error) {
 // so a generated ID never collides with an existing product. Returns the
 // assigned ID; p.ID is ignored.
 func (st *Store) AddProductAutoID(prefix string, p Product) (string, AddOutcome, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	for {
-		id := fmt.Sprintf("%s-nokey-%d", prefix, st.autoSeq)
-		st.autoSeq++
-		if _, taken := st.products[id]; taken {
-			continue
-		}
-		p.ID = id
-		out, err := st.addProductLocked(p)
-		if err != nil {
-			return "", AddOutcome{}, err
-		}
-		return id, out, nil
-	}
-}
-
-// addProductLocked validates and inserts a product; st.mu must be held.
-func (st *Store) addProductLocked(p Product) (AddOutcome, error) {
-	cat, ok := st.categories[p.CategoryID]
-	if !ok {
-		return AddOutcome{}, fmt.Errorf("%w: %s (product %s)", ErrUnknownCategory, p.CategoryID, p.ID)
-	}
-	if _, dup := st.products[p.ID]; dup {
-		return AddOutcome{}, fmt.Errorf("%w: %s", ErrDuplicateProduct, p.ID)
-	}
-	for _, av := range p.Spec {
-		if !cat.Schema.Has(av.Name) {
-			return AddOutcome{}, fmt.Errorf("%w: %q not in schema of %s", ErrSchemaViolation, av.Name, p.CategoryID)
-		}
-	}
-	var out AddOutcome
-	cp := p
-	cp.Spec = p.Spec.Clone()
-	st.products[p.ID] = &cp
-	st.byCategory[p.CategoryID] = append(st.byCategory[p.CategoryID], p.ID)
-	if key, ok := cp.Key(); ok {
-		if owner, dup := st.byKey[key]; dup {
-			out.KeyShadowedBy = owner
-		} else {
-			st.byKey[key] = p.ID
-		}
-	}
-	st.versions[p.CategoryID]++
-	return out, nil
+	return st.b.AddProductAutoID(prefix, p)
 }
 
 // CategoryVersion returns the category's mutation counter: it starts at 0
 // and increments on every product insertion into the category. Caches keyed
 // on a category's product set use it to detect staleness.
 func (st *Store) CategoryVersion(categoryID string) uint64 {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.versions[categoryID]
+	return st.b.CategoryVersion(categoryID)
 }
 
 // Product returns the product with the given ID.
 func (st *Store) Product(id string) (Product, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	p, ok := st.products[id]
-	if !ok {
-		return Product{}, false
-	}
-	cp := *p
-	cp.Spec = p.Spec.Clone()
-	return cp, true
+	return st.b.Product(id)
 }
 
 // ProductByKey returns the product whose UPC or MPN equals key. When
 // several products were inserted with the same key, the first insertion
 // owns it (later ones are reported shadowed by AddProductOutcome).
 func (st *Store) ProductByKey(key string) (Product, bool) {
-	st.mu.RLock()
-	id, ok := st.byKey[key]
-	st.mu.RUnlock()
-	if !ok {
-		return Product{}, false
-	}
-	return st.Product(id)
+	return st.b.ProductByKey(key)
 }
 
 // ProductsInCategory returns the products of one category in insertion order.
 func (st *Store) ProductsInCategory(categoryID string) []Product {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.productsLocked(st.byCategory[categoryID])
+	return st.b.ProductsInCategory(categoryID)
 }
 
 // ProductsInCategoryVersioned returns the products of one category in
@@ -441,9 +370,7 @@ func (st *Store) ProductsInCategory(categoryID string) []Product {
 // CategoryVersion, or a concurrent insertion could slip between the two
 // reads and be double-counted or lost.
 func (st *Store) ProductsInCategoryVersioned(categoryID string) ([]Product, uint64) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.productsLocked(st.byCategory[categoryID]), st.versions[categoryID]
+	return st.b.ProductsInCategoryVersioned(categoryID)
 }
 
 // ProductsSince returns the products appended to a category after its
@@ -457,31 +384,10 @@ func (st *Store) ProductsInCategoryVersioned(categoryID string) ([]Product, uint
 // such mutation exists today; the check guards future ones). Callers must
 // then rebuild from ProductsInCategoryVersioned.
 func (st *Store) ProductsSince(categoryID string, since uint64) (added []Product, version uint64, ok bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	v := st.versions[categoryID]
-	ids := st.byCategory[categoryID]
-	if since > v || uint64(len(ids)) != v {
-		return nil, v, false
-	}
-	return st.productsLocked(ids[since:]), v, true
-}
-
-// productsLocked clones the products with the given IDs; st.mu must be held.
-func (st *Store) productsLocked(ids []string) []Product {
-	out := make([]Product, 0, len(ids))
-	for _, id := range ids {
-		p := st.products[id]
-		cp := *p
-		cp.Spec = p.Spec.Clone()
-		out = append(out, cp)
-	}
-	return out
+	return st.b.ProductsSince(categoryID, since)
 }
 
 // NumProducts returns the number of products in the store.
 func (st *Store) NumProducts() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.products)
+	return st.b.NumProducts()
 }

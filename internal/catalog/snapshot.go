@@ -76,33 +76,23 @@ type KeyOwner struct {
 // the key ownership table sorted by key. Everything is deeply copied;
 // later store mutation does not affect the snapshot.
 func (st *Store) Snapshot() Snapshot {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	snap := Snapshot{Categories: make([]CategorySnapshot, 0, len(st.categories))}
-	catIDs := make([]string, 0, len(st.categories))
-	for id := range st.categories {
-		catIDs = append(catIDs, id)
+	return st.b.Snapshot()
+}
+
+// MergeSnapshots combines per-shard snapshots (see Store.ShardSnapshot)
+// back into one global snapshot, restoring the deterministic ordering
+// Snapshot guarantees: categories sorted by ID, keys sorted by key. The
+// inputs must be disjoint (each category and key in exactly one shard),
+// which FromSnapshot's consistency checks enforce when the merge is
+// loaded.
+func MergeSnapshots(shards []Snapshot) Snapshot {
+	var snap Snapshot
+	for _, s := range shards {
+		snap.Categories = append(snap.Categories, s.Categories...)
+		snap.Keys = append(snap.Keys, s.Keys...)
 	}
-	sort.Strings(catIDs)
-	for _, id := range catIDs {
-		c := st.categories[id]
-		cc := *c
-		cc.Schema.Attributes = append([]Attribute(nil), c.Schema.Attributes...)
-		cc.Schema.byName = nil
-		snap.Categories = append(snap.Categories, CategorySnapshot{
-			Category: cc,
-			Version:  st.versions[id],
-			Products: st.productsLocked(st.byCategory[id]),
-		})
-	}
-	keys := make([]string, 0, len(st.byKey))
-	for k := range st.byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		snap.Keys = append(snap.Keys, KeyOwner{Key: k, ProductID: st.byKey[k]})
-	}
+	sortSnapshotCategories(&snap)
+	sort.Slice(snap.Keys, func(i, j int) bool { return snap.Keys[i].Key < snap.Keys[j].Key })
 	return snap
 }
 
@@ -115,48 +105,62 @@ func (st *Store) Snapshot() Snapshot {
 // store is behaviorally identical to the one the snapshot was taken
 // from.
 func FromSnapshot(snap Snapshot) (*Store, error) {
-	st := NewStore()
-	for _, cs := range snap.Categories {
+	return FromSnapshotShards(snap, DefaultShards)
+}
+
+// FromSnapshotShards is FromSnapshot onto an in-memory backend with the
+// given shard count — the recovery entry point, where the shard count is
+// configuration rather than the default.
+func FromSnapshotShards(snap Snapshot, shards int) (*Store, error) {
+	if err := validateSnapshot(snap); err != nil {
+		return nil, err
+	}
+	b := NewMemBackend(shards).(*memBackend)
+	b.loadSnapshot(snap)
+	return NewStoreBackend(b), nil
+}
+
+// validateSnapshot runs the consistency checks FromSnapshot promises,
+// against transient indexes rather than a live backend.
+func validateSnapshot(snap Snapshot) error {
+	cats := make(map[string]*Category, len(snap.Categories))
+	prods := make(map[string]*Product)
+	for ci := range snap.Categories {
+		cs := &snap.Categories[ci]
 		c := cs.Category
 		if c.ID == "" {
-			return nil, errors.New("catalog: snapshot category with empty ID")
+			return errors.New("catalog: snapshot category with empty ID")
 		}
-		if _, dup := st.categories[c.ID]; dup {
-			return nil, fmt.Errorf("catalog: snapshot has duplicate category %s", c.ID)
+		if _, dup := cats[c.ID]; dup {
+			return fmt.Errorf("catalog: snapshot has duplicate category %s", c.ID)
 		}
 		for _, a := range c.Schema.Attributes {
 			if !validKind(a.Kind) {
-				return nil, fmt.Errorf("catalog: snapshot attribute %q in %s has invalid kind %d", a.Name, c.ID, a.Kind)
+				return fmt.Errorf("catalog: snapshot attribute %q in %s has invalid kind %d", a.Name, c.ID, a.Kind)
 			}
 		}
 		cc := c
 		cc.Schema.Attributes = append([]Attribute(nil), c.Schema.Attributes...)
 		cc.Schema.byName = nil
 		cc.Schema.buildNameIndex()
-		st.categories[cc.ID] = &cc
-		if len(cs.Products) > 0 {
-			ids := make([]string, 0, len(cs.Products))
-			for _, p := range cs.Products {
-				if p.ID == "" {
-					return nil, fmt.Errorf("catalog: snapshot product with empty ID in %s", cc.ID)
-				}
-				if p.CategoryID != cc.ID {
-					return nil, fmt.Errorf("catalog: snapshot product %s claims category %s inside %s", p.ID, p.CategoryID, cc.ID)
-				}
-				if _, dup := st.products[p.ID]; dup {
-					return nil, fmt.Errorf("catalog: snapshot has duplicate product %s", p.ID)
-				}
-				for _, av := range p.Spec {
-					if !cc.Schema.Has(av.Name) {
-						return nil, fmt.Errorf("catalog: snapshot product %s: %q not in schema of %s", p.ID, av.Name, cc.ID)
-					}
-				}
-				cp := p
-				cp.Spec = p.Spec.Clone()
-				st.products[cp.ID] = &cp
-				ids = append(ids, cp.ID)
+		cats[cc.ID] = &cc
+		for pi := range cs.Products {
+			p := &cs.Products[pi]
+			if p.ID == "" {
+				return fmt.Errorf("catalog: snapshot product with empty ID in %s", cc.ID)
 			}
-			st.byCategory[cc.ID] = ids
+			if p.CategoryID != cc.ID {
+				return fmt.Errorf("catalog: snapshot product %s claims category %s inside %s", p.ID, p.CategoryID, cc.ID)
+			}
+			if _, dup := prods[p.ID]; dup {
+				return fmt.Errorf("catalog: snapshot has duplicate product %s", p.ID)
+			}
+			for _, av := range p.Spec {
+				if !cc.Schema.Has(av.Name) {
+					return fmt.Errorf("catalog: snapshot product %s: %q not in schema of %s", p.ID, av.Name, cc.ID)
+				}
+			}
+			prods[p.ID] = p
 		}
 		// The store's only mutation today is an append, so a category's
 		// version always equals its product count — and ProductsSince
@@ -164,35 +168,33 @@ func FromSnapshot(snap Snapshot) (*Store, error) {
 		// break it, or the loaded store would silently degrade every
 		// incremental index update into a full rebuild.
 		if cs.Version != uint64(len(cs.Products)) {
-			return nil, fmt.Errorf("catalog: snapshot category %s has version %d but %d products", cc.ID, cs.Version, len(cs.Products))
-		}
-		if cs.Version != 0 {
-			st.versions[cc.ID] = cs.Version
+			return fmt.Errorf("catalog: snapshot category %s has version %d but %d products", cc.ID, cs.Version, len(cs.Products))
 		}
 	}
+	seenKeys := make(map[string]bool, len(snap.Keys))
 	for _, ko := range snap.Keys {
-		if _, dup := st.byKey[ko.Key]; dup {
-			return nil, fmt.Errorf("catalog: snapshot key table repeats key %q", ko.Key)
+		if seenKeys[ko.Key] {
+			return fmt.Errorf("catalog: snapshot key table repeats key %q", ko.Key)
 		}
-		owner, ok := st.products[ko.ProductID]
+		seenKeys[ko.Key] = true
+		owner, ok := prods[ko.ProductID]
 		if !ok {
-			return nil, fmt.Errorf("catalog: snapshot key %q owned by unknown product %s", ko.Key, ko.ProductID)
+			return fmt.Errorf("catalog: snapshot key %q owned by unknown product %s", ko.Key, ko.ProductID)
 		}
 		if k, ok := owner.Key(); !ok || k != ko.Key {
-			return nil, fmt.Errorf("catalog: snapshot key %q owner %s does not carry that key", ko.Key, ko.ProductID)
+			return fmt.Errorf("catalog: snapshot key %q owner %s does not carry that key", ko.Key, ko.ProductID)
 		}
-		st.byKey[ko.Key] = ko.ProductID
 	}
 	// Coverage: every key a product carries must have an owner, or a
 	// forged snapshot could hide products from ProductByKey.
-	for id, p := range st.products {
+	for id, p := range prods {
 		if k, ok := p.Key(); ok {
-			if _, present := st.byKey[k]; !present {
-				return nil, fmt.Errorf("catalog: snapshot key table misses key %q of product %s", k, id)
+			if !seenKeys[k] {
+				return fmt.Errorf("catalog: snapshot key table misses key %q of product %s", k, id)
 			}
 		}
 	}
-	return st, nil
+	return nil
 }
 
 // EncodeStore writes a versioned, checksummed snapshot of the store. The
@@ -202,10 +204,13 @@ func EncodeStore(w io.Writer, st *Store) error {
 	if st == nil {
 		return errors.New("catalog: nil store")
 	}
-	return encodeSnapshot(w, st.Snapshot())
+	return EncodeSnapshot(w, st.Snapshot())
 }
 
-func encodeSnapshot(w io.Writer, snap Snapshot) error {
+// EncodeSnapshot writes one snapshot as a framed block — the same format
+// EncodeStore produces, exposed so per-shard snapshots (which are plain
+// Snapshot values) serialize independently onto the shared framing.
+func EncodeSnapshot(w io.Writer, snap Snapshot) error {
 	var p snapfmt.Writer
 	p.U32(uint32(len(snap.Categories)))
 	for _, cs := range snap.Categories {
@@ -270,13 +275,8 @@ func DecodeStore(r io.Reader) (*Store, error) {
 // (the catalog+model bundle) where another block follows. DecodeStore is
 // this plus a trailing-data check.
 func DecodeStoreFrom(r io.Reader) (*Store, error) {
-	payload, err := snapfmt.Decode(r, snapshotMagic, SnapshotVersion, maxSnapshotPayload, ErrBadSnapshot)
+	snap, err := DecodeSnapshot(r)
 	if err != nil {
-		return nil, err
-	}
-	d := snapfmt.NewReader(payload, ErrBadSnapshot)
-	snap := decodeSnapshot(d)
-	if err := d.Finish(); err != nil {
 		return nil, err
 	}
 	st, err := FromSnapshot(snap)
@@ -284,6 +284,24 @@ func DecodeStoreFrom(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
 	return st, nil
+}
+
+// DecodeSnapshot parses one snapshot block into a plain Snapshot without
+// building a store — the shape shard-by-shard recovery needs, where
+// several shard snapshots are merged (MergeSnapshots) and validated once
+// by FromSnapshot. The framing and payload strictness match DecodeStore;
+// the cross-index consistency checks are FromSnapshot's job.
+func DecodeSnapshot(r io.Reader) (Snapshot, error) {
+	payload, err := snapfmt.Decode(r, snapshotMagic, SnapshotVersion, maxSnapshotPayload, ErrBadSnapshot)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	d := snapfmt.NewReader(payload, ErrBadSnapshot)
+	snap := decodeSnapshot(d)
+	if err := d.Finish(); err != nil {
+		return Snapshot{}, err
+	}
+	return snap, nil
 }
 
 func decodeSnapshot(d *snapfmt.Reader) Snapshot {

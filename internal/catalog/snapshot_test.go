@@ -248,12 +248,12 @@ func TestFromSnapshotValidation(t *testing.T) {
 	// rejected at save time too, not written into an unloadable artifact.
 	snap := base()
 	snap.Categories[1].Products[0].CategoryID = "cameras/digital"
-	if err := encodeSnapshot(&bytes.Buffer{}, snap); err == nil {
+	if err := EncodeSnapshot(&bytes.Buffer{}, snap); err == nil {
 		t.Error("encodeSnapshot accepted a product outside its enclosing category")
 	}
 	snap = base()
 	snap.Categories[0].Category.Schema.Attributes[0].Kind = AttributeKind(-1)
-	if err := encodeSnapshot(&bytes.Buffer{}, snap); err == nil {
+	if err := EncodeSnapshot(&bytes.Buffer{}, snap); err == nil {
 		t.Error("encodeSnapshot accepted an out-of-range attribute kind")
 	}
 }

@@ -1,0 +1,79 @@
+package cluster
+
+import "fmt"
+
+// MemorySpill is the reference SpillStore: a map. It moves nothing out
+// of RAM — its point is semantics, not capacity — serving as the
+// equivalence-test oracle for real spill stores and as a stand-in where
+// durability is configured off. Refs are never reused, so a stale ref
+// from a revived cluster cannot alias a later spill.
+type MemorySpill struct {
+	clusters map[int64]Spilled
+	index    map[string]int64
+	nextRef  int64
+}
+
+// NewMemorySpill returns an empty in-RAM spill store.
+func NewMemorySpill() *MemorySpill {
+	return &MemorySpill{
+		clusters: make(map[int64]Spilled),
+		index:    make(map[string]int64),
+	}
+}
+
+// Spill implements SpillStore.
+func (s *MemorySpill) Spill(sp Spilled) error {
+	ref := s.nextRef
+	s.nextRef++
+	s.clusters[ref] = sp
+	for _, k := range sp.Keys {
+		s.index[k] = ref
+	}
+	return nil
+}
+
+// Lookup implements SpillStore.
+func (s *MemorySpill) Lookup(key string) (int64, bool) {
+	ref, ok := s.index[key]
+	return ref, ok
+}
+
+// Revive implements SpillStore.
+func (s *MemorySpill) Revive(ref int64) (Spilled, error) {
+	sp, ok := s.clusters[ref]
+	if !ok {
+		return Spilled{}, errSpillRef(ref)
+	}
+	delete(s.clusters, ref)
+	for _, k := range sp.Keys {
+		if s.index[k] == ref {
+			delete(s.index, k)
+		}
+	}
+	return sp, nil
+}
+
+// All implements SpillStore.
+func (s *MemorySpill) All() ([]Spilled, error) {
+	out := make([]Spilled, 0, len(s.clusters))
+	for _, sp := range s.clusters {
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// Len implements SpillStore.
+func (s *MemorySpill) Len() int { return len(s.clusters) }
+
+// Close implements SpillStore.
+func (s *MemorySpill) Close() error { return nil }
+
+// MemorySpillFactory hands every stream its own MemorySpill.
+type MemorySpillFactory struct{}
+
+// NewSpill implements SpillFactory.
+func (MemorySpillFactory) NewSpill() (SpillStore, error) { return NewMemorySpill(), nil }
+
+func errSpillRef(ref int64) error {
+	return fmt.Errorf("cluster: no spilled cluster at ref %d", ref)
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import "prodsynth/internal/offer"
+
+// SpillMember is one spilled cluster member: the offer plus its global
+// arrival index, which keeps member order byte-identical to batch
+// clustering when the cluster is revived.
+type SpillMember struct {
+	Seq   int
+	Offer offer.Offer
+}
+
+// Spilled is the out-of-core form of one open cluster: everything the
+// stream's cluster memory needs to revive it as if it had never left RAM
+// — creation ordinal, union-find key set, members in arrival order, the
+// wave that last touched it, and the catalog versions observed then.
+type Spilled struct {
+	Ord         int
+	Keys        []string
+	Members     []SpillMember
+	LastWave    int
+	CatVersions map[string]uint64
+}
+
+// SpillStore parks evicted-but-revivable clusters outside RAM. The
+// stream's cluster memory spills clusters it would otherwise seal on
+// LRU/TTL bounds and revives them when one of their keys reappears, so a
+// bounded memory over an oversized open-cluster set stays byte-identical
+// to an unbounded one. Implementations keep a compact key -> ref index
+// (keys are small; members are what spilling moves out of RAM) and need
+// not be safe for concurrent use: one stream owns one store.
+type SpillStore interface {
+	// Spill parks one cluster and indexes all its keys.
+	Spill(s Spilled) error
+	// Lookup resolves a key to the ref of the spilled cluster holding it.
+	Lookup(key string) (ref int64, ok bool)
+	// Revive loads the cluster behind ref and removes it (and its keys)
+	// from the store.
+	Revive(ref int64) (Spilled, error)
+	// All returns every spilled cluster without removing anything, in no
+	// particular order — the close-path merge input.
+	All() ([]Spilled, error)
+	// Len reports how many clusters are currently spilled.
+	Len() int
+	// Close releases the store's resources; the stream calls it once the
+	// feed ends.
+	Close() error
+}
+
+// SpillFactory opens a fresh SpillStore per stream. Cluster memory is
+// per-stream state, so concurrent streams must not share a store; the
+// factory is what a Config can carry.
+type SpillFactory interface {
+	NewSpill() (SpillStore, error)
+}

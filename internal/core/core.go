@@ -174,6 +174,13 @@ type Config struct {
 	// execution; useful as a baseline and for strict memory bounds).
 	// Output is byte-identical for every value.
 	StageBuffer int
+	// Spill, when non-nil, gives each streaming run's cluster memory an
+	// out-of-core backing store: clusters the LRU/idle bounds would seal
+	// are parked in a store the factory opens (one per stream) and
+	// revived when their keys reappear, keeping bounded-memory output
+	// byte-identical to unbounded. Ignored by batch synthesis, which has
+	// no cross-wave memory to bound.
+	Spill cluster.SpillFactory
 }
 
 func (c Config) withDefaults() Config {

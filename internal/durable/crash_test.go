@@ -1,0 +1,182 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The crash tests re-exec the test binary as a child that appends a
+// deterministic workload with a killpoint armed (see KillpointEnv), then
+// recover the child's data directory in-process and require the result
+// to be byte-identical to a store that never crashed. TestMain diverts
+// the child invocation before any test runs.
+
+const (
+	crashChildEnv = "DURABLE_CRASH_CHILD"
+	crashDirEnv   = "DURABLE_CRASH_DIR"
+	crashProducts = 40
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) == "1" {
+		crashChild()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// crashChild is the workload the parent SIGKILLs mid-flight: open the
+// durable store, register the categories, append crashProducts products
+// acking each on stdout, and compact once after the 10th. With
+// SyncAlways, every acked append must survive the kill.
+func crashChild() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(2)
+	}
+	m, err := Open(os.Getenv(crashDirEnv), Options{MaxSegmentBytes: 512})
+	if err != nil {
+		fail(err)
+	}
+	st := m.Store()
+	for _, c := range testCategories() {
+		if err := st.AddCategory(c); err != nil {
+			fail(err)
+		}
+	}
+	for i := 0; i < crashProducts; i++ {
+		if _, err := st.AddProductOutcome(testProduct(i)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("acked %d\n", i+1)
+		if i == 9 {
+			if err := m.Compact(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if err := m.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func TestKillAndRecover(t *testing.T) {
+	// Killpoint counts are in records: 1-2 are the category
+	// registrations, 3-12 the first ten products, then the compaction
+	// (no records), then the rest. Every point is after the categories,
+	// so the recovered taxonomy is always complete.
+	cases := []struct {
+		name      string
+		killpoint string
+	}{
+		{"append-early", "append:5"},
+		{"append-after-compaction", "append:27"},
+		{"torn-append-early", "append-torn:6"},
+		{"torn-append-after-compaction", "append-torn:18"},
+		{"mid-compaction-before-manifest", "compact-snapshots:1"},
+		{"mid-compaction-after-manifest", "compact-manifest:1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=TestKillAndRecover")
+			cmd.Env = append(os.Environ(),
+				crashChildEnv+"=1",
+				crashDirEnv+"="+dir,
+				KillpointEnv+"="+tc.killpoint,
+			)
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("child survived; killpoint %s never fired\n%s", tc.killpoint, out)
+			}
+			lastAcked := parseLastAcked(t, out)
+			if lastAcked == 0 {
+				t.Fatalf("child acked nothing before dying\n%s", out)
+			}
+
+			// Recover. The store must hold every acked append (n can
+			// exceed lastAcked by one: a record can be durable before
+			// its ack prints) and be byte-identical to a store that
+			// performed the same n appends with no crash at all.
+			m, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			n := m.Store().NumProducts()
+			if n < lastAcked {
+				t.Fatalf("recovered %d products, child acked %d", n, lastAcked)
+			}
+			if got, want := storeBytes(t, m.Store()), referenceBytes(t, n); !bytes.Equal(got, want) {
+				t.Fatalf("recovered store differs from uninterrupted reference at %d products", n)
+			}
+
+			// The recovered store must also be fully live: appends
+			// continue, and a second recovery sees them too.
+			for i := n; i < n+5; i++ {
+				if _, err := m.Store().AddProductOutcome(testProduct(i)); err != nil {
+					t.Fatalf("append after recovery: %v", err)
+				}
+			}
+			if err := m.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			m2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("second recovery failed: %v", err)
+			}
+			defer m2.Close()
+			if got, want := storeBytes(t, m2.Store()), referenceBytes(t, n+5); !bytes.Equal(got, want) {
+				t.Fatal("store diverged after post-recovery appends and a second recovery")
+			}
+		})
+	}
+}
+
+// parseLastAcked extracts the highest "acked N" the child printed.
+func parseLastAcked(t *testing.T, out []byte) int {
+	t.Helper()
+	last := 0
+	for _, line := range strings.Split(string(out), "\n") {
+		numStr, ok := strings.CutPrefix(strings.TrimSpace(line), "acked ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			t.Fatalf("bad ack line %q", line)
+		}
+		if n > last {
+			last = n
+		}
+	}
+	return last
+}
+
+// TestKillpointParsing pins the env contract the crash tests rely on.
+func TestKillpointParsing(t *testing.T) {
+	t.Setenv(KillpointEnv, "append:3")
+	kp := parseKillpoint()
+	if kp.hit("compact-snapshots") {
+		t.Fatal("wrong name fired")
+	}
+	if kp.hit("append") || kp.hit("append") {
+		t.Fatal("fired before the n-th hit")
+	}
+	if !kp.hit("append") {
+		t.Fatal("did not fire on the n-th hit")
+	}
+	if kp.hit("append") {
+		t.Fatal("fired twice")
+	}
+	for _, bad := range []string{"", "append", "append:", "append:x", "append:0", ":3"} {
+		t.Setenv(KillpointEnv, bad)
+		if kp := parseKillpoint(); kp.hit("append") {
+			t.Fatalf("malformed %q armed a killpoint", bad)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/snapfmt"
+)
+
+// Manager ties one catalog store to one data directory: it recovers the
+// store at Open (snapshot load + log replay), logs every later mutation
+// through an attached observer, and compacts the log into fresh per-shard
+// snapshots on demand or on a schedule (Run).
+type Manager struct {
+	dir   string
+	opts  Options
+	store *catalog.Store
+	log   *walLog
+	kp    *killpoint
+
+	mu          sync.Mutex // serializes Compact, Close
+	epoch       uint64
+	firstSeq    uint64
+	compactions uint64
+	closed      bool
+	recovery    RecoveryStats
+}
+
+// Open recovers (or initializes) a durable catalog in dir: load the
+// manifest's shard snapshots, merge them into one store, replay the log
+// segments the snapshots do not cover, truncate a torn tail if the last
+// crash left one, then open a fresh active segment and attach the logging
+// observer. After Open returns, every mutation of Store() is logged.
+func Open(dir string, opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	kp := parseKillpoint()
+
+	man, haveMan, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := removeOrphans(dir, man); err != nil {
+		return nil, err
+	}
+
+	var store *catalog.Store
+	var rec RecoveryStats
+	if haveMan {
+		snaps := make([]catalog.Snapshot, man.Shards)
+		for i := range snaps {
+			snaps[i], err = readShardSnapshot(filepath.Join(dir, snapName(i, man.Epoch)))
+			if err != nil {
+				return nil, fmt.Errorf("durable: epoch %d shard %d: %w", man.Epoch, i, err)
+			}
+		}
+		merged := catalog.MergeSnapshots(snaps)
+		store, err = catalog.FromSnapshotShards(merged, opts.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("durable: epoch %d: %w", man.Epoch, err)
+		}
+		rec.SnapshotEpoch = man.Epoch
+		rec.SnapshotProducts = store.NumProducts()
+	} else {
+		store = catalog.NewStoreShards(opts.Shards)
+	}
+
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	replay, err := replaySegments(store, dir, seqs)
+	if err != nil {
+		return nil, err
+	}
+	rec.ReplayedRecords = replay.records
+	rec.TruncatedBytes = replay.truncated
+	rec.Segments = replay.segments
+
+	// A boot always starts a fresh segment — never appends to one an
+	// earlier process wrote.
+	nextSeq := man.FirstSeq
+	if nextSeq == 0 {
+		nextSeq = 1
+	}
+	if n := len(seqs); n > 0 && seqs[n-1] >= nextSeq {
+		nextSeq = seqs[n-1] + 1
+	}
+	log, err := openLog(dir, nextSeq, opts, kp)
+	if err != nil {
+		return nil, err
+	}
+	store.SetObserver(log)
+	rec.Duration = time.Since(start)
+
+	return &Manager{
+		dir:      dir,
+		opts:     opts,
+		store:    store,
+		log:      log,
+		kp:       kp,
+		epoch:    man.Epoch,
+		firstSeq: man.FirstSeq,
+		recovery: rec,
+	}, nil
+}
+
+// removeOrphans deletes files a crash mid-compaction can leave behind:
+// temp files never renamed, snapshot files of an epoch the manifest does
+// not name (either the next epoch that never published, or the previous
+// one that was not yet deleted), and log segments below the manifest's
+// first uncovered sequence.
+func removeOrphans(dir string, man manifest) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		drop := false
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			drop = true
+		case strings.HasPrefix(name, "shard-") && strings.HasSuffix(name, ".psct"):
+			var shard int
+			var epoch uint64
+			if _, err := fmt.Sscanf(name, "shard-%d-%d.psct", &shard, &epoch); err == nil {
+				drop = epoch != man.Epoch
+			}
+		default:
+			if seq, ok := parseSegName(name); ok {
+				drop = seq < man.FirstSeq
+			}
+		}
+		if drop {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readShardSnapshot loads one shard snapshot file.
+func readShardSnapshot(path string) (catalog.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return catalog.Snapshot{}, err
+	}
+	defer f.Close()
+	tr := snapfmt.TrackOffset(f)
+	snap, err := catalog.DecodeSnapshot(tr)
+	if err != nil {
+		return catalog.Snapshot{}, err
+	}
+	if err := snapfmt.ExpectEOF(tr, catalog.ErrBadSnapshot); err != nil {
+		return catalog.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// Store returns the recovered, observer-attached catalog store.
+func (m *Manager) Store() *catalog.Store { return m.store }
+
+// Dir returns the data directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Compact folds the log into a new snapshot epoch: rotate the log,
+// capture one snapshot per shard (temp + rename, each fsynced), publish
+// a manifest naming the new epoch, then delete the files the new epoch
+// obsoletes. Appends proceed concurrently throughout — only the rotation
+// itself takes the log lock. Crash-safe at every step: until the
+// manifest rename commits, recovery uses the old epoch and replays the
+// old segments; after it, the stale files are orphans the next Open
+// removes.
+func (m *Manager) Compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("durable: manager closed")
+	}
+	retainSeq, markRecords, markBytes, err := m.log.rotate()
+	if err != nil {
+		return err
+	}
+	epoch := m.epoch + 1
+	shards := m.store.NumShards()
+	for i := 0; i < shards; i++ {
+		if err := writeShardSnapshot(m.dir, i, epoch, m.store.ShardSnapshot(i)); err != nil {
+			return err
+		}
+	}
+	m.kp.maybeKill("compact-snapshots")
+	if err := writeManifest(m.dir, manifest{Epoch: epoch, Shards: uint32(shards), FirstSeq: retainSeq}); err != nil {
+		return err
+	}
+	m.kp.maybeKill("compact-manifest")
+	// The new epoch is durable; everything below is garbage collection,
+	// and a crash here just leaves orphans for the next Open.
+	for i := 0; i < shards; i++ {
+		_ = os.Remove(filepath.Join(m.dir, snapName(i, m.epoch)))
+	}
+	seqs, err := listSegments(m.dir)
+	if err == nil {
+		for _, seq := range seqs {
+			if seq < retainSeq {
+				_ = os.Remove(filepath.Join(m.dir, segName(seq)))
+			}
+		}
+	}
+	m.epoch = epoch
+	m.firstSeq = retainSeq
+	m.compactions++
+	m.log.setBaseline(markRecords, markBytes)
+	return nil
+}
+
+// writeShardSnapshot encodes one shard snapshot to its immutable file
+// via temp + rename + directory fsync.
+func writeShardSnapshot(dir string, shard int, epoch uint64, snap catalog.Snapshot) error {
+	final := filepath.Join(dir, snapName(shard, epoch))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := catalog.EncodeSnapshot(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ImportSnapshot seeds an EMPTY durable store from an external catalog
+// snapshot (typically a bundle's catalog half) and immediately compacts,
+// so the imported state is on disk as the first epoch rather than
+// re-imported on every boot. The records are applied through the replay
+// path — validated, but not logged record-by-record.
+func (m *Manager) ImportSnapshot(snap catalog.Snapshot) error {
+	if m.store.NumCategories() != 0 || m.store.NumProducts() != 0 {
+		return errors.New("durable: ImportSnapshot into non-empty store")
+	}
+	for _, rec := range snapshotRecords(snap) {
+		if err := m.store.Replay(rec); err != nil {
+			return fmt.Errorf("durable: import: %w", err)
+		}
+	}
+	return m.Compact()
+}
+
+// Run services the manager's timers until ctx is done: the fsync flush
+// ticker (under SyncInterval), timed compaction (SnapshotInterval), and
+// depth-triggered compaction (CompactRecords, checked on whichever
+// ticker fires). Compaction failures are retried on the next tick; the
+// first error is latched into the log's error counters for Stats.
+func (m *Manager) Run(ctx context.Context) {
+	flushEvery := time.Duration(0)
+	if m.opts.Fsync == SyncInterval {
+		flushEvery = m.opts.FsyncInterval
+	}
+	// Depth-triggered compaction needs a heartbeat even when neither
+	// timer is configured.
+	if flushEvery == 0 && m.opts.SnapshotInterval == 0 && m.opts.CompactRecords > 0 {
+		flushEvery = time.Second
+	}
+	var flushC, snapC <-chan time.Time
+	if flushEvery > 0 {
+		t := time.NewTicker(flushEvery)
+		defer t.Stop()
+		flushC = t.C
+	}
+	if m.opts.SnapshotInterval > 0 {
+		t := time.NewTicker(m.opts.SnapshotInterval)
+		defer t.Stop()
+		snapC = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-flushC:
+			if err := m.log.sync(); err != nil {
+				m.log.recordError(err)
+			}
+			m.compactIfDeep()
+		case <-snapC:
+			if err := m.Compact(); err != nil && !m.isClosed() {
+				m.log.recordError(err)
+			}
+		}
+	}
+}
+
+func (m *Manager) compactIfDeep() {
+	if m.opts.CompactRecords <= 0 {
+		return
+	}
+	if depth, _ := m.log.depth(); depth >= uint64(m.opts.CompactRecords) {
+		if err := m.Compact(); err != nil && !m.isClosed() {
+			m.log.recordError(err)
+		}
+	}
+}
+
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Sync flushes the active log segment — the explicit counterpart of the
+// SyncInterval ticker.
+func (m *Manager) Sync() error { return m.log.sync() }
+
+// Stats reports the durability layer's current state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Recovery:    m.recovery,
+		Epoch:       m.epoch,
+		Compactions: m.compactions,
+	}
+	m.mu.Unlock()
+	s.LogDepthRecords, s.LogDepthBytes = m.log.depth()
+	var ferr error
+	s.AppendErrors, ferr = m.log.errors()
+	if ferr != nil {
+		s.LastAppendError = ferr.Error()
+	}
+	return s
+}
+
+// Close detaches nothing (the store stays usable in memory, unlogged)
+// but syncs and closes the log. Call after the store's writers have
+// stopped.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.log.close()
+}

@@ -1,0 +1,107 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prodsynth/internal/snapfmt"
+)
+
+// manifestName is the single mutable file in a data directory. It is
+// replaced atomically (temp + rename + directory fsync); everything else
+// is immutable once written.
+const manifestName = "MANIFEST"
+
+var manifestMagic = [4]byte{'P', 'S', 'M', 'F'}
+
+const manifestVersion = 1
+
+// ErrBadManifest is wrapped by every manifest decode failure.
+var ErrBadManifest = errors.New("durable: invalid manifest")
+
+// maxManifestPayload bounds the manifest payload length; the real
+// payload is 20 bytes.
+const maxManifestPayload = 1 << 16
+
+// manifest names the live snapshot epoch and the log position it covers.
+type manifest struct {
+	// Epoch identifies the live shard snapshot files
+	// (shard-<i>-<Epoch>.psct); 1 is the first compaction.
+	Epoch uint64
+	// Shards is how many shard snapshot files the epoch has.
+	Shards uint32
+	// FirstSeq is the first log segment the snapshots do NOT cover:
+	// recovery replays segments >= FirstSeq, and compaction deletes
+	// segments < FirstSeq.
+	FirstSeq uint64
+}
+
+// snapName is the immutable per-shard snapshot file of one epoch.
+func snapName(shard int, epoch uint64) string {
+	return fmt.Sprintf("shard-%d-%d.psct", shard, epoch)
+}
+
+// writeManifest atomically replaces the manifest: frame to a temp file,
+// fsync it, rename over MANIFEST, fsync the directory. A crash anywhere
+// in between leaves the old manifest (and its still-undeleted files)
+// fully intact.
+func writeManifest(dir string, m manifest) error {
+	var p snapfmt.Writer
+	p.U64(m.Epoch)
+	p.U32(m.Shards)
+	p.U64(m.FirstSeq)
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := snapfmt.Encode(f, manifestMagic, manifestVersion, maxManifestPayload, p.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads the manifest; ok is false when none exists yet
+// (a fresh data directory).
+func readManifest(dir string) (m manifest, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	defer f.Close()
+	tr := snapfmt.TrackOffset(f)
+	payload, err := snapfmt.Decode(tr, manifestMagic, manifestVersion, maxManifestPayload, ErrBadManifest)
+	if err != nil {
+		return manifest{}, false, err
+	}
+	if err := snapfmt.ExpectEOF(tr, ErrBadManifest); err != nil {
+		return manifest{}, false, err
+	}
+	d := snapfmt.NewReader(payload, ErrBadManifest)
+	m.Epoch = d.U64()
+	m.Shards = d.U32()
+	m.FirstSeq = d.U64()
+	if err := d.Finish(); err != nil {
+		return manifest{}, false, err
+	}
+	if m.Epoch == 0 || m.Shards == 0 {
+		return manifest{}, false, fmt.Errorf("%w: zero epoch or shard count", ErrBadManifest)
+	}
+	return m, true, nil
+}

@@ -1,0 +1,153 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"prodsynth/internal/catalog"
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/offer"
+)
+
+func sampleSpilled(ord int) cluster.Spilled {
+	return cluster.Spilled{
+		Ord:      ord,
+		Keys:     []string{"UPC=111", "Model Part Number=ab1"},
+		LastWave: 7 + ord,
+		CatVersions: map[string]uint64{
+			"tv": 2,
+			"hd": uint64(ord),
+		},
+		Members: []cluster.SpillMember{
+			{Seq: 5, Offer: offer.Offer{
+				ID: "o1", Merchant: "acme", CategoryID: "tv",
+				Title: "Plasma 42\"", PriceCents: 49999,
+				URL: "http://x/1", ImageURL: "http://x/1.jpg",
+				Spec: catalog.Spec{
+					{Name: catalog.AttrUPC, Value: "111"},
+					{Name: "Brand", Value: "X"},
+				},
+			}},
+			{Seq: 9, Offer: offer.Offer{
+				ID: "o2", CategoryID: "hd", PriceCents: -1,
+			}},
+		},
+	}
+}
+
+// TestSpilledRoundTrip pins the spill record encoding: encode + decode is
+// the identity on every field.
+func TestSpilledRoundTrip(t *testing.T) {
+	want := sampleSpilled(3)
+	got, err := decodeSpilled(encodeSpilled(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %#v\nwant %#v", got, want)
+	}
+
+	// Empty cluster round-trips too (nil slices stay nil).
+	empty := cluster.Spilled{Ord: 0}
+	got, err = decodeSpilled(encodeSpilled(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, empty) {
+		t.Fatalf("empty round trip: got %#v", got)
+	}
+}
+
+// TestSpilledDecodeRejectsCorruption flips each payload byte in turn and
+// requires decode to either fail with ErrBadSpill or produce a different
+// value — never panic.
+func TestSpilledDecodeRejectsCorruption(t *testing.T) {
+	payload := encodeSpilled(sampleSpilled(1))
+	for i := range payload {
+		mut := append([]byte(nil), payload...)
+		mut[i] ^= 0xff
+		sp, err := decodeSpilled(mut)
+		if err == nil && reflect.DeepEqual(sp, sampleSpilled(1)) {
+			t.Errorf("byte %d: corruption decoded to the original value", i)
+		}
+		if err != nil && !errors.Is(err, ErrBadSpill) {
+			t.Errorf("byte %d: error %v not wrapped in ErrBadSpill", i, err)
+		}
+	}
+
+	if _, err := decodeSpilled(payload[:len(payload)-1]); !errors.Is(err, ErrBadSpill) {
+		t.Errorf("truncated payload: err = %v, want ErrBadSpill", err)
+	}
+}
+
+// TestFileSpillStore drives the file-backed SpillStore through the whole
+// contract: spill, lookup, revive (with index cleanup), All ordering,
+// double-revive rejection, and scratch-file removal at Close.
+func TestFileSpillStore(t *testing.T) {
+	dir := t.TempDir()
+	factory := SpillDir{Dir: filepath.Join(dir, "spill")}
+	st, err := factory.NewSpill()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp1, sp2 := sampleSpilled(1), sampleSpilled(2)
+	sp2.Keys = []string{"UPC=222"}
+	if err := st.Spill(sp1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Spill(sp2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+
+	all, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || !reflect.DeepEqual(all[0], sp1) || !reflect.DeepEqual(all[1], sp2) {
+		t.Fatalf("All() mismatch: %#v", all)
+	}
+
+	if _, ok := st.Lookup("nope"); ok {
+		t.Error("Lookup(nope) found something")
+	}
+	ref, ok := st.Lookup("UPC=111")
+	if !ok {
+		t.Fatal("Lookup(UPC=111) missed")
+	}
+	got, err := st.Revive(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sp1) {
+		t.Fatalf("Revive:\n got %#v\nwant %#v", got, sp1)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len after revive = %d, want 1", st.Len())
+	}
+	for _, k := range sp1.Keys {
+		if _, ok := st.Lookup(k); ok {
+			t.Errorf("key %q still indexed after revive", k)
+		}
+	}
+	if _, err := st.Revive(ref); err == nil {
+		t.Error("second Revive of the same ref succeeded")
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(factory.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("spill dir not empty after Close: %v", left)
+	}
+}

@@ -31,6 +31,51 @@ import (
 
 const headerSize = 20
 
+// HeaderSize is the framed-block header length: magic + version + length
+// + crc32. Composite artifacts use it to compute the absolute offset of
+// an embedded block inside an outer payload.
+const HeaderSize = headerSize
+
+// OffsetReader wraps a reader and counts the bytes consumed, so Decode
+// can report *where* in a multi-gigabyte artifact a bad frame sits. The
+// base offset supports readers positioned inside a larger artifact (an
+// embedded block): Offset reports base + bytes consumed.
+type OffsetReader struct {
+	r    io.Reader
+	base int64
+	n    int64
+}
+
+// NewOffsetReader wraps r counting from byte 0.
+func NewOffsetReader(r io.Reader) *OffsetReader { return NewOffsetReaderAt(r, 0) }
+
+// NewOffsetReaderAt wraps r counting from the given base offset.
+func NewOffsetReaderAt(r io.Reader, base int64) *OffsetReader {
+	return &OffsetReader{r: r, base: base}
+}
+
+func (o *OffsetReader) Read(p []byte) (int, error) {
+	n, err := o.r.Read(p)
+	o.n += int64(n)
+	return n, err
+}
+
+// Offset returns the absolute position of the next unread byte.
+func (o *OffsetReader) Offset() int64 { return o.base + o.n }
+
+// positioned is satisfied by OffsetReader (and anything else that knows
+// its absolute position); Decode and ExpectEOF use it to locate errors.
+type positioned interface{ Offset() int64 }
+
+// TrackOffset wraps r so Decode errors carry byte offsets; a reader that
+// already reports its position is returned unchanged.
+func TrackOffset(r io.Reader) io.Reader {
+	if _, ok := r.(positioned); ok {
+		return r
+	}
+	return NewOffsetReader(r)
+}
+
 // Encode frames the payload under the given magic and format version and
 // writes the block to w. maxPayload must be the same limit the artifact's
 // decoder enforces: a payload past it is rejected here, at save time,
@@ -56,23 +101,38 @@ func Encode(w io.Writer, magic [4]byte, version uint32, maxPayload uint64, paylo
 // checksum mismatch all error wrapping baseErr, never a panic or a
 // partial payload. Genuine reader I/O failures pass through unwrapped.
 // Decode consumes exactly the block and nothing after it.
+//
+// When r reports its position (an OffsetReader, or anything with an
+// Offset() int64 method — see TrackOffset), every format error names the
+// byte offset of the bad frame, so corruption in a multi-gigabyte
+// artifact is a seek target rather than a mystery.
 func Decode(r io.Reader, magic [4]byte, version uint32, maxPayload uint64, baseErr error) ([]byte, error) {
+	var start int64
+	pos, tracked := r.(positioned)
+	if tracked {
+		start = pos.Offset()
+	}
+	// at locates the frame in errors when the reader tracks offsets.
+	at := ""
+	if tracked {
+		at = fmt.Sprintf(" (frame at byte %d)", start)
+	}
 	header := make([]byte, headerSize)
 	if _, err := io.ReadFull(r, header); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("%w: truncated header: %v", baseErr, err)
+			return nil, fmt.Errorf("%w: truncated header: %v%s", baseErr, err, at)
 		}
 		return nil, err // genuine reader I/O failure, not a format error
 	}
 	if !bytes.Equal(header[:4], magic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", baseErr, header[:4])
+		return nil, fmt.Errorf("%w: bad magic %q%s", baseErr, header[:4], at)
 	}
 	if v := binary.LittleEndian.Uint32(header[4:8]); v != version {
-		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", baseErr, v, version)
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)%s", baseErr, v, version, at)
 	}
 	length := binary.LittleEndian.Uint64(header[8:16])
 	if length > maxPayload {
-		return nil, fmt.Errorf("%w: payload length %d exceeds limit", baseErr, length)
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit%s", baseErr, length, at)
 	}
 	sum := binary.LittleEndian.Uint32(header[16:20])
 
@@ -85,10 +145,14 @@ func Decode(r io.Reader, magic [4]byte, version uint32, maxPayload uint64, baseE
 		return nil, err
 	}
 	if uint64(len(payload)) != length {
+		if tracked {
+			return nil, fmt.Errorf("%w: truncated payload: %d of %d bytes (frame at byte %d, input ends at byte %d)",
+				baseErr, len(payload), length, start, pos.Offset())
+		}
 		return nil, fmt.Errorf("%w: truncated payload: %d of %d bytes", baseErr, len(payload), length)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch: %08x != %08x", baseErr, got, sum)
+		return nil, fmt.Errorf("%w: checksum mismatch: %08x != %08x%s", baseErr, got, sum, at)
 	}
 	return payload, nil
 }
@@ -102,6 +166,9 @@ func ExpectEOF(r io.Reader, baseErr error) error {
 	case io.EOF:
 		return nil // clean end of input
 	case nil:
+		if pos, ok := r.(positioned); ok {
+			return fmt.Errorf("%w: trailing data after payload (at byte %d)", baseErr, pos.Offset()-1)
+		}
 		return fmt.Errorf("%w: trailing data after payload", baseErr)
 	default:
 		return err // genuine reader I/O failure, not a format error

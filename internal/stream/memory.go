@@ -22,6 +22,10 @@
 // Eviction trades exactness for memory — a later offer sharing a key with
 // an evicted cluster opens a fresh cluster and synthesizes a duplicate,
 // exactly what a memory-less batch run would have done for every wave.
+// Attaching a spill store (Options.Spill) removes that trade: LRU and
+// idle victims move out-of-core instead of sealing and are revived when
+// their keys reappear, so the bounded memory's output stays byte-identical
+// to the unbounded one while RAM holds only the hot clusters.
 //
 // Memory is not safe for concurrent use; Run owns one and serializes
 // waves through it.
@@ -52,6 +56,16 @@ type MemoryOptions struct {
 	// next wave. 0 means never. Measured in waves, not wall time, so
 	// behaviour is deterministic for a given wave sequence.
 	MaxIdleWaves int
+	// Spill, when non-nil, turns the LRU and idle bounds from seals into
+	// migrations: a cluster those bounds would evict is parked in the
+	// spill store instead, and revived — same ordinal, same members, same
+	// keys — when a later offer carries one of its keys. A bounded memory
+	// with a spill store therefore produces byte-identical output to an
+	// unbounded one (catalog-version invalidation still seals, spilled or
+	// not). Spill errors fall back to the plain seal, so a broken disk
+	// degrades to the unspilled behaviour rather than failing the stream.
+	// The Memory does not close the store; its owner does.
+	Spill cluster.SpillStore
 }
 
 // SealReason says why a cluster was sealed — why the cross-batch memory
@@ -163,6 +177,11 @@ type Memory struct {
 	evictionsIdle    int
 	evictionsVersion int
 
+	spills         int
+	revives        int
+	spillFallbacks int
+	spillErr       error
+
 	// pending are the clusters evicted since the last DrainEvicted call,
 	// snapshotted at eviction time — the seal events the stream surfaces.
 	pending []Evicted
@@ -185,9 +204,30 @@ func (m *Memory) Waves() int { return m.wave }
 
 // Evictions returns how many open clusters have been dropped, by cause:
 // LRU (MaxClusters), idle expiry (MaxIdleWaves), and catalog-version
-// invalidation.
+// invalidation. With a spill store attached, LRU and idle victims spill
+// instead of sealing and are counted by Spilled, not here (except spill
+// failures, which fall back to sealing and count in both places).
 func (m *Memory) Evictions() (lru, idle, version int) {
 	return m.evictionsLRU, m.evictionsIdle, m.evictionsVersion
+}
+
+// Spilled returns the spill traffic: clusters parked out-of-core,
+// clusters revived back, and spill failures that fell back to a plain
+// seal.
+func (m *Memory) Spilled() (spills, revives, fallbacks int) {
+	return m.spills, m.revives, m.spillFallbacks
+}
+
+// SpillErr returns the first spill-store failure, if any; the memory
+// kept running (falling back to seals) past it.
+func (m *Memory) SpillErr() error { return m.spillErr }
+
+// SpilledLen reports how many clusters currently sit in the spill store.
+func (m *Memory) SpilledLen() int {
+	if m.opts.Spill == nil {
+		return 0
+	}
+	return m.opts.Spill.Len()
 }
 
 // rootOf walks the union-find without creating missing keys.
@@ -243,6 +283,134 @@ func (m *Memory) evict(cl *openCluster, reason SealReason) {
 	})
 }
 
+// spillOut tries to park one open cluster in the spill store instead of
+// sealing it. On success the cluster leaves the in-RAM structures exactly
+// as evict would take it out, but no seal event is queued — the cluster
+// is suspended, not finished. Returns false (and latches the error) when
+// there is no spill store or the spill failed; the caller then seals.
+func (m *Memory) spillOut(cl *openCluster) bool {
+	if m.opts.Spill == nil {
+		return false
+	}
+	sp := cluster.Spilled{
+		Ord:         cl.ord,
+		Keys:        cl.keys,
+		Members:     make([]cluster.SpillMember, len(cl.members)),
+		LastWave:    cl.lastWave,
+		CatVersions: cl.catVersions,
+	}
+	for i, mo := range cl.members {
+		sp.Members[i] = cluster.SpillMember{Seq: mo.seq, Offer: mo.o}
+	}
+	if err := m.opts.Spill.Spill(sp); err != nil {
+		m.spillFallbacks++
+		if m.spillErr == nil {
+			m.spillErr = err
+		}
+		return false
+	}
+	for _, k := range cl.keys {
+		delete(m.parent, k)
+	}
+	delete(m.open, cl.root)
+	m.lru.Remove(cl.elem)
+	m.spills++
+	return true
+}
+
+// reviveFor revives any spilled clusters reachable from the given offer
+// keys, so the offer joins its suspended cluster instead of opening a
+// duplicate. Keys already in the union-find belong to open clusters and
+// are skipped; one offer can revive two distinct spilled clusters (one
+// per key), which the normal union path then merges.
+func (m *Memory) reviveFor(store *catalog.Store, versions map[string]uint64, keys []string) {
+	if m.opts.Spill == nil {
+		return
+	}
+	for _, k := range keys {
+		if _, open := m.parent[k]; open {
+			continue
+		}
+		ref, ok := m.opts.Spill.Lookup(k)
+		if !ok {
+			continue
+		}
+		sp, err := m.opts.Spill.Revive(ref)
+		if err != nil {
+			if m.spillErr == nil {
+				m.spillErr = err
+			}
+			continue
+		}
+		m.admitSpilled(store, versions, sp)
+	}
+}
+
+// admitSpilled reinstates one spilled cluster as open — unless the
+// catalog moved in one of its member categories while it was out-of-core,
+// in which case it seals as invalidated, exactly as expire would have
+// sealed it had it stayed in RAM.
+func (m *Memory) admitSpilled(store *catalog.Store, versions map[string]uint64, sp cluster.Spilled) {
+	if store != nil {
+		for cat, seen := range sp.CatVersions {
+			if versionOf(store, versions, cat) != seen {
+				m.evictionsVersion++
+				m.pending = append(m.pending, Evicted{
+					ID:      sp.Ord,
+					Wave:    m.wave - 1,
+					Reason:  SealInvalidated,
+					Cluster: spilledSnapshot(sp, m.opts.KeyAttrs),
+				})
+				return
+			}
+		}
+	}
+	root := sp.Keys[0]
+	cl := &openCluster{
+		ord:         sp.Ord,
+		root:        root,
+		keys:        sp.Keys,
+		members:     make([]memberOffer, len(sp.Members)),
+		lastWave:    m.wave,
+		catVersions: sp.CatVersions,
+	}
+	for i, sm := range sp.Members {
+		cl.members[i] = memberOffer{seq: sm.Seq, o: sm.Offer}
+	}
+	for _, k := range sp.Keys {
+		m.parent[k] = root
+	}
+	cl.elem = m.lru.PushFront(cl)
+	m.open[root] = cl
+	m.revives++
+}
+
+// spilledAll lists the spill store's contents for the merge paths
+// (Final, CloseAll) without removing anything.
+func (m *Memory) spilledAll() []cluster.Spilled {
+	if m.opts.Spill == nil {
+		return nil
+	}
+	all, err := m.opts.Spill.All()
+	if err != nil {
+		if m.spillErr == nil {
+			m.spillErr = err
+		}
+		return nil
+	}
+	return all
+}
+
+// spilledSnapshot materializes a spilled cluster the way snapshot
+// materializes an open one.
+func spilledSnapshot(sp cluster.Spilled, keyAttrs []string) cluster.Cluster {
+	members := make([]offer.Offer, len(sp.Members))
+	for i, sm := range sp.Members {
+		members[i] = sm.Offer
+	}
+	return cluster.Assemble(members, keyAttrs)
+}
+
 // DrainEvicted returns the seal records queued since the last call and
 // clears the queue. The stream pipeline drains after every Add, so each
 // wave's result carries exactly the clusters that wave sealed.
@@ -252,19 +420,27 @@ func (m *Memory) DrainEvicted() []Evicted {
 	return out
 }
 
-// CloseAll returns a seal record for every cluster still open, in creation
-// order — the close-path counterpart of DrainEvicted, used for the stream's
-// final result. It does not mutate the memory: the snapshots are the same
-// clusters Final() returns, paired with their IDs and SealClose.
+// CloseAll returns a seal record for every cluster still open — in RAM
+// or spilled — in creation order: the close-path counterpart of
+// DrainEvicted, used for the stream's final result. It does not mutate
+// the memory or the spill store: the snapshots are the same clusters
+// Final() returns, paired with their IDs and SealClose.
 func (m *Memory) CloseAll() []Evicted {
-	all := make([]*openCluster, 0, len(m.open))
-	for _, cl := range m.open {
-		all = append(all, cl)
+	type entry struct {
+		ord int
+		c   cluster.Cluster
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ord < all[j].ord })
-	out := make([]Evicted, len(all))
-	for i, cl := range all {
-		out[i] = Evicted{ID: cl.ord, Wave: m.wave, Reason: SealClose, Cluster: m.snapshot(cl)}
+	entries := make([]entry, 0, len(m.open))
+	for _, cl := range m.open {
+		entries = append(entries, entry{cl.ord, m.snapshot(cl)})
+	}
+	for _, sp := range m.spilledAll() {
+		entries = append(entries, entry{sp.Ord, spilledSnapshot(sp, m.opts.KeyAttrs)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ord < entries[j].ord })
+	out := make([]Evicted, len(entries))
+	for i, e := range entries {
+		out[i] = Evicted{ID: e.ord, Wave: m.wave, Reason: SealClose, Cluster: e.c}
 	}
 	return out
 }
@@ -279,17 +455,32 @@ func (m *Memory) CloseAll() []Evicted {
 // distinct category per wave, however many clusters share it.
 func (m *Memory) expire(store *catalog.Store, versions map[string]uint64) {
 	if m.opts.MaxIdleWaves > 0 {
-		// The LRU is ordered by last touch, so lastWave is nondecreasing
-		// front to back: the scan stops at the first non-idle cluster.
-		for e := m.lru.Back(); e != nil; {
+		// The LRU is ordered by last touch, so lastWave is nonincreasing
+		// front to back: the scan from the back stops at the first
+		// non-idle cluster.
+		var idle []*openCluster
+		for e := m.lru.Back(); e != nil; e = e.Prev() {
 			cl := e.Value.(*openCluster)
 			if m.wave-cl.lastWave <= m.opts.MaxIdleWaves {
 				break
 			}
-			prev := e.Prev()
+			idle = append(idle, cl)
+		}
+		// Evict oldest-touch first, breaking ties on creation ordinal:
+		// clusters last touched in the same wave expire in insertion
+		// order, not in whatever order that wave happened to touch them.
+		sort.Slice(idle, func(i, j int) bool {
+			if idle[i].lastWave != idle[j].lastWave {
+				return idle[i].lastWave < idle[j].lastWave
+			}
+			return idle[i].ord < idle[j].ord
+		})
+		for _, cl := range idle {
+			if m.spillOut(cl) {
+				continue
+			}
 			m.evictionsIdle++
 			m.evict(cl, SealIdle)
-			e = prev
 		}
 	}
 	if store == nil {
@@ -345,6 +536,9 @@ func (m *Memory) Add(store *catalog.Store, offers []offer.Offer) (touched []clus
 			skipped = append(skipped, o)
 			continue
 		}
+		// A key resurfacing may belong to a spilled cluster: bring it
+		// back before the lookups below, so the offer extends it.
+		m.reviveFor(store, versions, keys)
 
 		// Existing clusters this offer's keys reach, before any union.
 		var joined []*openCluster
@@ -423,7 +617,10 @@ func (m *Memory) Add(store *catalog.Store, offers []offer.Offer) (touched []clus
 
 	if m.opts.MaxClusters > 0 {
 		for len(m.open) > m.opts.MaxClusters {
-			cl := m.lru.Back().Value.(*openCluster)
+			cl := m.lruVictim()
+			if m.spillOut(cl) {
+				continue
+			}
 			m.evictionsLRU++
 			m.evict(cl, SealLRU)
 		}
@@ -431,19 +628,51 @@ func (m *Memory) Add(store *catalog.Store, offers []offer.Offer) (touched []clus
 	return touched, skipped
 }
 
-// Final returns a snapshot of every open cluster in creation order — the
-// merged view of the whole stream. With unbounded options this is exactly
-// the cluster.Group output over every offer ever Added (minus clusters
-// lost to catalog-version invalidation).
-func (m *Memory) Final() []cluster.Cluster {
-	all := make([]*openCluster, 0, len(m.open))
-	for _, cl := range m.open {
-		all = append(all, cl)
+// lruVictim picks the next LRU eviction: the least recently touched open
+// cluster, breaking ties among clusters last touched in the same wave by
+// creation ordinal (insertion order). The tie-break matters because
+// within one wave the list records touch order, which depends on offer
+// order inside the wave — an accident of batching, not an age signal —
+// whereas the ordinal is the stable age the rest of the memory orders by.
+// Equal-lastWave clusters are contiguous at the back of the list (every
+// touch moves to front and stamps the current wave), so the scan is
+// bounded by one wave's touches.
+func (m *Memory) lruVictim() *openCluster {
+	back := m.lru.Back()
+	victim := back.Value.(*openCluster)
+	for e := back.Prev(); e != nil; e = e.Prev() {
+		cl := e.Value.(*openCluster)
+		if cl.lastWave != victim.lastWave {
+			break
+		}
+		if cl.ord < victim.ord {
+			victim = cl
+		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ord < all[j].ord })
-	out := make([]cluster.Cluster, len(all))
-	for i, cl := range all {
-		out[i] = m.snapshot(cl)
+	return victim
+}
+
+// Final returns a snapshot of every open cluster — in RAM or spilled —
+// in creation order: the merged view of the whole stream. With unbounded
+// options, or bounded options plus a spill store, this is exactly the
+// cluster.Group output over every offer ever Added (minus clusters lost
+// to catalog-version invalidation).
+func (m *Memory) Final() []cluster.Cluster {
+	type entry struct {
+		ord int
+		c   cluster.Cluster
+	}
+	entries := make([]entry, 0, len(m.open))
+	for _, cl := range m.open {
+		entries = append(entries, entry{cl.ord, m.snapshot(cl)})
+	}
+	for _, sp := range m.spilledAll() {
+		entries = append(entries, entry{sp.Ord, spilledSnapshot(sp, m.opts.KeyAttrs)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ord < entries[j].ord })
+	out := make([]cluster.Cluster, len(entries))
+	for i, e := range entries {
+		out[i] = e.c
 	}
 	return out
 }

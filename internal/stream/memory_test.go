@@ -222,6 +222,57 @@ func TestMemoryLRUEviction(t *testing.T) {
 	}
 }
 
+// TestMemoryLRUTieBreakInsertionOrder pins the eviction order among
+// clusters last touched in the same wave: the tie breaks on creation
+// ordinal (insertion order), not on the order the wave's offers happened
+// to touch them — so re-batching offers inside a wave cannot change
+// which cluster is evicted.
+func TestMemoryLRUTieBreakInsertionOrder(t *testing.T) {
+	mem := NewMemory(MemoryOptions{MaxClusters: 2})
+	mem.Add(nil, []offer.Offer{mk("a", "hd", catalog.AttrUPC, "111")}) // ord 0
+	mem.Add(nil, []offer.Offer{mk("b", "hd", catalog.AttrUPC, "222")}) // ord 1
+	// One wave touches 222 first, then 111, then opens a third cluster.
+	// All three now share lastWave; pure touch recency would evict 222,
+	// the insertion-order tie-break evicts 111 (the older cluster).
+	mem.Add(nil, []offer.Offer{
+		mk("b2", "hd", catalog.AttrUPC, "222"),
+		mk("a2", "hd", catalog.AttrUPC, "111"),
+		mk("c", "hd", catalog.AttrUPC, "333"),
+	})
+	evicted := mem.DrainEvicted()
+	if len(evicted) != 1 {
+		t.Fatalf("evicted %d clusters, want 1", len(evicted))
+	}
+	if ev := evicted[0]; ev.ID != 0 || ev.Reason != SealLRU || ev.Cluster.Key != "111" {
+		t.Errorf("evicted ID=%d reason=%s key=%s, want the ord-0 cluster 111 via lru", ev.ID, ev.Reason, ev.Cluster.Key)
+	}
+
+	// Idle expiry under equal last-touch waves expires in insertion
+	// order too: the seal queue order is by ordinal, not touch order.
+	mem2 := NewMemory(MemoryOptions{MaxIdleWaves: 1})
+	mem2.Add(nil, []offer.Offer{
+		mk("p", "hd", catalog.AttrUPC, "1"), // ord 0
+		mk("q", "hd", catalog.AttrUPC, "2"), // ord 1
+	})
+	// Touch both again, q before p, then go idle for two waves.
+	mem2.Add(nil, []offer.Offer{
+		mk("q2", "hd", catalog.AttrUPC, "2"),
+		mk("p2", "hd", catalog.AttrUPC, "1"),
+	})
+	mem2.Add(nil, []offer.Offer{mk("r", "hd", catalog.AttrUPC, "3")})
+	mem2.DrainEvicted()
+	mem2.Add(nil, []offer.Offer{mk("s", "hd", catalog.AttrUPC, "4")})
+	var idleIDs []int
+	for _, ev := range mem2.DrainEvicted() {
+		if ev.Reason == SealIdle {
+			idleIDs = append(idleIDs, ev.ID)
+		}
+	}
+	if len(idleIDs) != 2 || idleIDs[0] != 0 || idleIDs[1] != 1 {
+		t.Errorf("idle seal order = %v, want [0 1] (insertion order)", idleIDs)
+	}
+}
+
 // TestMemoryIdleExpiry checks the wave-TTL: clusters untouched for more
 // than MaxIdleWaves waves are dropped at the next wave start.
 func TestMemoryIdleExpiry(t *testing.T) {
@@ -462,5 +513,222 @@ func TestMemorySealExactlyOnce(t *testing.T) {
 	record(mem.CloseAll())
 	if len(sealed) == 0 {
 		t.Fatal("bounded corpus run sealed nothing")
+	}
+}
+
+// --- Spill store integration -------------------------------------------
+
+// TestMemorySpillEquivalence is the out-of-core counterpart of
+// TestMemoryMatchesGroupAcrossPartitions: a memory squeezed to ONE open
+// cluster but given a spill store must still produce Final() output
+// byte-identical to an unbounded memory — clusters park on disk instead
+// of sealing, and revive when their keys resurface.
+func TestMemorySpillEquivalence(t *testing.T) {
+	offers := corpus()
+	wantClusters, wantSkipped := cluster.Group(offers, cluster.Options{})
+	want := make([]string, len(wantClusters))
+	for i, c := range wantClusters {
+		want[i] = clusterFingerprint(c)
+	}
+
+	for _, n := range []int{1, 2, 3, 7, len(offers)} {
+		sp := cluster.NewMemorySpill()
+		mem := NewMemory(MemoryOptions{MaxClusters: 1, Spill: sp})
+		var skipped []offer.Offer
+		for _, wave := range partitions(offers, n) {
+			_, sk := mem.Add(nil, wave)
+			skipped = append(skipped, sk...)
+		}
+		// Spilling replaces sealing: the bound must not have produced
+		// a single seal event.
+		if ev := mem.DrainEvicted(); len(ev) != 0 {
+			t.Fatalf("waves=%d: %d seal events with spill enabled, want 0", n, len(ev))
+		}
+		got := mem.Final()
+		if len(got) != len(want) {
+			t.Fatalf("waves=%d: %d clusters, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if fp := clusterFingerprint(got[i]); fp != want[i] {
+				t.Errorf("waves=%d: cluster %d = %s, want %s", n, i, fp, want[i])
+			}
+		}
+		if len(skipped) != len(wantSkipped) {
+			t.Fatalf("waves=%d: %d skipped, want %d", n, len(skipped), len(wantSkipped))
+		}
+		spills, revives, fallbacks := mem.Spilled()
+		if spills == 0 {
+			t.Errorf("waves=%d: no spills despite MaxClusters=1", n)
+		}
+		if fallbacks != 0 || mem.SpillErr() != nil {
+			t.Errorf("waves=%d: fallbacks=%d err=%v, want none", n, fallbacks, mem.SpillErr())
+		}
+		if n == len(offers) && revives == 0 {
+			t.Errorf("waves=%d: no revives despite key reuse across waves", n)
+		}
+		if mem.Len()+sp.Len() != len(want) {
+			t.Errorf("waves=%d: open %d + spilled %d != %d clusters", n, mem.Len(), sp.Len(), len(want))
+		}
+	}
+}
+
+// TestMemorySpillIdle pins that idle expiry also spills instead of
+// sealing, and that the spilled cluster revives and extends when its key
+// reappears much later.
+func TestMemorySpillIdle(t *testing.T) {
+	sp := cluster.NewMemorySpill()
+	mem := NewMemory(MemoryOptions{MaxIdleWaves: 1, Spill: sp})
+	mem.Add(nil, []offer.Offer{mk("a", "hd", catalog.AttrUPC, "111")})
+	mem.Add(nil, []offer.Offer{mk("b", "tv", catalog.AttrUPC, "222")})
+	// Wave 3: "a"'s cluster has been idle 2 > 1 waves. With a spill
+	// store it parks rather than seals.
+	mem.Add(nil, []offer.Offer{mk("c", "tv", catalog.AttrUPC, "333")})
+	if sp.Len() != 1 {
+		t.Fatalf("spilled = %d, want 1 (idle cluster)", sp.Len())
+	}
+	if ev := mem.DrainEvicted(); len(ev) != 0 {
+		t.Fatalf("%d seal events, want 0", len(ev))
+	}
+	// Its key resurfaces: revive and extend in place.
+	touched, _ := mem.Add(nil, []offer.Offer{mk("d", "hd", catalog.AttrUPC, "111")})
+	if len(touched) != 1 || clusterFingerprint(touched[0]) != "hd/UPC=111 [a d]" {
+		t.Fatalf("touched = %v, want revived [a d]", touched)
+	}
+	spills, revives, _ := mem.Spilled()
+	if spills == 0 || revives == 0 {
+		t.Errorf("spills=%d revives=%d, want both > 0", spills, revives)
+	}
+	want := []string{"hd/UPC=111 [a d]", "tv/UPC=222 [b]", "tv/UPC=333 [c]"}
+	final := mem.Final()
+	if len(final) != len(want) {
+		t.Fatalf("Final = %d clusters, want %d", len(final), len(want))
+	}
+	for i := range final {
+		if fp := clusterFingerprint(final[i]); fp != want[i] {
+			t.Errorf("Final[%d] = %s, want %s", i, fp, want[i])
+		}
+	}
+}
+
+// failingSpill refuses every write; the memory must degrade to plain
+// sealing, not lose clusters.
+type failingSpill struct{ err error }
+
+func (f failingSpill) Spill(cluster.Spilled) error           { return f.err }
+func (failingSpill) Lookup(string) (int64, bool)             { return 0, false }
+func (f failingSpill) Revive(int64) (cluster.Spilled, error) { return cluster.Spilled{}, f.err }
+func (failingSpill) All() ([]cluster.Spilled, error)         { return nil, nil }
+func (failingSpill) Len() int                                { return 0 }
+func (failingSpill) Close() error                            { return nil }
+
+// TestMemorySpillFallback pins the degradation contract: a failing spill
+// store turns every would-be spill back into the seal a spill-less
+// memory would have produced — identical events, identical Final — with
+// the failure latched in SpillErr and counted in fallbacks.
+func TestMemorySpillFallback(t *testing.T) {
+	offers := corpus()
+	boom := fmt.Errorf("disk full")
+
+	run := func(opts MemoryOptions) ([]Evicted, []cluster.Cluster) {
+		mem := NewMemory(opts)
+		var evs []Evicted
+		for _, wave := range partitions(offers, 7) {
+			mem.Add(nil, wave)
+			evs = append(evs, mem.DrainEvicted()...)
+		}
+		if opts.Spill != nil {
+			if _, _, fb := mem.Spilled(); fb == 0 {
+				t.Fatal("no fallbacks recorded for failing spill store")
+			}
+			if mem.SpillErr() == nil {
+				t.Fatal("SpillErr not latched")
+			}
+		}
+		return evs, mem.Final()
+	}
+
+	plainEvs, plainFinal := run(MemoryOptions{MaxClusters: 1})
+	failEvs, failFinal := run(MemoryOptions{MaxClusters: 1, Spill: failingSpill{err: boom}})
+
+	if len(failEvs) != len(plainEvs) {
+		t.Fatalf("%d events with failing spill, %d without", len(failEvs), len(plainEvs))
+	}
+	for i := range failEvs {
+		if failEvs[i].Reason != plainEvs[i].Reason || failEvs[i].ID != plainEvs[i].ID {
+			t.Errorf("event %d = {%d %v}, want {%d %v}", i,
+				failEvs[i].ID, failEvs[i].Reason, plainEvs[i].ID, plainEvs[i].Reason)
+		}
+	}
+	if len(failFinal) != len(plainFinal) {
+		t.Fatalf("Final %d clusters with failing spill, %d without", len(failFinal), len(plainFinal))
+	}
+	for i := range failFinal {
+		if a, b := clusterFingerprint(failFinal[i]), clusterFingerprint(plainFinal[i]); a != b {
+			t.Errorf("Final[%d] = %s, want %s", i, a, b)
+		}
+	}
+}
+
+// TestMemorySpillStaleRevive pins that catalog-version invalidation
+// reaches spilled clusters too: a cluster that parked before the catalog
+// grew in its category is sealed as invalidated at revival time, exactly
+// as expire would have sealed it had it stayed in RAM.
+func TestMemorySpillStaleRevive(t *testing.T) {
+	store := catalog.NewStore()
+	for _, id := range []string{"hd", "tv"} {
+		if err := store.AddCategory(catalog.Category{
+			ID: id, Name: id,
+			Schema: catalog.Schema{Attributes: []catalog.Attribute{
+				{Name: catalog.AttrUPC, Kind: catalog.KindIdentifier},
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := cluster.NewMemorySpill()
+	mem := NewMemory(MemoryOptions{MaxClusters: 1, Spill: sp})
+	mem.Add(store, []offer.Offer{
+		mk("a", "hd", catalog.AttrUPC, "111"),
+		mk("b", "tv", catalog.AttrUPC, "222"),
+	})
+	// MaxClusters=1: "a"'s cluster (older ordinal) spilled at wave end.
+	if sp.Len() != 1 {
+		t.Fatalf("spilled = %d, want 1", sp.Len())
+	}
+
+	// The catalog grows in hd while the cluster is out-of-core.
+	if err := store.AddProduct(catalog.Product{
+		ID: "p1", CategoryID: "hd",
+		Spec: catalog.Spec{{Name: catalog.AttrUPC, Value: "999"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	touched, _ := mem.Add(store, []offer.Offer{mk("c", "hd", catalog.AttrUPC, "111")})
+	if _, _, version := mem.Evictions(); version != 1 {
+		t.Errorf("version evictions = %d, want 1 (stale revived cluster)", version)
+	}
+	evs := mem.DrainEvicted()
+	if len(evs) != 1 || evs[0].Reason != SealInvalidated {
+		t.Fatalf("events = %v, want one SealInvalidated", evs)
+	}
+	if fp := clusterFingerprint(evs[0].Cluster); fp != "hd/UPC=111 [a]" {
+		t.Errorf("invalidated cluster = %s, want stale [a]", fp)
+	}
+	// "c" opened a fresh cluster rather than joining the stale one.
+	if len(touched) != 1 || clusterFingerprint(touched[0]) != "hd/UPC=111 [c]" {
+		t.Fatalf("touched = %v, want fresh [c]", touched)
+	}
+	// The stale cluster is gone from the store; "b" (LRU victim of
+	// wave 2's bound enforcement) took its place.
+	final := mem.Final()
+	if len(final) != 2 {
+		t.Fatalf("Final = %d clusters, want 2 (surviving tv + fresh hd)", len(final))
+	}
+	if fp := clusterFingerprint(final[0]); fp != "tv/UPC=222 [b]" {
+		t.Errorf("Final[0] = %s, want surviving tv [b]", fp)
+	}
+	if fp := clusterFingerprint(final[1]); fp != "hd/UPC=111 [c]" {
+		t.Errorf("Final[1] = %s, want fresh hd [c]", fp)
 	}
 }

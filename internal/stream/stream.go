@@ -97,6 +97,11 @@ type Result struct {
 	// OpenClusters is the cluster-memory size after the wave — the
 	// quantity Options.MaxOpenClusters bounds.
 	OpenClusters int
+	// SpilledClusters is the number of clusters parked in the spill
+	// store after the wave (0 when no spill store is configured); on the
+	// final result, the count still spilled at close, each of which the
+	// closing result merges back into Products.
+	SpilledClusters int
 	// PrepareElapsed is the wall time the wave spent in the prepare stage
 	// (classify, extract, match-exclude, reconcile); with pipelining it
 	// overlaps earlier waves' FuseElapsed.
@@ -145,11 +150,21 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 		defer close(out)
 		var mem *Memory
 		if !opts.DisableMemory {
-			mem = NewMemory(MemoryOptions{
+			mopts := MemoryOptions{
 				KeyAttrs:     cfg.ClusterKeys,
 				MaxClusters:  opts.MaxOpenClusters,
 				MaxIdleWaves: opts.MaxIdleWaves,
-			})
+			}
+			// One spill store per stream, owned here. A factory failure
+			// degrades to the unspilled behaviour (bounds seal) rather
+			// than failing the stream before it starts.
+			if cfg.Spill != nil {
+				if sp, err := cfg.Spill.NewSpill(); err == nil {
+					mopts.Spill = sp
+					defer sp.Close()
+				}
+			}
+			mem = NewMemory(mopts)
 		}
 
 		// Prepare stage: pulls waves in input order and runs the shared
@@ -243,6 +258,7 @@ func fuseWave(ctx context.Context, store *catalog.Store, pw preparedWave, cfg co
 	if mem != nil {
 		touched, skipped = mem.Add(store, pw.prep.Kept)
 		r.OpenClusters = mem.Len()
+		r.SpilledClusters = mem.SpilledLen()
 	} else {
 		touched, skipped = cluster.Group(pw.prep.Kept, cluster.Options{KeyAttrs: cfg.ClusterKeys})
 	}
@@ -330,6 +346,7 @@ func finalResult(ctx context.Context, mem *Memory, cfg core.Config, total Result
 		final.Products = products
 		final.Clusters = len(merged)
 		final.OpenClusters = mem.Len()
+		final.SpilledClusters = mem.SpilledLen()
 		final.Sealed = make([]Sealed, len(closing))
 		for i, ev := range closing {
 			final.Sealed[i] = Sealed{ClusterID: ev.ID, Wave: total.Wave, Reason: SealClose, Product: products[i]}

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"prodsynth/internal/cluster"
+	"prodsynth/internal/durable"
 	"prodsynth/internal/fusion"
 )
 
@@ -623,5 +625,83 @@ func TestStreamConcurrentCatalogGrowth(t *testing.T) {
 	wg.Wait()
 	if got != len(waves) || !sawFinal {
 		t.Fatalf("received %d wave results (want %d), final=%v", got, len(waves), sawFinal)
+	}
+}
+
+// TestSynthesizeStreamEquivalenceWithSpill is the out-of-core leg of the
+// equivalence matrix: with the cluster memory squeezed to tiny RAM bounds
+// but a spill store attached (the pure in-RAM reference store, and the
+// real file-backed store durability uses), the streamed output must stay
+// byte-identical to the one-shot Synthesize — evicted clusters park
+// out-of-core and revive instead of sealing early.
+func TestSynthesizeStreamEquivalenceWithSpill(t *testing.T) {
+	ds, base := learned(t, Config{})
+	fetcher := MapFetcher(ds.Pages)
+	oneShot, err := base.Synthesize(ds.IncomingOffers, fetcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := productFingerprints(oneShot.Products)
+
+	factories := []struct {
+		name string
+		mk   func(t *testing.T) cluster.SpillFactory
+	}{
+		{"memory", func(t *testing.T) cluster.SpillFactory { return cluster.MemorySpillFactory{} }},
+		{"file", func(t *testing.T) cluster.SpillFactory { return durable.SpillDir{Dir: t.TempDir()} }},
+	}
+	bounds := []StreamOptions{
+		{MaxOpenClusters: 1},
+		{MaxOpenClusters: 2, MaxIdleWaves: 1},
+		{MaxIdleWaves: 1},
+	}
+
+	for _, f := range factories {
+		for _, opts := range bounds {
+			name := fmt.Sprintf("%s/open=%d/idle=%d", f.name, opts.MaxOpenClusters, opts.MaxIdleWaves)
+			cfg := Config{}
+			cfg.Spill = f.mk(t)
+			sys := New(ds.Catalog, cfg)
+			if err := sys.Learn(ds.HistoricalOffers, MapFetcher(ds.Pages)); err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{1, 3, 7, len(ds.IncomingOffers)} {
+				waves := contiguousWaves(ds.IncomingOffers, n)
+				perWave, final := runStream(t, sys, waves, fetcher, opts)
+				for i, r := range perWave {
+					if r.Err != nil {
+						t.Errorf("%s waves=%d: wave %d failed: %v", name, n, i, r.Err)
+					}
+				}
+				got := productFingerprints(final.Products)
+				if len(got) != len(want) {
+					t.Fatalf("%s waves=%d: %d merged products vs %d one-shot", name, n, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s waves=%d: product %d differs:\n  streamed: %s\n  one-shot: %s",
+							name, n, i, got[i], want[i])
+					}
+				}
+				if final.Clusters != oneShot.Clusters || final.Offers != oneShot.Offers {
+					t.Errorf("%s waves=%d: final counters %+v differ from one-shot %+v",
+						name, n, final.Result, *oneShot)
+				}
+				// The tightest bound with many waves must actually have
+				// exercised the spill path.
+				if opts.MaxOpenClusters == 1 && n == len(ds.IncomingOffers) {
+					saw := false
+					for _, r := range perWave {
+						if r.SpilledClusters > 0 {
+							saw = true
+							break
+						}
+					}
+					if !saw {
+						t.Errorf("%s waves=%d: spill store never held a cluster", name, n)
+					}
+				}
+			}
+		}
 	}
 }

@@ -318,6 +318,10 @@ type StreamResult struct {
 	// quantity StreamOptions.MaxOpenClusters bounds. Zero when cluster
 	// memory is disabled.
 	OpenClusters int
+	// SpilledClusters is the number of clusters parked out-of-core in the
+	// spill store after the wave. Zero unless the Config carries a spill
+	// factory (see WithDurability).
+	SpilledClusters int
 	// Final marks the single closing result: its Products are the merged
 	// stream view (final fused state of every remembered cluster, in
 	// first-appearance order) and its counters aggregate all successful
@@ -388,10 +392,11 @@ func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pag
 		defer close(out)
 		for r := range inner {
 			sr := StreamResult{
-				Wave:         r.Wave,
-				Final:        r.Final,
-				OpenClusters: r.OpenClusters,
-				Sealed:       r.Sealed,
+				Wave:            r.Wave,
+				Final:           r.Final,
+				OpenClusters:    r.OpenClusters,
+				SpilledClusters: r.SpilledClusters,
+				Sealed:          r.Sealed,
 				Result: Result{
 					Products:         r.Products,
 					PairsDropped:     r.Reconcile.PairsDropped,
