@@ -160,6 +160,22 @@
 // are byte-identical to direct [System.SynthesizeContext] output for the
 // same request and generation.
 //
+// # Invariants, machine-checked
+//
+// The contracts above are not prose-only: internal/lint is a repo-specific
+// analyzer suite (run as cmd/vetsynth in CI and as a self-scan test) that
+// machine-checks them — timing in the Clock-bearing packages goes through
+// the injectable Clock (clockcheck), exported entry points that block or
+// spawn take a context first and library code never manufactures root
+// contexts (ctxfirst), shard critical sections stay free of channel ops,
+// I/O, and user callbacks (lockscope), Err* sentinels are wrapped with %w
+// so errors.Is matches through every decoder (errwrapcheck), the v1 shims
+// keep their Deprecated: markers and nothing else carries one (shimcheck),
+// and raw goroutines have a visible join (spawncheck). A justified
+// exception is allowlisted in the source with `//lint:allow <analyzer>
+// <reason>` — the reason is mandatory — so every exception in the tree
+// documents why it is one.
+//
 // The subpackages under internal implement each component of the paper's
 // Figure 4 architecture plus every substrate the evaluation needs: an HTML
 // extractor, distributional similarity measures, logistic regression,

@@ -139,7 +139,7 @@ func BenchmarkAblationDropFeature(b *testing.B) {
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.AblationDropFeature(env)
+		rows, err = experiments.AblationDropFeature(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func BenchmarkAblationFusion(b *testing.B) {
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.AblationFusion(env)
+		rows, err = experiments.AblationFusion(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func BenchmarkAblationClusterKeys(b *testing.B) {
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.AblationClusterKeys(env)
+		rows, err = experiments.AblationClusterKeys(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -193,7 +193,7 @@ func run(w io.Writer, rc runConfig) error {
 		}
 	}
 	if rc.all || rc.ablate {
-		if err := runAblations(w, env); err != nil {
+		if err := runAblations(context.Background(), w, env); err != nil {
 			return err
 		}
 	}
@@ -302,10 +302,10 @@ func scaleConfig(scale string) synth.Config {
 	}
 }
 
-func runAblations(w io.Writer, env *experiments.Env) error {
+func runAblations(ctx context.Context, w io.Writer, env *experiments.Env) error {
 	type ablation struct {
 		name    string
-		run     func(*experiments.Env) ([]experiments.AblationRow, error)
+		run     func(context.Context, *experiments.Env) ([]experiments.AblationRow, error)
 		metrics []string
 	}
 	for _, a := range []ablation{
@@ -315,7 +315,7 @@ func runAblations(w io.Writer, env *experiments.Env) error {
 		{"clustering key attributes", experiments.AblationClusterKeys, []string{"attr precision", "products"}},
 		{"extraction coverage", experiments.AblationExtraction, []string{"attr precision", "products"}},
 	} {
-		rows, err := a.run(env)
+		rows, err := a.run(ctx, env)
 		if err != nil {
 			return err
 		}

@@ -24,6 +24,7 @@ func New(store *Catalog, cfg Config) *System {
 // returns the learned state as an immutable, serializable Model; install
 // it with System.Use or construct the System from it with NewSystem.
 func (s *System) Learn(historical []Offer, pages PageFetcher) error {
+	//lint:allow ctxfirst deprecated v1 shim: the v1 signature has no ctx to forward; callers wanting cancellation migrate to the package-level Learn
 	m, err := Learn(context.Background(), s.store, historical, pages, WithConfig(s.cfg))
 	if err != nil {
 		return err
@@ -72,6 +73,7 @@ func (s *System) ScoredCandidates() []Correspondence {
 //
 // Deprecated: use SynthesizeContext, which honors cancellation.
 func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error) {
+	//lint:allow ctxfirst deprecated v1 shim: the v1 signature has no ctx to forward; callers wanting cancellation migrate to SynthesizeContext
 	return s.SynthesizeContext(context.Background(), incoming, pages)
 }
 
@@ -80,5 +82,6 @@ func (s *System) Synthesize(incoming []Offer, pages PageFetcher) (*Result, error
 //
 // Deprecated: use SynthesizeBatchesContext, which honors cancellation.
 func (s *System) SynthesizeBatches(batches [][]Offer, pages PageFetcher) (*BatchResult, error) {
+	//lint:allow ctxfirst deprecated v1 shim: the v1 signature has no ctx to forward; callers wanting cancellation migrate to SynthesizeBatchesContext
 	return s.SynthesizeBatchesContext(context.Background(), batches, pages)
 }

@@ -90,7 +90,25 @@ type Options struct {
 	// not yet covered by a snapshot) reaches this count. 0 disables
 	// depth-triggered compaction.
 	CompactRecords int
+	// Clock supplies the time source for the durations the layer
+	// measures (RecoveryStats.Duration). nil means the wall clock;
+	// inject a fake so recovery timings — and the tests pinning them —
+	// stay deterministic.
+	Clock Clock
 }
+
+// Clock abstracts time for the durability layer, so timing-dependent
+// stats are testable without the wall clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// wallClock is the default Clock.
+type wallClock struct{}
+
+//lint:allow clockcheck wallClock is the package's one real-clock site, behind the injectable Clock
+func (wallClock) Now() time.Time { return time.Now() }
 
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
@@ -101,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = DefaultFsyncInterval
+	}
+	if o.Clock == nil {
+		o.Clock = wallClock{}
 	}
 	return o
 }

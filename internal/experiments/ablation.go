@@ -32,7 +32,7 @@ type AblationRow struct {
 
 // AblationDropFeature retrains the classifier with each feature zeroed in
 // turn and reports correspondence quality, plus the full model as baseline.
-func AblationDropFeature(e *Env) ([]AblationRow, error) {
+func AblationDropFeature(ctx context.Context, e *Env) ([]AblationRow, error) {
 	truth := e.Truth()
 	rows := []AblationRow{{
 		Name:  "all six features",
@@ -60,7 +60,7 @@ func AblationDropFeature(e *Env) ([]AblationRow, error) {
 // set of §3.2 the name feature equals 1 on every positive example, so the
 // classifier collapses toward a name matcher — this ablation quantifies the
 // damage.
-func AblationNameFeature(e *Env) ([]AblationRow, error) {
+func AblationNameFeature(ctx context.Context, e *Env) ([]AblationRow, error) {
 	truth := e.Truth()
 	rows := []AblationRow{{
 		Name:  "distributional features only (paper)",
@@ -84,7 +84,7 @@ func AblationNameFeature(e *Env) ([]AblationRow, error) {
 
 // AblationFusion compares value-fusion strategies on the same clusters.
 // Metric1 = attribute precision, Metric2 = product precision.
-func AblationFusion(e *Env) ([]AblationRow, error) {
+func AblationFusion(ctx context.Context, e *Env) ([]AblationRow, error) {
 	configs := []struct {
 		name string
 		cfg  core.Config
@@ -92,7 +92,7 @@ func AblationFusion(e *Env) ([]AblationRow, error) {
 		{"centroid generalization (paper)", e.Config},
 		{"exact majority voting", withFusion(e.Config, majorityVote{})},
 	}
-	return e.pipelineAblation(configs)
+	return e.pipelineAblation(ctx, configs)
 }
 
 type majorityVote struct{}
@@ -118,7 +118,7 @@ func withFusion(cfg core.Config, s interface{ Fuse([]string) string }) core.Conf
 
 // AblationClusterKeys compares clustering key sets.
 // Metric1 = attribute precision, Metric2 = products synthesized.
-func AblationClusterKeys(e *Env) ([]AblationRow, error) {
+func AblationClusterKeys(ctx context.Context, e *Env) ([]AblationRow, error) {
 	mk := func(keys ...string) core.Config {
 		cfg := e.Config
 		cfg.ClusterKeys = keys
@@ -132,13 +132,13 @@ func AblationClusterKeys(e *Env) ([]AblationRow, error) {
 		{"UPC only", mk(catalog.AttrUPC)},
 		{"MPN only", mk(catalog.AttrMPN)},
 	}
-	return e.pipelineAblation(configs)
+	return e.pipelineAblation(ctx, configs)
 }
 
 // AblationExtraction compares the paper's table-only extractor with the
 // bullet-list extension. Metric1 = attribute precision, Metric2 = products.
 // Both phases rerun because extraction feeds offline learning too.
-func AblationExtraction(e *Env) ([]AblationRow, error) {
+func AblationExtraction(ctx context.Context, e *Env) ([]AblationRow, error) {
 	bullet := e.Config
 	bullet.Extraction = extract.Options{
 		MaxValueLen:        extract.DefaultOptions.MaxValueLen,
@@ -154,11 +154,11 @@ func AblationExtraction(e *Env) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, c := range configs {
 		fetcher := core.MapFetcher(e.Dataset.Pages)
-		off, err := core.RunOffline(context.Background(), e.Dataset.Catalog, e.Dataset.HistoricalOffers, fetcher, c.cfg)
+		off, err := core.RunOffline(ctx, e.Dataset.Catalog, e.Dataset.HistoricalOffers, fetcher, c.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
 		}
-		run, err := core.RunRuntime(context.Background(), e.Dataset.Catalog, off, e.Dataset.IncomingOffers, fetcher, c.cfg)
+		run, err := core.RunRuntime(ctx, e.Dataset.Catalog, off, e.Dataset.IncomingOffers, fetcher, c.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
 		}
@@ -174,13 +174,13 @@ func AblationExtraction(e *Env) ([]AblationRow, error) {
 
 // pipelineAblation reruns the runtime phase under each configuration,
 // reusing the already-learned correspondences.
-func (e *Env) pipelineAblation(configs []struct {
+func (e *Env) pipelineAblation(ctx context.Context, configs []struct {
 	name string
 	cfg  core.Config
 }) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, c := range configs {
-		run, err := core.RunRuntime(context.Background(), e.Dataset.Catalog, e.Offline, e.Dataset.IncomingOffers,
+		run, err := core.RunRuntime(ctx, e.Dataset.Catalog, e.Offline, e.Dataset.IncomingOffers,
 			core.MapFetcher(e.Dataset.Pages), c.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", c.name, err)

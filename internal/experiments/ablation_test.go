@@ -2,13 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAblationDropFeature(t *testing.T) {
 	e := env(t)
-	rows, err := AblationDropFeature(e)
+	rows, err := AblationDropFeature(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestAblationDropFeature(t *testing.T) {
 
 func TestAblationNameFeature(t *testing.T) {
 	e := env(t)
-	rows, err := AblationNameFeature(e)
+	rows, err := AblationNameFeature(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestAblationNameFeature(t *testing.T) {
 
 func TestAblationFusion(t *testing.T) {
 	e := env(t)
-	rows, err := AblationFusion(e)
+	rows, err := AblationFusion(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestAblationFusion(t *testing.T) {
 
 func TestAblationClusterKeys(t *testing.T) {
 	e := env(t)
-	rows, err := AblationClusterKeys(e)
+	rows, err := AblationClusterKeys(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestAblationClusterKeys(t *testing.T) {
 
 func TestAblationExtraction(t *testing.T) {
 	e := env(t)
-	rows, err := AblationExtraction(e)
+	rows, err := AblationExtraction(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}

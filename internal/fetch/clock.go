@@ -21,6 +21,7 @@ type Clock interface {
 // realClock is the wall clock.
 type realClock struct{}
 
+//lint:allow clockcheck realClock is the package's one real-clock site, behind the injectable Clock
 func (realClock) Now() time.Time { return time.Now() }
 
 func (realClock) Sleep(ctx context.Context, d time.Duration) error {

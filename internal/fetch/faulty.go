@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	//lint:allow clockcheck deterministic: every rand.Rand here is seeded from the URL hash (FlakyFaults), so outcomes are a pure function of (URL, attempt)
 	"math/rand"
 	"sort"
 	"sync"
@@ -114,6 +115,7 @@ func NewFaulty(inner Pages, schedule Schedule, clock Clock) *Faulty {
 
 // Fetch implements the legacy interface over a background context.
 func (f *Faulty) Fetch(url string) (string, error) {
+	//lint:allow ctxfirst legacy Fetcher-interface adapter: the context-free signature has no ctx to forward
 	return f.FetchContext(context.Background(), url)
 }
 

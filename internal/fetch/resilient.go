@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	//lint:allow clockcheck deterministic: the backoff jitter rand.Rand is seeded from Policy.JitterSeed, so retry schedules replay identically
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -240,6 +241,7 @@ func (r *Resilient) FetchCounters() Counters {
 // Fetch implements the legacy context-free interface over a background
 // context — retries and breaker logic apply, cancellation does not.
 func (r *Resilient) Fetch(url string) (string, error) {
+	//lint:allow ctxfirst legacy Fetcher-interface adapter: the context-free signature has no ctx to forward
 	return r.FetchContext(context.Background(), url)
 }
 

@@ -1,0 +1,54 @@
+package lint
+
+import "go/ast"
+
+// clockPackages are the packages that expose an injectable Clock: every
+// timing decision in them must be testable without the wall clock, so
+// fault schedules (fetch), recovery stats (durable), and wave timings
+// (stream) stay deterministic under FakeClock-driven tests.
+var clockPackages = map[string]bool{
+	"prodsynth/internal/fetch":   true,
+	"prodsynth/internal/durable": true,
+	"prodsynth/internal/stream":  true,
+}
+
+// ClockCheck flags direct wall-clock and global-randomness use —
+// time.Now, time.Since, and any math/rand import — in the packages that
+// expose an injectable Clock. The one legitimate wall-clock site per
+// package (the realClock implementation) and deterministic seeded RNGs
+// carry lint:allow annotations.
+var ClockCheck = &Analyzer{
+	Name: "clockcheck",
+	Doc:  "no direct time.Now/time.Since/math/rand in packages with an injectable Clock",
+	Run:  runClockCheck,
+}
+
+func runClockCheck(pass *Pass) {
+	if !clockPackages[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, imp := range f.Ast.Imports {
+			if p := imp.Path.Value; p == `"math/rand"` || p == `"math/rand/v2"` {
+				pass.Reportf(imp.Pos(),
+					"%s imports math/rand: randomness here must be seeded and injectable (see Policy.JitterSeed), not global", pass.Pkg.Path)
+			}
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			sel := f.PkgSel(e, "time")
+			if sel == "Now" || sel == "Since" {
+				pass.Reportf(n.Pos(),
+					"direct time.%s in %s: route it through the package's injectable Clock so tests stay deterministic", sel, pass.Pkg.Path)
+				return false
+			}
+			return true
+		})
+	}
+}

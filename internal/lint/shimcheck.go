@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ShimCheck polices the v1 compatibility surface: every exported function
+// in the root package's compat.go carries a "Deprecated:" doc marker (so
+// editors and pkg.go.dev steer callers to the v2 API), and no Deprecated:
+// function lives anywhere else in the root package — deprecated shims
+// have exactly one home. This replaces the old CI step that compared
+// `grep -c '^func '` against `grep -c '^// Deprecated:'`.
+var ShimCheck = &Analyzer{
+	Name: "shimcheck",
+	Doc:  "compat.go shims carry Deprecated: markers; no Deprecated: func outside compat.go",
+	Run:  runShimCheck,
+}
+
+func runShimCheck(pass *Pass) {
+	if pass.Pkg.Path != "prodsynth" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		inCompat := f.Name == "compat.go"
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			deprecated := hasDeprecatedMarker(fd.Doc)
+			switch {
+			case inCompat && fd.Name.IsExported() && !deprecated:
+				pass.Reportf(fd.Name.Pos(),
+					"exported shim %s in compat.go is missing its \"Deprecated:\" doc marker", fd.Name.Name)
+			case !inCompat && deprecated:
+				pass.Reportf(fd.Name.Pos(),
+					"Deprecated: function %s outside compat.go — v1 shims live in compat.go, nothing else is deprecated", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// hasDeprecatedMarker reports whether a doc comment contains a line
+// starting with the conventional "Deprecated:" paragraph marker.
+func hasDeprecatedMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

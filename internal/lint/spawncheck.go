@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// spawnExemptPackages may use raw go statements freely: internal/pipe is
+// the pipeline runtime whose whole job is goroutine lifecycle (its stages
+// are leak-tested as a unit), and cmd/ and examples/ binaries tie
+// goroutines to process lifetime.
+func spawnExempt(path string) bool {
+	return path == "prodsynth/internal/pipe" ||
+		strings.HasPrefix(path, "prodsynth/cmd/") ||
+		strings.HasPrefix(path, "prodsynth/examples/")
+}
+
+// SpawnCheck enforces the leak-guard discipline on goroutines: a raw go
+// statement in a library package must have a join visible in the
+// enclosing function — a WaitGroup/errgroup-style Wait(), or a result
+// channel the goroutine sends on and the function receives from. Detached
+// pipeline goroutines whose lifecycle is a closed channel plus a
+// leak-guarded test carry lint:allow annotations naming that contract.
+var SpawnCheck = &Analyzer{
+	Name: "spawncheck",
+	Doc:  "raw go statements must sync via a join visible in the enclosing function",
+	Run:  runSpawnCheck,
+}
+
+func runSpawnCheck(pass *Pass) {
+	if spawnExempt(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpawns(pass, fd)
+		}
+	}
+}
+
+func checkSpawns(pass *Pass, fd *ast.FuncDecl) {
+	var spawns []*ast.GoStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawns = append(spawns, g)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	// A Wait() anywhere in the function joins its pool — the WaitGroup /
+	// errgroup shape used by every fan-out in the repo.
+	hasWait := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				hasWait = true
+				return false
+			}
+		}
+		return true
+	})
+	if hasWait {
+		return
+	}
+	recvs := receivedChannels(fd, spawns)
+	for _, g := range spawns {
+		if joinedByChannel(g, recvs) {
+			continue
+		}
+		pass.Reportf(g.Pos(),
+			"raw go statement in %s with no visible join: add a WaitGroup/errgroup Wait or a result-channel receive, or lint:allow with the lifecycle contract", fd.Name.Name)
+	}
+}
+
+// receivedChannels collects the identifier names the enclosing function
+// receives from (<-ch, including select comm clauses and range-over
+// channel candidates), outside the spawned goroutine bodies themselves.
+func receivedChannels(fd *ast.FuncDecl, spawns []*ast.GoStmt) map[string]bool {
+	inSpawn := func(pos token.Pos) bool {
+		for _, g := range spawns {
+			if pos >= g.Pos() && pos <= g.End() {
+				return true
+			}
+		}
+		return false
+	}
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW || inSpawn(ue.Pos()) {
+			return true
+		}
+		if id, ok := ue.X.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// joinedByChannel reports whether the goroutine's body sends on a channel
+// the enclosing function receives from — the drained-result-channel join.
+func joinedByChannel(g *ast.GoStmt, recvs map[string]bool) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := send.Chan.(*ast.Ident); ok && recvs[id.Name] {
+			joined = true
+			return false
+		}
+		return true
+	})
+	return joined
+}

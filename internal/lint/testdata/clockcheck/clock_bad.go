@@ -1,0 +1,14 @@
+package durable
+
+import (
+	"math/rand" // want "imports math/rand"
+	"time"
+)
+
+// recoverLog is the pre-fix manager.go shape: recovery duration measured
+// straight off the wall clock, so tests cannot pin it.
+func recoverLog() time.Duration {
+	start := time.Now() // want "direct time.Now"
+	_ = rand.Int()
+	return time.Since(start) // want "direct time.Since"
+}

@@ -1,0 +1,33 @@
+package stream
+
+import (
+	"context"
+	"os"
+)
+
+// Run is the pre-fix shape: spawns the pipeline goroutine with no way for
+// the caller to cancel it.
+func Run(waves int) error { // want "spawns goroutines but does not take context.Context"
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return nil
+}
+
+// Drain blocks on a channel receive.
+func Drain(ch chan int) int { // want "blocks on channel operations but does not take context.Context"
+	return <-ch
+}
+
+// Snapshot performs direct file I/O.
+func Snapshot(path string) error { // want "performs I/O"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func detach() context.Context {
+	return context.Background() // want "context.Background in library package"
+}

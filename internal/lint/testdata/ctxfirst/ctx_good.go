@@ -1,0 +1,19 @@
+package stream
+
+import "context"
+
+// RunContext takes the context first: no finding.
+func RunContext(ctx context.Context, waves int) error {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
+}
+
+// pump is unexported: the ctx-first rule covers only the exported
+// surface.
+func pump(ch chan int) int { return <-ch }

@@ -1,0 +1,18 @@
+package snapfmt
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBadCatalog = errors.New("bad catalog")
+
+// decodeHeader is the pre-fix decode shape: %v stringifies the sentinel,
+// so errors.Is(err, ErrBadCatalog) stops matching one frame up.
+func decodeHeader(line string) error {
+	return fmt.Errorf("catalog header %q: %v", line, ErrBadCatalog) // want "use %w so errors.Is"
+}
+
+func decodeBody(err error) error {
+	return fmt.Errorf("body: %s", ErrBadCatalog) // want "formatted with %s"
+}

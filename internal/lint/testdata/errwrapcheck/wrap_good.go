@@ -1,0 +1,19 @@
+package snapfmt
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBadBundle = errors.New("bad bundle")
+
+// decodeBundle wraps: the sentinel stays matchable through the wrap.
+func decodeBundle(n int) error {
+	return fmt.Errorf("bundle record %d: %w", n, ErrBadBundle)
+}
+
+// annotate stringifies a plain error variable — only Err* sentinels are
+// under the contract.
+func annotate(err error) error {
+	return fmt.Errorf("annotate: %v", err)
+}

@@ -1,0 +1,41 @@
+package catalog
+
+import (
+	"os"
+	"sync"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// publish sends on a channel inside the critical section: every writer on
+// the shard stalls until the receiver drains it.
+func (s *shard) publish(ch chan string, key string) {
+	s.mu.Lock()
+	s.keys = append(s.keys, key)
+	ch <- key // want "channel send while a mutex is held"
+	s.mu.Unlock()
+}
+
+// flush holds the lock to function end via the deferred unlock, so the
+// fsync and the os call both land inside the critical section.
+func (s *shard) flush(f *os.File, path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := f.Sync(); err != nil { // want "no fsync inside a shard critical section"
+		return err
+	}
+	return os.Remove(path) // want "no file I/O inside a shard critical section"
+}
+
+// each runs a user callback under the shard lock: a slow or re-entrant
+// callback deadlocks the shard.
+func (s *shard) each(fn func(string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range s.keys {
+		fn(k) // want "function-typed parameter"
+	}
+}

@@ -1,0 +1,30 @@
+package catalog
+
+import "sync"
+
+type registry struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// publish copies under the lock and sends after release — the repo's
+// pattern for getting data out of a critical section.
+func (r *registry) publish(ch chan []string) {
+	r.mu.Lock()
+	keys := append([]string(nil), r.keys...)
+	r.mu.Unlock()
+	ch <- keys
+}
+
+type observer interface {
+	ObserveAppend(key string)
+}
+
+// add invokes the Observe* commit hook under the lock: the documented
+// catalog.Observer exception.
+func (r *registry) add(obs observer, key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys = append(r.keys, key)
+	obs.ObserveAppend(key)
+}

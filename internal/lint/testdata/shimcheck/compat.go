@@ -1,0 +1,12 @@
+package prodsynth
+
+// Learn is a v1 shim.
+//
+// Deprecated: use LearnContext.
+func Learn() {}
+
+// Synthesize is a v1 shim that lost its marker.
+func Synthesize() {} // want "Synthesize in compat.go is missing its"
+
+// helper is unexported: only the exported shim surface needs markers.
+func helper() {}

@@ -1,0 +1,9 @@
+package prodsynth
+
+// Legacy sits outside compat.go, so its marker is in the wrong home.
+//
+// Deprecated: v1 shims live in compat.go.
+func Legacy() {} // want "Legacy outside compat.go"
+
+// Current is exported, current API: no marker, no finding.
+func Current() {}

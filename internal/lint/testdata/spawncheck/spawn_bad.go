@@ -1,0 +1,19 @@
+package serve
+
+// feed is the pre-fix feeder shape: fire-and-forget, nothing joins it.
+func feed(items []int) {
+	go work(items) // want "no visible join"
+}
+
+// broadcast spawns senders whose channels the function never receives
+// from, so the channel-join heuristic does not apply.
+func broadcast(chans []chan int) {
+	for _, ch := range chans {
+		ch := ch
+		go func() { // want "no visible join"
+			ch <- 1
+		}()
+	}
+}
+
+func work(items []int) {}

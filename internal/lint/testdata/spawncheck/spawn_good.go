@@ -1,0 +1,27 @@
+package serve
+
+import "sync"
+
+// fanOut joins through the WaitGroup.
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// compute joins through the result channel: the goroutine sends, the
+// function receives.
+func compute() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// detached documents its lifecycle contract in the allow reason.
+func detached() {
+	//lint:allow spawncheck fixture detached worker: lifecycle documented here
+	go work(nil)
+}

@@ -171,6 +171,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 	s.draining.Store(true)
+	//lint:allow ctxfirst drain must outlive the cancelled run ctx: a fresh root context (deadline-bounded below) is the point
 	dctx := context.Background()
 	if s.opts.DrainTimeout > 0 {
 		var cancel context.CancelFunc
@@ -375,6 +376,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// Feed the request's waves; the pipeline applies backpressure. The
 	// send select on ctx keeps the feeder from deadlocking when the
 	// stream dies mid-request.
+	//lint:allow spawncheck feeder exits when the request ctx cancels or every wave is sent; the stream it feeds is drained to completion by writeNDJSON below
 	go func() {
 		defer close(waves)
 		for _, wave := range req.Waves {
@@ -421,6 +423,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		defer s.reloading.Store(false)
 		// Deliberately not the request context: a background reload must
 		// survive the 202 response (and the client's disconnect).
+		//lint:allow ctxfirst background reload outliving the triggering request is the endpoint's contract
 		model, err := s.opts.Reload(context.Background())
 		if err != nil {
 			s.reg.Counter("synthd_reloads_total", "Hot reloads by outcome.", "result", "error").Inc()

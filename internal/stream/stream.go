@@ -37,7 +37,24 @@ type Options struct {
 	// pipeline (pulled into prepare but not yet fused) — its Peak reports
 	// the memory-relevant high-water mark of cross-wave pipelining.
 	InFlight *pipe.Gauge
+	// Clock supplies the time source for the per-wave timings results
+	// report (PrepareElapsed, FuseElapsed, Elapsed). nil means the wall
+	// clock; inject a fake so timing-sensitive tests are deterministic.
+	Clock Clock
 }
+
+// Clock abstracts time for the streaming pipeline's wave timings, so
+// timing-dependent results are testable without the wall clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// wallClock is the default Clock.
+type wallClock struct{}
+
+//lint:allow clockcheck wallClock is the package's one real-clock site, behind the injectable Clock
+func (wallClock) Now() time.Time { return time.Now() }
 
 // Sealed is one per-cluster seal event: the cross-batch memory decided
 // this cluster can no longer grow, so its product is final rather than
@@ -145,7 +162,12 @@ type preparedWave struct {
 // cancel ctx or close waves to release them, even if the consumer has
 // stopped reading.
 func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult, waves <-chan []offer.Offer, pages core.PageFetcher, cfg core.Config, opts Options) <-chan Result {
+	clk := opts.Clock
+	if clk == nil {
+		clk = wallClock{}
+	}
 	out := make(chan Result, opts.Buffer)
+	//lint:allow spawncheck pipeline goroutine: lifecycle is ctx cancellation or closing waves, both close out; leak-guarded by TestStreamCtxCancelNoLeak
 	go func() {
 		defer close(out)
 		var mem *Memory
@@ -173,7 +195,7 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 		// the stage — so later waves still run after a failed one.
 		nextWave := 0
 		prepared := pipe.Map(func(ctx context.Context, batch []offer.Offer) (preparedWave, error) {
-			start := time.Now()
+			start := clk.Now()
 			opts.InFlight.Add(len(batch))
 			pw := preparedWave{wave: nextWave, offers: len(batch)}
 			nextWave++
@@ -186,7 +208,7 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 			} else {
 				pw.prep = prep
 			}
-			pw.elapsed = time.Since(start)
+			pw.elapsed = clk.Now().Sub(start)
 			return pw, nil
 		})(pipe.FromChan(waves))
 		if cfg.StageBuffer >= 0 {
@@ -204,7 +226,7 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 				return // cancelled; contract: close without final result
 			}
 			if !ok {
-				final := finalResult(ctx, mem, cfg, total)
+				final := finalResult(ctx, mem, cfg, total, clk)
 				if final.Err != nil {
 					// Cancelled during the closing fuse: the contract is
 					// "cancellation closes the channel without the final
@@ -218,7 +240,7 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 				}
 				return
 			}
-			r := fuseWave(ctx, store, pw, cfg, mem)
+			r := fuseWave(ctx, store, pw, cfg, mem, clk)
 			opts.InFlight.Add(-pw.offers)
 			if r.Err == nil {
 				accumulate(&total, r)
@@ -241,14 +263,14 @@ func Run(ctx context.Context, store *catalog.Store, offline *core.OfflineResult,
 // memory, value fusion, and seal handling. ctx is only consulted between
 // steps: a cancellation mid-step lets the bounded worker pools drain (they
 // hold no external resources) and surfaces as the wave's Err.
-func fuseWave(ctx context.Context, store *catalog.Store, pw preparedWave, cfg core.Config, mem *Memory) Result {
+func fuseWave(ctx context.Context, store *catalog.Store, pw preparedWave, cfg core.Config, mem *Memory, clk Clock) Result {
 	r := Result{Wave: pw.wave, Offers: pw.offers, PrepareElapsed: pw.elapsed}
 	if pw.err != nil {
 		r.Err = pw.err
 		r.Elapsed = r.PrepareElapsed
 		return r
 	}
-	start := time.Now()
+	start := clk.Now()
 	r.Reconcile = pw.prep.Reconcile
 	r.ExcludedMatched = pw.prep.ExcludedMatched
 	r.Fetch = pw.prep.Fetch
@@ -274,7 +296,7 @@ func fuseWave(ctx context.Context, store *catalog.Store, pw preparedWave, cfg co
 			r.Err = err
 		}
 	}
-	r.FuseElapsed = time.Since(start)
+	r.FuseElapsed = clk.Now().Sub(start)
 	r.Elapsed = r.PrepareElapsed + r.FuseElapsed
 	return r
 }
@@ -326,11 +348,11 @@ func accumulate(total *Result, r Result) {
 // there is nothing to merge or seal (every wave already emitted its own
 // clusters), so Products and Sealed are nil and Clusters keeps the summed
 // per-wave count.
-func finalResult(ctx context.Context, mem *Memory, cfg core.Config, total Result) Result {
+func finalResult(ctx context.Context, mem *Memory, cfg core.Config, total Result, clk Clock) Result {
 	final := total
 	final.Final = true
 	if mem != nil {
-		start := time.Now()
+		start := clk.Now()
 		closing := mem.CloseAll()
 		merged := make([]cluster.Cluster, len(closing))
 		for i, ev := range closing {
@@ -351,8 +373,9 @@ func finalResult(ctx context.Context, mem *Memory, cfg core.Config, total Result
 		for i, ev := range closing {
 			final.Sealed[i] = Sealed{ClusterID: ev.ID, Wave: total.Wave, Reason: SealClose, Product: products[i]}
 		}
-		final.FuseElapsed += time.Since(start)
-		final.Elapsed += time.Since(start)
+		closingElapsed := clk.Now().Sub(start)
+		final.FuseElapsed += closingElapsed
+		final.Elapsed += closingElapsed
 	}
 	return final
 }

@@ -388,6 +388,7 @@ func (s *System) SynthesizeStream(ctx context.Context, waves <-chan []Offer, pag
 		DisableMemory:   opts.DisableClusterMemory,
 	})
 	out := make(chan StreamResult, opts.Buffer)
+	//lint:allow spawncheck forwarder exits when inner closes (stream.Run closes it on cancel or input close), closing out; leak-guarded by TestStreamCtxCancelNoLeak
 	go func() {
 		defer close(out)
 		for r := range inner {
